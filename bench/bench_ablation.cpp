@@ -1,0 +1,143 @@
+// Design-choice ablations (DESIGN.md §4):
+//
+//   A. Aggregation rule — per-parameter counting (author code) vs strict
+//      intersection (paper prose): accuracy and global-model drift.
+//   B. Download masking — the client only needs its kept entries; compare the
+//      masked download this repo charges against dense downloads.
+//   C. Prune schedule — fixed per-round rates vs the round-budget-adaptive
+//      step used by the scaled benches.
+//   D. Gate conditions — knock out the accuracy threshold and the
+//      mask-distance condition of the paper's triple gate.
+//   E. Slimming penalty — hybrid pruning with and without the BN-γ L1 term.
+//
+//   ./bench_ablation [dataset]   (default mnist)
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "comm/serialize.h"
+
+using namespace subfed;
+using namespace subfed::bench;
+
+namespace {
+
+void ablation_aggregation(const FlContext& ctx, const BenchScale& scale) {
+  std::printf("-- A. aggregation rule: counting vs strict intersection --\n");
+  TablePrinter table({"rule", "avg accuracy", "avg pruned %", "comm"});
+  for (const bool strict : {false, true}) {
+    SubFedAvg alg(ctx, un_config(0.5, scale));
+    alg.set_strict_intersection(strict);
+    const RunResult result = run_federation(alg, make_driver(scale));
+    table.add_row({strict ? "strict intersection" : "counting (default)",
+                   format_percent(result.final_avg_accuracy),
+                   format_percent(alg.average_unstructured_pruned(), 1),
+                   format_bytes(static_cast<double>(result.total_bytes()))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void ablation_download(const FlContext& ctx, const BenchScale& scale) {
+  std::printf("-- B. download masking: masked (charged) vs dense downlink --\n");
+  SubFedAvg alg(ctx, un_config(0.7, scale));
+  const RunResult result = run_federation(alg, make_driver(scale));
+
+  // The masked download is what the ledger charged; a dense downlink would
+  // send the full global state to every sampled client each round.
+  Model model = ctx.spec.build();
+  const std::size_t dense_per_client = payload_bytes(model.state(), nullptr);
+  const std::size_t per_round = std::max<std::size_t>(
+      1, static_cast<std::size_t>(scale.sample_rate * static_cast<double>(scale.clients)));
+  const std::uint64_t dense_down =
+      static_cast<std::uint64_t>(dense_per_client) * per_round * scale.rounds;
+
+  TablePrinter table({"downlink policy", "down bytes", "relative"});
+  table.add_row({"masked (this repo / paper accounting)",
+                 format_bytes(static_cast<double>(result.down_bytes)), "1.00x"});
+  table.add_row({"dense", format_bytes(static_cast<double>(dense_down)),
+                 format_float(static_cast<double>(dense_down) /
+                                  static_cast<double>(result.down_bytes),
+                              2) + "x"});
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void ablation_schedule(const FlContext& ctx, const BenchScale& scale) {
+  std::printf("-- C. prune schedule: fixed steps vs round-budget-adaptive --\n");
+  TablePrinter table({"schedule", "achieved pruned %", "avg accuracy"});
+  for (const double step : {0.05, 0.1, 0.2}) {
+    SubFedAvgConfig config = un_config(0.5, scale);
+    config.unstructured.step_rate = step;
+    SubFedAvg alg(ctx, config);
+    const RunResult result = run_federation(alg, make_driver(scale));
+    table.add_row({"fixed " + format_percent(step, 0),
+                   format_percent(alg.average_unstructured_pruned(), 1),
+                   format_percent(result.final_avg_accuracy)});
+  }
+  {
+    SubFedAvg alg(ctx, un_config(0.5, scale));
+    const RunResult result = run_federation(alg, make_driver(scale));
+    table.add_row({"adaptive (" + format_percent(adaptive_step(0.5, scale), 1) + ")",
+                   format_percent(alg.average_unstructured_pruned(), 1),
+                   format_percent(result.final_avg_accuracy)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void ablation_gate(const FlContext& ctx, const BenchScale& scale) {
+  std::printf("-- D. pruning-gate conditions (paper's triple condition) --\n");
+  TablePrinter table({"gate", "achieved pruned %", "avg accuracy"});
+  struct Variant {
+    const char* name;
+    double acc_threshold;
+    double epsilon;
+  };
+  for (const Variant v : {Variant{"full gate (Accth=0.5, eps=1e-4)", 0.5, 1e-4},
+                          Variant{"no accuracy condition", 0.0, 1e-4},
+                          Variant{"no distance condition", 0.5, 0.0},
+                          Variant{"neither (always prune)", 0.0, 0.0}}) {
+    SubFedAvgConfig config = un_config(0.5, scale);
+    config.unstructured.acc_threshold = v.acc_threshold;
+    config.unstructured.epsilon = v.epsilon;
+    SubFedAvg alg(ctx, config);
+    const RunResult result = run_federation(alg, make_driver(scale));
+    table.add_row({v.name, format_percent(alg.average_unstructured_pruned(), 1),
+                   format_percent(result.final_avg_accuracy)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void ablation_slimming(const FlContext& ctx, const BenchScale& scale) {
+  std::printf("-- E. BN-gamma L1 (network slimming) in hybrid mode --\n");
+  TablePrinter table({"bn L1", "channels pruned %", "params pruned %", "avg accuracy"});
+  for (const float l1 : {0.0f, 1e-4f, 1e-3f}) {
+    SubFedAvgConfig config = hy_config(0.45, 0.5, scale);
+    config.bn_l1 = l1;
+    SubFedAvg alg(ctx, config);
+    const RunResult result = run_federation(alg, make_driver(scale));
+    char label[32];
+    std::snprintf(label, sizeof(label), "%g", static_cast<double>(l1));
+    table.add_row({label, format_percent(alg.average_structured_pruned(), 1),
+                   format_percent(alg.average_unstructured_pruned(), 1),
+                   format_percent(result.final_avg_accuracy)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  const BenchScale scale = BenchScale::from_env(/*default_rounds=*/12);
+  const DatasetSpec spec = DatasetSpec::by_name(argc > 1 ? argv[1] : "mnist");
+  print_header("Ablations", spec, scale);
+
+  const FederatedData data = make_data(spec, scale);
+  const FlContext ctx = make_ctx(data, scale);
+
+  ablation_aggregation(ctx, scale);
+  ablation_download(ctx, scale);
+  ablation_schedule(ctx, scale);
+  ablation_gate(ctx, scale);
+  ablation_slimming(ctx, scale);
+  return 0;
+}

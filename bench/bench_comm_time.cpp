@@ -1,0 +1,98 @@
+// Communication wall-clock analysis (extends Table 1 / §4.2.2): the same
+// federations, but accounted in *seconds* under the paper's asymmetric edge
+// links (≈1 MB/s uplink, heterogeneous slow-device tail). Synchronous rounds
+// wait for the slowest sampled client, so smaller pruned updates shorten
+// every straggler round.
+//
+//   ./bench_comm_time [dataset]   (default mnist)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "comm/round_time.h"
+#include "comm/serialize.h"
+
+using namespace subfed;
+using namespace subfed::bench;
+
+namespace {
+
+/// Runs the federation round-by-round, converting each round's per-client
+/// payloads into synchronous-round seconds under `fleet`.
+template <typename MakeCosts>
+double timed_run(FederatedAlgorithm& alg, const BenchScale& scale, const LinkFleet& fleet,
+                 MakeCosts&& make_costs) {
+  Rng sample_rng = Rng(scale.seed).split("client-sampling");
+  const std::size_t per_round = std::max<std::size_t>(
+      1, static_cast<std::size_t>(scale.sample_rate * static_cast<double>(scale.clients)));
+  double total_seconds = 0.0;
+  for (std::size_t round = 0; round < scale.rounds; ++round) {
+    const auto sampled = sample_rng.sample_without_replacement(scale.clients, per_round);
+    const std::vector<ClientRoundCost> costs = make_costs(sampled);
+    alg.run_round(round, sampled);
+    total_seconds += round_seconds(fleet, costs);
+  }
+  return total_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  const BenchScale scale = BenchScale::from_env(/*default_rounds=*/12);
+  const DatasetSpec spec = DatasetSpec::by_name(argc > 1 ? argv[1] : "mnist");
+  print_header("Comm wall-clock", spec, scale);
+
+  const FederatedData data = make_data(spec, scale);
+  const FlContext ctx = make_ctx(data, scale);
+  // Heterogeneous fleet: nominal 1 MB/s up / 8 MB/s down, up to 4× slower.
+  const LinkFleet fleet(scale.clients, LinkModel{}, /*spread=*/4.0,
+                        Rng(scale.seed).split("links"));
+  constexpr double kComputeSeconds = 0.5;  // local-training time per round
+
+  Model reference = ctx.spec.build();
+  const std::size_t dense_payload = payload_bytes(reference.state(), nullptr);
+
+  TablePrinter table({"algorithm", "total bytes", "sync wall-clock", "avg accuracy"});
+
+  {
+    FedAvg alg(ctx);
+    auto costs = [&](const std::vector<std::size_t>& sampled) {
+      std::vector<ClientRoundCost> out;
+      for (const std::size_t k : sampled) {
+        out.push_back({k, dense_payload, dense_payload, kComputeSeconds});
+      }
+      return out;
+    };
+    const double seconds = timed_run(alg, scale, fleet, costs);
+    table.add_row({"FedAvg", format_bytes(static_cast<double>(alg.ledger().total())),
+                   format_float(seconds, 1) + "s",
+                   format_percent(alg.average_test_accuracy())});
+  }
+
+  for (const double target : {0.5, 0.9}) {
+    SubFedAvg alg(ctx, un_config(target, scale));
+    auto costs = [&](const std::vector<std::size_t>& sampled) {
+      std::vector<ClientRoundCost> out;
+      for (const std::size_t k : sampled) {
+        ModelMask mask = alg.client(k).combined_mask();
+        const std::size_t payload =
+            payload_bytes(alg.client(k).personal_state(), &mask);
+        out.push_back({k, payload, payload, kComputeSeconds});
+      }
+      return out;
+    };
+    const double seconds = timed_run(alg, scale, fleet, costs);
+    table.add_row({"Sub-FedAvg (Un) p=" + format_percent(target, 0),
+                   format_bytes(static_cast<double>(alg.ledger().total())),
+                   format_float(seconds, 1) + "s",
+                   format_percent(alg.average_test_accuracy())});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("synchronous rounds wait for the slowest sampled client; compute "
+              "fixed at %.1fs, links: 1 MB/s up, 8 MB/s down, 4x slow tail\n",
+              kComputeSeconds);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Shared configuration for the experiment benches.
+//
+// Every bench reproduces a paper table/figure at a scaled-down default size
+// that completes in CI time. Environment knobs restore paper scale:
+//
+//   SUBFEDAVG_BENCH_CLIENTS   number of clients            (default 20; paper 100)
+//   SUBFEDAVG_BENCH_SHARD     shard size                   (default 50; paper 250/125)
+//   SUBFEDAVG_BENCH_ROUNDS    communication rounds         (default per-bench; paper 300-500)
+//   SUBFEDAVG_BENCH_SAMPLE    client sampling rate         (default 0.3; paper 0.1)
+//   SUBFEDAVG_BENCH_EPOCHS    local epochs                 (default 5, as in the paper)
+//   SUBFEDAVG_BENCH_TPC       test images per class        (default 16)
+//   SUBFEDAVG_BENCH_SEED      master seed                  (default 1)
+//
+// The paper's qualitative shape (who wins, by what rough factor) is stable
+// across these scales; absolute accuracy differs because the substrate is a
+// synthetic-data simulator (DESIGN.md §1).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "data/client_data.h"
+#include "fl/algorithm.h"
+#include "fl/driver.h"
+#include "fl/fedavg.h"
+#include "fl/fedmtl.h"
+#include "fl/lg_fedavg.h"
+#include "fl/standalone.h"
+#include "fl/subfedavg.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace subfed::bench {
+
+struct BenchScale {
+  std::size_t clients;
+  std::size_t shard;
+  std::size_t rounds;
+  double sample_rate;
+  std::size_t epochs;
+  std::size_t test_per_class;
+  std::uint64_t seed;
+
+  static BenchScale from_env(std::size_t default_rounds) {
+    BenchScale s;
+    s.clients = static_cast<std::size_t>(env_int("SUBFEDAVG_BENCH_CLIENTS", 20));
+    s.shard = static_cast<std::size_t>(env_int("SUBFEDAVG_BENCH_SHARD", 50));
+    s.rounds = static_cast<std::size_t>(
+        env_int("SUBFEDAVG_BENCH_ROUNDS", static_cast<std::int64_t>(default_rounds)));
+    s.sample_rate = env_double("SUBFEDAVG_BENCH_SAMPLE", 0.3);
+    s.epochs = static_cast<std::size_t>(env_int("SUBFEDAVG_BENCH_EPOCHS", 5));
+    s.test_per_class = static_cast<std::size_t>(env_int("SUBFEDAVG_BENCH_TPC", 16));
+    s.seed = static_cast<std::uint64_t>(env_int("SUBFEDAVG_BENCH_SEED", 1));
+    return s;
+  }
+};
+
+inline FederatedData make_data(const DatasetSpec& spec, const BenchScale& scale) {
+  FederatedDataConfig config;
+  config.partition = {scale.clients, 2, scale.shard};
+  config.test_per_class = scale.test_per_class;
+  config.seed = scale.seed;
+  return FederatedData(spec, config);
+}
+
+inline ModelSpec model_for(const DatasetSpec& spec) {
+  // Paper §4.1: 5-layer CNN for MNIST/EMNIST, LeNet-5 for CIFAR-10/100.
+  if (spec.channels == 3) return ModelSpec::lenet5(spec.num_classes);
+  return ModelSpec::cnn5(spec.num_classes);
+}
+
+inline FlContext make_ctx(const FederatedData& data, const BenchScale& scale) {
+  FlContext ctx;
+  ctx.data = &data;
+  ctx.spec = model_for(data.spec());
+  ctx.train = {scale.epochs, /*batch=*/10};
+  ctx.sgd = {/*lr=*/0.01f, /*momentum=*/0.5f, /*weight_decay=*/0.0f};
+  ctx.seed = scale.seed;
+  return ctx;
+}
+
+inline DriverConfig make_driver(const BenchScale& scale, std::size_t eval_every = 0) {
+  DriverConfig d;
+  d.rounds = scale.rounds;
+  d.sample_rate = scale.sample_rate;
+  d.eval_every = eval_every;
+  d.seed = scale.seed;
+  return d;
+}
+
+/// Per-round prune step calibrated to the run length: a client participates
+/// in ≈ rounds × sample_rate rounds, and must reach `target` within them.
+/// The paper prunes 5-20% of remaining per round over 300-500 rounds; scaled
+/// runs compress that schedule so the sweep still spans its target range.
+/// Override with SUBFEDAVG_BENCH_PRUNE_STEP.
+inline double adaptive_step(double target, const BenchScale& scale) {
+  const double override_step = env_double("SUBFEDAVG_BENCH_PRUNE_STEP", 0.0);
+  if (override_step > 0.0) return override_step;
+  const double participations =
+      std::max(2.0, static_cast<double>(scale.rounds) * scale.sample_rate * 0.7);
+  return 1.0 - std::pow(1.0 - target, 1.0 / participations);
+}
+
+/// Sub-FedAvg configs matching the paper's hyper-parameters (§4.1):
+/// mask-distance thresholds 1e-4 (unstructured) and 0.05 (hybrid).
+inline SubFedAvgConfig un_config(double target, const BenchScale& scale) {
+  SubFedAvgConfig config;
+  config.unstructured = {/*acc_threshold=*/0.5, target, /*epsilon=*/1e-4,
+                         adaptive_step(target, scale)};
+  return config;
+}
+
+inline SubFedAvgConfig hy_config(double target_channels, double target_weights,
+                                 const BenchScale& scale) {
+  SubFedAvgConfig config;
+  config.hybrid = true;
+  config.unstructured = {/*acc_threshold=*/0.5, target_weights, /*epsilon=*/1e-4,
+                         adaptive_step(target_weights, scale)};
+  config.structured = {/*acc_threshold=*/0.5, target_channels, /*epsilon=*/0.05,
+                       adaptive_step(target_channels, scale)};
+  return config;
+}
+
+/// FedProx μ and MTL λ used across benches (standard values for this setup).
+constexpr double kFedProxMu = 0.1;
+constexpr double kFedMtlLambda = 0.1;
+
+inline void print_header(const char* what, const DatasetSpec& spec,
+                         const BenchScale& scale) {
+  std::printf("== %s — %s: %zu clients, shard %zu, %zu rounds, sample %.2f, "
+              "%zu epochs, seed %llu ==\n",
+              what, spec.name.c_str(), scale.clients, scale.shard, scale.rounds,
+              scale.sample_rate, scale.epochs,
+              static_cast<unsigned long long>(scale.seed));
+}
+
+}  // namespace subfed::bench

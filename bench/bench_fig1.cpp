@@ -1,0 +1,92 @@
+// Figure 1 — test accuracy vs pruning percentage for sampled clients
+// (Sub-FedAvg (Un) on LeNet-5 / CIFAR-10 surrogate).
+//
+// The paper prunes iteratively (5-10% of remaining per round) toward a high
+// target and plots each client's personalized accuracy against its current
+// pruned fraction: accuracy rises with moderate pruning (common parameters
+// removed) and degrades past ~50% (personal parameters start dying).
+//
+// This bench drives the round loop manually so it can snapshot
+// (pruned %, accuracy) for every sampled client after every round.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace subfed;
+using namespace subfed::bench;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  BenchScale scale = BenchScale::from_env(/*default_rounds=*/24);
+  // Fig. 1 tracks per-client trajectories, so default to full participation:
+  // every client prunes a small slice each round and the x-axis sweeps the
+  // whole 0-90% range at the paper's granularity.
+  if (env_double("SUBFEDAVG_BENCH_SAMPLE", 0.0) == 0.0) scale.sample_rate = 1.0;
+  const DatasetSpec spec = DatasetSpec::by_name(argc > 1 ? argv[1] : "cifar10");
+  print_header("Figure 1", spec, scale);
+
+  const FederatedData data = make_data(spec, scale);
+  const FlContext ctx = make_ctx(data, scale);
+
+  // High target, fixed 10%-of-remaining step per round — the paper's Fig. 1
+  // "iteratively pruning by 5%-10% per iteration".
+  SubFedAvgConfig config = un_config(0.92, scale);
+  config.unstructured.step_rate = 0.1;
+  SubFedAvg alg(ctx, config);
+
+  // (client → [(pruned %, accuracy), ...]) traces.
+  std::map<std::size_t, std::vector<std::pair<double, double>>> traces;
+
+  Rng sample_rng = Rng(scale.seed).split("client-sampling");
+  const std::size_t per_round = std::max<std::size_t>(
+      1, static_cast<std::size_t>(scale.sample_rate * static_cast<double>(scale.clients)));
+
+  for (std::size_t round = 0; round < scale.rounds; ++round) {
+    const auto sampled = sample_rng.sample_without_replacement(scale.clients, per_round);
+    alg.run_round(round, sampled);
+    for (const std::size_t k : sampled) {
+      traces[k].emplace_back(alg.client(k).unstructured_pruned(),
+                             alg.client_test_accuracy(k));
+    }
+  }
+
+  // Report the clients with the longest traces (most participation).
+  std::vector<std::pair<std::size_t, std::size_t>> by_length;
+  by_length.reserve(traces.size());
+  for (const auto& [k, trace] : traces) by_length.emplace_back(trace.size(), k);
+  std::sort(by_length.rbegin(), by_length.rend());
+  const std::size_t show = std::min<std::size_t>(5, by_length.size());
+
+  for (std::size_t i = 0; i < show; ++i) {
+    const std::size_t k = by_length[i].second;
+    std::printf("client %zu (labels:", k);
+    for (const auto label : data.client(k).labels_present) std::printf(" %d", label);
+    std::printf(")\n");
+    TablePrinter table({"pruned %", "test accuracy"});
+    for (const auto& [pruned, acc] : traces[k]) {
+      table.add_row({format_percent(pruned, 1), format_percent(acc)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  // Aggregate view: accuracy per pruning-percentage bucket across all clients.
+  TablePrinter buckets({"pruned % bucket", "mean accuracy", "samples"});
+  std::map<int, std::pair<double, std::size_t>> bucketed;
+  for (const auto& [k, trace] : traces) {
+    for (const auto& [pruned, acc] : trace) {
+      auto& [sum, count] = bucketed[static_cast<int>(pruned * 10)];
+      sum += acc;
+      ++count;
+    }
+  }
+  for (const auto& [bucket, agg] : bucketed) {
+    buckets.add_row({std::to_string(bucket * 10) + "-" + std::to_string(bucket * 10 + 10) + "%",
+                     format_percent(agg.first / agg.second),
+                     std::to_string(agg.second)});
+  }
+  std::printf("all clients, bucketed:\n%s\n", buckets.to_string().c_str());
+  return 0;
+}

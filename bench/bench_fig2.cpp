@@ -1,0 +1,51 @@
+// Figure 2 — average test accuracy over all clients vs average pruning
+// percentage, on CIFAR-10, MNIST and EMNIST.
+//
+// One federation run per target pruning rate; the paper's curve rises to a
+// knee around 30-50% sparsity (common parameters removed) and falls toward
+// 90% (personal parameters pruned away).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace subfed;
+using namespace subfed::bench;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  const BenchScale scale = BenchScale::from_env(/*default_rounds=*/14);
+
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) names.emplace_back(argv[i]);
+  if (names.empty()) names = {"cifar10", "mnist", "emnist"};
+
+  const std::vector<double> targets{0.0, 0.2, 0.4, 0.6, 0.8, 0.9};
+
+  for (const std::string& name : names) {
+    const DatasetSpec spec = DatasetSpec::by_name(name);
+    print_header("Figure 2", spec, scale);
+    const FederatedData data = make_data(spec, scale);
+    const FlContext ctx = make_ctx(data, scale);
+    const DriverConfig driver = make_driver(scale);
+
+    TablePrinter table({"target pruned %", "achieved avg pruned %", "avg accuracy"});
+    for (const double target : targets) {
+      SubFedAvgConfig config = un_config(target, scale);
+      if (target == 0.0) {
+        // 0% point: Sub-FedAvg aggregation with no pruning (personalized
+        // evaluation of the dense federated model).
+        config.unstructured.target_rate = 0.0;
+        config.unstructured.step_rate = 0.0;
+      }
+      SubFedAvg alg(ctx, config);
+      const RunResult result = run_federation(alg, driver);
+      table.add_row({format_percent(target, 0),
+                     format_percent(alg.average_unstructured_pruned(), 1),
+                     format_percent(result.final_avg_accuracy)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  return 0;
+}

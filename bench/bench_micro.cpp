@@ -1,0 +1,83 @@
+// Engineering micro-benchmarks (google-benchmark): GEMM/conv throughput,
+// mask operations, and the two aggregation rules (the DESIGN.md §4.2
+// counting-vs-strict-intersection ablation at the per-op level).
+#include <benchmark/benchmark.h>
+
+#include "core/aggregate.h"
+#include "nn/conv2d.h"
+#include "nn/model_zoo.h"
+#include "pruning/unstructured.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace subfed {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& x : a) x = static_cast<float>(rng.normal());
+  for (auto& x : b) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_LeNetForward(benchmark::State& state) {
+  Rng rng(2);
+  Model model = ModelSpec::lenet5(10).build_init(rng);
+  Tensor batch({10, 3, 32, 32});
+  batch.fill_normal(rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor out = model.forward(batch, /*train=*/false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10);
+}
+BENCHMARK(BM_LeNetForward);
+
+void BM_MagnitudeMaskDerivation(benchmark::State& state) {
+  Rng rng(3);
+  Model model = ModelSpec::lenet5(10).build_init(rng);
+  ModelMask mask = ModelMask::ones_like(model, MaskScope::kAllPrunable);
+  for (auto _ : state) {
+    ModelMask next = derive_magnitude_mask(model, mask, 0.5);
+    benchmark::DoNotOptimize(&next);
+  }
+}
+BENCHMARK(BM_MagnitudeMaskDerivation);
+
+void BM_SubFedAvgAggregate(benchmark::State& state) {
+  const std::size_t clients = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  Model model = ModelSpec::lenet5(10).build_init(rng);
+  const StateDict global = model.state();
+
+  std::vector<ClientUpdate> updates(clients);
+  for (std::size_t k = 0; k < clients; ++k) {
+    Rng crng = rng.split("client", k);
+    Model m = ModelSpec::lenet5(10).build_init(crng);
+    ModelMask mask = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+    mask = derive_magnitude_mask(m, mask, 0.5);
+    updates[k] = {m.state(), mask, 500};
+  }
+  const bool strict = state.range(1) != 0;
+  for (auto _ : state) {
+    StateDict out = strict ? sub_fedavg_aggregate_strict(updates, global)
+                           : sub_fedavg_aggregate(updates, global);
+    benchmark::DoNotOptimize(&out);
+  }
+}
+BENCHMARK(BM_SubFedAvgAggregate)
+    ->Args({5, 0})
+    ->Args({10, 0})
+    ->Args({10, 1});
+
+}  // namespace
+}  // namespace subfed
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// The paper's core personalization story (Remark-2), runnable end to end:
+// under pathological non-IID data, a single FedAvg global model underperforms
+// even local-only training, while Sub-FedAvg's personalized subnetworks beat
+// both — and cost less to communicate.
+//
+//   ./examples/personalization_noniid [dataset] [rounds] [noise]
+//     dataset: mnist | emnist | cifar10 | cifar100   (default mnist)
+//     rounds:  communication rounds                  (default 12)
+//     noise:   pixel-noise stddev override           (default: dataset value)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fl/driver.h"
+#include "fl/fedavg.h"
+#include "fl/standalone.h"
+#include "fl/subfedavg.h"
+#include "metrics/stats.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+using namespace subfed;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  const std::string dataset = argc > 1 ? argv[1] : "mnist";
+  const std::size_t rounds = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 12;
+
+  DatasetSpec spec = DatasetSpec::by_name(dataset);
+  if (argc > 3) spec.noise = std::strtof(argv[3], nullptr);
+
+  FederatedDataConfig data_config;
+  data_config.partition = {/*num_clients=*/12, /*shards_per_client=*/2, /*shard_size=*/40};
+  data_config.test_per_class = 16;
+  data_config.seed = 3;
+  FederatedData data(spec, data_config);
+
+  FlContext ctx;
+  ctx.data = &data;
+  ctx.spec = spec.channels == 3 ? ModelSpec::lenet5(spec.num_classes)
+                                : ModelSpec::cnn5(spec.num_classes);
+  ctx.train = {/*epochs=*/3, /*batch=*/10};
+  ctx.seed = 3;
+
+  DriverConfig driver;
+  driver.rounds = rounds;
+  driver.sample_rate = 0.4;
+  driver.seed = 3;
+
+  TablePrinter table(
+      {"Algorithm", "Avg acc", "Min acc", "Max acc", "Comm (up+down)"});
+  auto report = [&](const std::string& name, FederatedAlgorithm& alg) {
+    const RunResult result = run_federation(alg, driver);
+    const Summary s = summarize(result.final_per_client);
+    table.add_row({name, format_percent(result.final_avg_accuracy),
+                   format_percent(s.min), format_percent(s.max),
+                   result.total_bytes() == 0
+                       ? "0"
+                       : format_bytes(static_cast<double>(result.total_bytes()))});
+    return result.final_avg_accuracy;
+  };
+
+  std::printf("dataset=%s noise=%.2f clients=12 shard=40 rounds=%zu\n",
+              spec.name.c_str(), spec.noise, rounds);
+
+  Standalone standalone(ctx);
+  const double acc_standalone = report("Standalone", standalone);
+
+  FedAvg fedavg(ctx);
+  const double acc_fedavg = report("FedAvg", fedavg);
+
+  SubFedAvgConfig config;
+  config.unstructured = {/*acc_threshold=*/0.4, /*target=*/0.5, /*epsilon=*/1e-4,
+                         /*step_rate=*/0.2};
+  SubFedAvg subfedavg(ctx, config);
+  const double acc_sub = report("Sub-FedAvg (Un)", subfedavg);
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("federation gain over standalone: %+.2f pp\n",
+              100.0 * (acc_sub - acc_standalone));
+  std::printf("personalization gain over FedAvg: %+.2f pp\n",
+              100.0 * (acc_sub - acc_fedavg));
+  return 0;
+}

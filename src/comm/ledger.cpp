@@ -1,0 +1,33 @@
+#include "comm/ledger.h"
+
+#include "util/check.h"
+
+namespace subfed {
+
+void CommLedger::record(std::size_t round, std::size_t up_bytes, std::size_t down_bytes) {
+  if (round >= per_round_.size()) per_round_.resize(round + 1);
+  per_round_[round].up += up_bytes;
+  per_round_[round].down += down_bytes;
+  total_up_ += up_bytes;
+  total_down_ += down_bytes;
+}
+
+std::uint64_t CommLedger::round_up(std::size_t round) const {
+  SUBFEDAVG_CHECK(round < per_round_.size(), "round " << round << " not recorded");
+  return per_round_[round].up;
+}
+
+std::uint64_t CommLedger::round_down(std::size_t round) const {
+  SUBFEDAVG_CHECK(round < per_round_.size(), "round " << round << " not recorded");
+  return per_round_[round].down;
+}
+
+std::uint64_t closed_form_cost_bytes(std::size_t rounds, std::size_t clients_per_round,
+                                     std::size_t exchanged_params,
+                                     std::size_t mask_entries) {
+  const std::uint64_t per_direction =
+      static_cast<std::uint64_t>(exchanged_params) * 4 + (mask_entries + 7) / 8;
+  return static_cast<std::uint64_t>(rounds) * clients_per_round * per_direction * 2;
+}
+
+}  // namespace subfed

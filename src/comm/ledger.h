@@ -1,0 +1,58 @@
+// Communication accounting.
+//
+// The ledger accumulates the actual uplink/downlink bytes exchanged each
+// round (as charged by comm/serialize.h's payload model). The closed-form
+// helper reproduces the paper's formula Cost = R × B × |W| × 2 (§4.2.2),
+// where |W| is parameters exchanged per client per round and the factor 2 is
+// up+down. The link model converts bytes to time under the asymmetric edge
+// bandwidths the paper motivates (≈1 MB/s uplink).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace subfed {
+
+class CommLedger {
+ public:
+  /// Records one client's traffic within a round.
+  void record(std::size_t round, std::size_t up_bytes, std::size_t down_bytes);
+
+  std::size_t rounds() const noexcept { return per_round_.size(); }
+  std::uint64_t total_up() const noexcept { return total_up_; }
+  std::uint64_t total_down() const noexcept { return total_down_; }
+  std::uint64_t total() const noexcept { return total_up_ + total_down_; }
+
+  std::uint64_t round_up(std::size_t round) const;
+  std::uint64_t round_down(std::size_t round) const;
+
+ private:
+  struct RoundBytes {
+    std::uint64_t up = 0;
+    std::uint64_t down = 0;
+  };
+  std::vector<RoundBytes> per_round_;
+  std::uint64_t total_up_ = 0;
+  std::uint64_t total_down_ = 0;
+};
+
+/// Paper's closed-form cost (bytes): rounds × clients/round × |W|·32bit × 2,
+/// plus 1 bit per mask entry per direction when mask_entries > 0.
+std::uint64_t closed_form_cost_bytes(std::size_t rounds, std::size_t clients_per_round,
+                                     std::size_t exchanged_params,
+                                     std::size_t mask_entries = 0);
+
+/// Asymmetric link (defaults: 1 MB/s up, 8 MB/s down, per the paper's edge
+/// scenario). Converts ledger totals into transfer seconds.
+struct LinkModel {
+  double uplink_bytes_per_s = 1.0 * 1024 * 1024;
+  double downlink_bytes_per_s = 8.0 * 1024 * 1024;
+
+  double transfer_seconds(std::uint64_t up_bytes, std::uint64_t down_bytes) const {
+    return static_cast<double>(up_bytes) / uplink_bytes_per_s +
+           static_cast<double>(down_bytes) / downlink_bytes_per_s;
+  }
+};
+
+}  // namespace subfed

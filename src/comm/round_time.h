@@ -1,0 +1,55 @@
+// Synchronous-round wall-clock model.
+//
+// The paper motivates pruning with the uplink bottleneck (§2: US average
+// 55 Mbps down vs 18.9 Mbps up; edge uplinks ≈ 1 MB/s). In a synchronous
+// round the server waits for the slowest sampled client, so round time is
+//
+//   T_round = max over sampled clients of
+//             (download_bytes/down_rate + compute_s + upload_bytes/up_rate)
+//
+// Clients draw heterogeneous link speeds once (a slow-device distribution),
+// making stragglers — and the benefit of smaller updates — visible in time
+// units rather than bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "comm/ledger.h"
+#include "util/rng.h"
+
+namespace subfed {
+
+/// Per-client link endowment.
+struct ClientLink {
+  double up_bytes_per_s = 1.0 * 1024 * 1024;
+  double down_bytes_per_s = 8.0 * 1024 * 1024;
+};
+
+/// A fleet of clients with heterogeneous link speeds: each client's rates are
+/// the base rates scaled by a log-uniform factor in [1/spread, 1].
+class LinkFleet {
+ public:
+  /// `spread` ≥ 1; spread == 1 makes all clients identical to `base`.
+  LinkFleet(std::size_t num_clients, LinkModel base, double spread, Rng rng);
+
+  std::size_t size() const noexcept { return links_.size(); }
+  const ClientLink& link(std::size_t k) const;
+
+ private:
+  std::vector<ClientLink> links_;
+};
+
+/// One client's contribution to a round.
+struct ClientRoundCost {
+  std::size_t client = 0;
+  std::size_t up_bytes = 0;
+  std::size_t down_bytes = 0;
+  double compute_seconds = 0.0;
+};
+
+/// Synchronous-round duration: max over participants of down + compute + up.
+double round_seconds(const LinkFleet& fleet, const std::vector<ClientRoundCost>& costs);
+
+}  // namespace subfed

@@ -1,0 +1,32 @@
+// Wire format for model updates.
+//
+// Clients upload (masked weights, mask); the server downloads aggregated
+// state. The encoding is what the paper's cost model charges for:
+// 32-bit floats for kept values, 1 bit per mask entry (§4.2.2), plus a
+// small self-describing header (entry names/shapes) that the closed-form
+// model ignores. encode/decode round-trip exactly, so the byte ledger
+// measures real, reconstructible traffic — not an estimate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "pruning/mask.h"
+
+namespace subfed {
+
+/// Serializes `state`. For entries covered by `mask` (nullable), only kept
+/// values are written, preceded by a packed bitmap; uncovered entries are
+/// written dense.
+std::vector<std::uint8_t> encode_update(const StateDict& state, const ModelMask* mask);
+
+/// Inverse of encode_update. Masked-out positions decode as exact zeros.
+StateDict decode_update(std::span<const std::uint8_t> bytes);
+
+/// Payload bytes the paper's cost model would charge for this update:
+/// kept·4 + ⌈covered/8⌉ (mask bitmap) + uncovered·4. No header overhead.
+std::size_t payload_bytes(const StateDict& state, const ModelMask* mask);
+
+}  // namespace subfed

@@ -1,0 +1,111 @@
+#include "core/aggregate.h"
+
+#include "util/check.h"
+
+namespace subfed {
+
+namespace {
+
+void check_aligned(std::span<const ClientUpdate> updates, const StateDict& reference) {
+  SUBFEDAVG_CHECK(!updates.empty(), "aggregate needs at least one update");
+  for (const ClientUpdate& u : updates) {
+    SUBFEDAVG_CHECK(u.state.size() == reference.size(), "update entry count mismatch");
+    for (std::size_t e = 0; e < reference.size(); ++e) {
+      SUBFEDAVG_CHECK(u.state[e].first == reference[e].first,
+                      "update entry name mismatch at " << e);
+      SUBFEDAVG_CHECK(u.state[e].second.shape() == reference[e].second.shape(),
+                      "update entry shape mismatch for " << reference[e].first);
+    }
+  }
+}
+
+enum class CoveredRule { kCounting, kStrictIntersection };
+
+StateDict masked_aggregate(std::span<const ClientUpdate> updates,
+                           const StateDict& previous_global, CoveredRule rule) {
+  check_aligned(updates, previous_global);
+
+  StateDict out;
+  for (std::size_t e = 0; e < previous_global.size(); ++e) {
+    const auto& [name, prev] = previous_global[e];
+    Tensor merged(prev.shape());
+
+    // Covered by any client's mask? (All clients share mask coverage sets by
+    // construction; tolerate per-client differences by checking each.)
+    bool any_covered = false;
+    for (const ClientUpdate& u : updates) {
+      if (u.mask.find(name) != nullptr) {
+        any_covered = true;
+        break;
+      }
+    }
+
+    if (!any_covered) {
+      // Uniform average (biases, BN affine terms, running stats).
+      for (const ClientUpdate& u : updates) {
+        const Tensor& value = *u.state.find(name);
+        merged.add_(value);
+      }
+      merged.scale_(1.0f / static_cast<float>(updates.size()));
+      out.add(name, std::move(merged));
+      continue;
+    }
+
+    for (std::size_t i = 0; i < merged.numel(); ++i) {
+      float sum = 0.0f;
+      std::size_t keepers = 0;
+      for (const ClientUpdate& u : updates) {
+        const Tensor* m = u.mask.find(name);
+        const bool kept = (m == nullptr) || ((*m)[i] != 0.0f);
+        if (kept) {
+          sum += (*u.state.find(name))[i];
+          ++keepers;
+        }
+      }
+      const bool use_average = rule == CoveredRule::kCounting
+                                   ? keepers > 0
+                                   : keepers == updates.size();
+      merged[i] = use_average ? sum / static_cast<float>(keepers) : prev[i];
+    }
+    out.add(name, std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace
+
+StateDict sub_fedavg_aggregate(std::span<const ClientUpdate> updates,
+                               const StateDict& previous_global) {
+  return masked_aggregate(updates, previous_global, CoveredRule::kCounting);
+}
+
+StateDict sub_fedavg_aggregate_strict(std::span<const ClientUpdate> updates,
+                                      const StateDict& previous_global) {
+  return masked_aggregate(updates, previous_global, CoveredRule::kStrictIntersection);
+}
+
+StateDict fedavg_aggregate(std::span<const ClientUpdate> updates) {
+  SUBFEDAVG_CHECK(!updates.empty(), "aggregate needs at least one update");
+  check_aligned(updates, updates.front().state);
+
+  double total_examples = 0.0;
+  for (const ClientUpdate& u : updates) {
+    total_examples += static_cast<double>(u.num_examples);
+  }
+  SUBFEDAVG_CHECK(total_examples > 0, "zero total examples");
+
+  StateDict out;
+  const StateDict& reference = updates.front().state;
+  for (std::size_t e = 0; e < reference.size(); ++e) {
+    const auto& [name, first] = reference[e];
+    Tensor merged(first.shape());
+    for (const ClientUpdate& u : updates) {
+      const float w = static_cast<float>(u.num_examples / total_examples);
+      merged.axpy_(w, *u.state.find(name));
+    }
+    out.add(name, std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace subfed

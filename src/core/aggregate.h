@@ -1,0 +1,50 @@
+// Server-side aggregation rules.
+//
+// Sub-FedAvg (the paper's contribution, §3.4 / Remark-1): the server averages
+// each parameter ONLY over the clients whose subnetwork retained it:
+//
+//     θ_g[i] ← Σ_k m_k[i]·θ_k[i] / Σ_k m_k[i]      (when Σ_k m_k[i] > 0)
+//     θ_g[i] ← previous θ_g[i]                      (when no client kept i)
+//
+// The paper's prose says "intersection of unpruned parameters"; the released
+// author code implements the per-parameter counting rule above (which reduces
+// to the intersection average on entries all clients keep). We implement the
+// author-code semantics and expose a strict-intersection variant for the
+// ablation benchmark.
+//
+// Plain FedAvg (example-count weighted) is provided for the baselines.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "nn/parameter.h"
+#include "pruning/mask.h"
+
+namespace subfed {
+
+/// One client's upload: its (masked) state and the mask describing which
+/// covered entries are alive. `num_examples` weights FedAvg-style rules.
+struct ClientUpdate {
+  StateDict state;
+  ModelMask mask;          ///< empty mask → dense update
+  std::size_t num_examples = 1;
+};
+
+/// Per-parameter counting aggregation (Sub-FedAvg). Entries covered by no
+/// client's kept set inherit `previous_global`. Buffers / uncovered entries
+/// average over all updates uniformly.
+StateDict sub_fedavg_aggregate(std::span<const ClientUpdate> updates,
+                               const StateDict& previous_global);
+
+/// Strict-intersection ablation: a covered entry is averaged only when EVERY
+/// update keeps it; otherwise it inherits `previous_global`. Uncovered
+/// entries behave as in sub_fedavg_aggregate.
+StateDict sub_fedavg_aggregate_strict(std::span<const ClientUpdate> updates,
+                                      const StateDict& previous_global);
+
+/// Classic FedAvg: example-count-weighted mean of all entries (masks, if any,
+/// are ignored — baselines upload dense states).
+StateDict fedavg_aggregate(std::span<const ClientUpdate> updates);
+
+}  // namespace subfed

@@ -1,0 +1,100 @@
+#include "data/client_data.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace subfed {
+
+namespace {
+
+/// Stacks generator-produced [C,H,W] images into one [N,C,H,W] tensor.
+class ImageStacker {
+ public:
+  ImageStacker(std::size_t n, std::size_t channels, std::size_t hw)
+      : tensor_({n, channels, hw, hw}), row_(channels * hw * hw) {}
+
+  void put(std::size_t i, const Tensor& image) {
+    SUBFEDAVG_CHECK(image.numel() == row_, "image size mismatch");
+    std::memcpy(tensor_.data() + i * row_, image.data(), row_ * sizeof(float));
+  }
+
+  Tensor take() { return std::move(tensor_); }
+
+ private:
+  Tensor tensor_;
+  std::size_t row_;
+};
+
+}  // namespace
+
+FederatedData::FederatedData(DatasetSpec spec, FederatedDataConfig config)
+    : spec_(std::move(spec)),
+      config_(config),
+      generator_(spec_, config.seed),
+      partitioner_(spec_, config.partition, Rng(config.seed).split("partition")) {
+  clients_.resize(partitioner_.num_clients());
+
+  // Materialize clients in parallel; every image is a pure function of
+  // (seed, label, index), so thread scheduling cannot change the data.
+  ThreadPool::global().parallel_for(clients_.size(), [&](std::size_t k) {
+    const ClientShards& shards = partitioner_.client(k);
+    ClientData& cd = clients_[k];
+    cd.labels_present = shards.labels_present;
+
+    // Deterministic local shuffle, then split off the validation tail.
+    std::vector<std::size_t> order(shards.examples.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    Rng rng = Rng(config_.seed).split("client-split", k);
+    rng.shuffle(order);
+
+    std::size_t n_val = static_cast<std::size_t>(
+        static_cast<double>(order.size()) * config_.val_fraction);
+    n_val = std::max<std::size_t>(n_val, 1);
+    SUBFEDAVG_CHECK(n_val < order.size(), "validation split consumed all local data");
+    const std::size_t n_train = order.size() - n_val;
+
+    ImageStacker train_stack(n_train, spec_.channels, spec_.hw);
+    cd.train_labels.resize(n_train);
+    for (std::size_t i = 0; i < n_train; ++i) {
+      const ExampleRef& ref = shards.examples[order[i]];
+      train_stack.put(i, generator_.train_image(static_cast<std::size_t>(ref.label),
+                                                ref.index));
+      cd.train_labels[i] = ref.label;
+    }
+    cd.train_images = train_stack.take();
+
+    ImageStacker val_stack(n_val, spec_.channels, spec_.hw);
+    cd.val_labels.resize(n_val);
+    for (std::size_t i = 0; i < n_val; ++i) {
+      const ExampleRef& ref = shards.examples[order[n_train + i]];
+      val_stack.put(i, generator_.test_image(static_cast<std::size_t>(ref.label),
+                                             // offset the stream so val never
+                                             // collides with the shared test pool
+                                             config_.test_per_class + ref.index));
+      cd.val_labels[i] = ref.label;
+    }
+    cd.val_images = val_stack.take();
+
+    // Test set: the full test pool restricted to the client's labels.
+    const std::size_t n_test = cd.labels_present.size() * config_.test_per_class;
+    ImageStacker test_stack(n_test, spec_.channels, spec_.hw);
+    cd.test_labels.resize(n_test);
+    std::size_t t = 0;
+    for (const std::int32_t label : cd.labels_present) {
+      for (std::size_t i = 0; i < config_.test_per_class; ++i, ++t) {
+        test_stack.put(t, generator_.test_image(static_cast<std::size_t>(label), i));
+        cd.test_labels[t] = label;
+      }
+    }
+    cd.test_images = test_stack.take();
+  });
+}
+
+const ClientData& FederatedData::client(std::size_t k) const {
+  SUBFEDAVG_CHECK(k < clients_.size(), "client " << k << " out of " << clients_.size());
+  return clients_[k];
+}
+
+}  // namespace subfed

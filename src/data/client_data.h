@@ -1,0 +1,51 @@
+// Materialized per-client datasets: local train/validation split plus the
+// label-filtered test set ("evaluation data for each client is all the test
+// set for the training dataset labels they have", §4.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "tensor/tensor.h"
+
+namespace subfed {
+
+/// One client's local data, materialized as batch-ready tensors.
+struct ClientData {
+  Tensor train_images;                  ///< [n_train, C, H, W]
+  std::vector<std::int32_t> train_labels;
+  Tensor val_images;                    ///< carved from local train (paper's D^val_k)
+  std::vector<std::int32_t> val_labels;
+  Tensor test_images;                   ///< global test pool filtered to client labels
+  std::vector<std::int32_t> test_labels;
+  std::vector<std::int32_t> labels_present;
+};
+
+struct FederatedDataConfig {
+  PartitionConfig partition;
+  std::size_t test_per_class = 40;   ///< test pool size per class
+  double val_fraction = 0.1;         ///< of local train, min 1 example
+  std::uint64_t seed = 1;
+};
+
+/// Builds the full federation's data: shard partition + per-client tensors.
+class FederatedData {
+ public:
+  FederatedData(DatasetSpec spec, FederatedDataConfig config);
+
+  const DatasetSpec& spec() const noexcept { return spec_; }
+  std::size_t num_clients() const noexcept { return clients_.size(); }
+  const ClientData& client(std::size_t k) const;
+  const ShardPartitioner& partition() const noexcept { return partitioner_; }
+
+ private:
+  DatasetSpec spec_;
+  FederatedDataConfig config_;
+  SyntheticImageGenerator generator_;
+  ShardPartitioner partitioner_;
+  std::vector<ClientData> clients_;
+};
+
+}  // namespace subfed

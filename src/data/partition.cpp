@@ -1,0 +1,155 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace subfed {
+
+namespace {
+
+/// Gamma(shape, 1) sampler (Marsaglia–Tsang for shape ≥ 1, boost for < 1) —
+/// enough for Dirichlet draws; not exposed publicly.
+double sample_gamma(Rng& rng, double shape) {
+  if (shape < 1.0) {
+    // Gamma(a) = Gamma(a+1) · U^{1/a}
+    const double u = std::max(rng.uniform(), 1e-12);
+    return sample_gamma(rng, shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = rng.normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+}  // namespace
+
+ShardPartitioner::ShardPartitioner(const DatasetSpec& spec, PartitionConfig config,
+                                   Rng rng) {
+  SUBFEDAVG_CHECK(config.num_clients > 0 && config.shards_per_client > 0,
+                  "bad partition config");
+  shard_size_ = config.shard_size == 0 ? spec.shard_size : config.shard_size;
+  SUBFEDAVG_CHECK(shard_size_ > 0, "shard size must be positive");
+
+  clients_.resize(config.num_clients);
+  switch (config.kind) {
+    case PartitionKind::kShards:
+      build_shards(spec, config, rng);
+      break;
+    case PartitionKind::kDirichlet:
+      build_dirichlet(spec, config, rng);
+      break;
+  }
+  finalize_labels();
+}
+
+void ShardPartitioner::build_shards(const DatasetSpec& spec, const PartitionConfig& config,
+                                    Rng& rng) {
+  const std::size_t total_shards = config.num_clients * config.shards_per_client;
+  const std::size_t total_examples = total_shards * shard_size_;
+  // Balanced pool: every class contributes ⌈total/num_classes⌉ examples; the
+  // label-sorted sequence is then cut into equal shards.
+  pool_per_class_ = (total_examples + spec.num_classes - 1) / spec.num_classes;
+
+  std::vector<ExampleRef> pool;
+  pool.reserve(pool_per_class_ * spec.num_classes);
+  for (std::size_t label = 0; label < spec.num_classes; ++label) {
+    for (std::size_t i = 0; i < pool_per_class_; ++i) {
+      pool.push_back({static_cast<std::int32_t>(label), static_cast<std::uint32_t>(i)});
+    }
+  }
+  // pool is label-sorted by construction. Cut into shards and deal randomly.
+  std::vector<std::size_t> shard_order(total_shards);
+  for (std::size_t s = 0; s < total_shards; ++s) shard_order[s] = s;
+  Rng shard_rng = rng.split("shard-deal");
+  shard_rng.shuffle(shard_order);
+
+  for (std::size_t k = 0; k < config.num_clients; ++k) {
+    ClientShards& cs = clients_[k];
+    for (std::size_t j = 0; j < config.shards_per_client; ++j) {
+      const std::size_t shard = shard_order[k * config.shards_per_client + j];
+      const std::size_t begin = shard * shard_size_;
+      for (std::size_t i = 0; i < shard_size_; ++i) {
+        SUBFEDAVG_CHECK(begin + i < pool.size(), "shard overruns pool");
+        cs.examples.push_back(pool[begin + i]);
+      }
+    }
+  }
+}
+
+void ShardPartitioner::build_dirichlet(const DatasetSpec& spec,
+                                       const PartitionConfig& config, Rng& rng) {
+  SUBFEDAVG_CHECK(config.dirichlet_alpha > 0.0,
+                  "dirichlet alpha " << config.dirichlet_alpha);
+  // Same per-client example budget as the shard split.
+  const std::size_t per_client = config.shards_per_client * shard_size_;
+
+  // Per-class generator cursors: each class hands out fresh pool indices, so
+  // no example is assigned twice across the federation.
+  std::vector<std::uint32_t> cursor(spec.num_classes, 0);
+  std::size_t max_index = 0;
+
+  for (std::size_t k = 0; k < config.num_clients; ++k) {
+    Rng client_rng = rng.split("dirichlet", k);
+    // Mixture over classes ~ Dir(α·1).
+    std::vector<double> weights(spec.num_classes);
+    double total = 0.0;
+    for (double& w : weights) {
+      w = sample_gamma(client_rng, config.dirichlet_alpha);
+      total += w;
+    }
+    SUBFEDAVG_CHECK(total > 0.0, "degenerate Dirichlet draw");
+
+    // Largest-remainder apportionment of the client's budget.
+    std::vector<std::size_t> counts(spec.num_classes, 0);
+    std::vector<std::pair<double, std::size_t>> remainders;
+    std::size_t assigned = 0;
+    for (std::size_t c = 0; c < spec.num_classes; ++c) {
+      const double share = per_client * weights[c] / total;
+      counts[c] = static_cast<std::size_t>(std::floor(share));
+      assigned += counts[c];
+      remainders.emplace_back(share - std::floor(share), c);
+    }
+    std::sort(remainders.rbegin(), remainders.rend());
+    for (std::size_t i = 0; assigned < per_client; ++i, ++assigned) {
+      ++counts[remainders[i % remainders.size()].second];
+    }
+
+    ClientShards& cs = clients_[k];
+    for (std::size_t c = 0; c < spec.num_classes; ++c) {
+      for (std::size_t i = 0; i < counts[c]; ++i) {
+        cs.examples.push_back({static_cast<std::int32_t>(c), cursor[c]});
+        max_index = std::max<std::size_t>(max_index, cursor[c]);
+        ++cursor[c];
+      }
+    }
+  }
+  pool_per_class_ = max_index + 1;
+}
+
+void ShardPartitioner::finalize_labels() {
+  for (ClientShards& cs : clients_) {
+    for (const ExampleRef& ref : cs.examples) {
+      if (std::find(cs.labels_present.begin(), cs.labels_present.end(), ref.label) ==
+          cs.labels_present.end()) {
+        cs.labels_present.push_back(ref.label);
+      }
+    }
+    std::sort(cs.labels_present.begin(), cs.labels_present.end());
+  }
+}
+
+const ClientShards& ShardPartitioner::client(std::size_t k) const {
+  SUBFEDAVG_CHECK(k < clients_.size(), "client " << k << " out of " << clients_.size());
+  return clients_[k];
+}
+
+}  // namespace subfed

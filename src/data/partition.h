@@ -1,0 +1,72 @@
+// The paper's pathological non-IID partition (§4.1):
+// "we partition all the training dataset into shards of 250 examples (125
+//  for CIFAR-100) and randomly assign two shards to each client."
+//
+// The training pool is sorted by label, cut into fixed-size shards, and each
+// client receives `shards_per_client` random shards — so a client typically
+// holds only 1–2 distinct labels. This is the standard McMahan-style
+// pathological split and is what makes FedAvg underperform Standalone here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace subfed {
+
+/// A (label, pool index) reference into the virtual synthetic dataset.
+struct ExampleRef {
+  std::int32_t label = 0;
+  std::uint32_t index = 0;  ///< index within that label's train pool
+};
+
+/// How client data is split. kShards is the paper's pathological split;
+/// kDirichlet draws per-client class mixtures from Dir(α) — the standard
+/// tunable-heterogeneity alternative (α → 0 approaches pathological, α → ∞
+/// approaches IID).
+enum class PartitionKind { kShards, kDirichlet };
+
+struct PartitionConfig {
+  std::size_t num_clients = 100;
+  std::size_t shards_per_client = 2;
+  /// Shard size; 0 → use the dataset's paper value (250 / 125).
+  std::size_t shard_size = 0;
+  PartitionKind kind = PartitionKind::kShards;
+  /// Dirichlet concentration (kDirichlet only).
+  double dirichlet_alpha = 0.5;
+};
+
+/// The shard assignment for one client.
+struct ClientShards {
+  std::vector<ExampleRef> examples;        ///< union of the client's shards
+  std::vector<std::int32_t> labels_present; ///< distinct labels, ascending
+};
+
+/// Sorted-by-label shard partition over a synthetic pool with exactly enough
+/// examples to fill num_clients × shards_per_client shards (balanced across
+/// classes, remainder spread over the first classes). When
+/// config.kind == kDirichlet, the same per-client example budget is instead
+/// allocated by per-client class mixtures drawn from Dir(α).
+class ShardPartitioner {
+ public:
+  ShardPartitioner(const DatasetSpec& spec, PartitionConfig config, Rng rng);
+
+  std::size_t num_clients() const noexcept { return clients_.size(); }
+  const ClientShards& client(std::size_t k) const;
+  /// Examples per label in the virtual train pool.
+  std::size_t pool_per_class() const noexcept { return pool_per_class_; }
+  std::size_t shard_size() const noexcept { return shard_size_; }
+
+ private:
+  void build_shards(const DatasetSpec& spec, const PartitionConfig& config, Rng& rng);
+  void build_dirichlet(const DatasetSpec& spec, const PartitionConfig& config, Rng& rng);
+  void finalize_labels();
+
+  std::vector<ClientShards> clients_;
+  std::size_t pool_per_class_ = 0;
+  std::size_t shard_size_ = 0;
+};
+
+}  // namespace subfed

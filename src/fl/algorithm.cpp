@@ -1,0 +1,33 @@
+#include "fl/algorithm.h"
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace subfed {
+
+FederatedAlgorithm::FederatedAlgorithm(FlContext ctx) : ctx_(ctx) {
+  SUBFEDAVG_CHECK(ctx_.data != nullptr, "FlContext.data is null");
+  Rng init_rng = Rng(ctx_.seed).split("global-init");
+  Model initial = ctx_.spec.build_init(init_rng);
+  initial_state_ = initial.state();
+}
+
+Rng FederatedAlgorithm::client_round_rng(std::size_t client, std::size_t round) const {
+  return Rng(ctx_.seed).split("client-round", client * 1000003ULL + round);
+}
+
+std::vector<double> FederatedAlgorithm::all_test_accuracies() {
+  std::vector<double> acc(num_clients());
+  ThreadPool::global().parallel_for(num_clients(),
+                                    [&](std::size_t k) { acc[k] = client_test_accuracy(k); });
+  return acc;
+}
+
+double FederatedAlgorithm::average_test_accuracy() {
+  const std::vector<double> acc = all_test_accuracies();
+  double sum = 0.0;
+  for (const double a : acc) sum += a;
+  return acc.empty() ? 0.0 : sum / static_cast<double>(acc.size());
+}
+
+}  // namespace subfed

@@ -1,0 +1,77 @@
+// Federated-algorithm interface and shared context.
+//
+// Every algorithm (the paper's Sub-FedAvg variants and the Table-1 baselines)
+// implements the same round/evaluate contract so the driver, benches and
+// examples treat them interchangeably. Accuracy is always *personalized*:
+// client k's model is scored on the global test pool filtered to k's labels
+// (paper §4.1) — for global-model methods that means scoring the single
+// global model per-client.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/ledger.h"
+#include "data/client_data.h"
+#include "nn/model_zoo.h"
+#include "nn/trainer.h"
+#include "util/rng.h"
+
+namespace subfed {
+
+/// Everything an algorithm needs to run: the federation's data, the shared
+/// architecture, and the paper's local-training hyper-parameters.
+struct FlContext {
+  const FederatedData* data = nullptr;
+  ModelSpec spec;
+  TrainConfig train{};  ///< 5 local epochs, batch 10 (§4.1)
+  SgdConfig sgd{};      ///< lr 0.01, momentum 0.5 (§4.1)
+  std::uint64_t seed = 1;
+};
+
+class FederatedAlgorithm {
+ public:
+  explicit FederatedAlgorithm(FlContext ctx);
+  virtual ~FederatedAlgorithm() = default;
+
+  FederatedAlgorithm(const FederatedAlgorithm&) = delete;
+  FederatedAlgorithm& operator=(const FederatedAlgorithm&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Executes one communication round over the sampled client indices.
+  /// Implementations train sampled clients in parallel and record traffic.
+  virtual void run_round(std::size_t round, std::span<const std::size_t> sampled) = 0;
+
+  /// Personalized test accuracy of client k under this algorithm's current
+  /// model(s). Must be safe to call concurrently for distinct k.
+  virtual double client_test_accuracy(std::size_t k) = 0;
+
+  std::size_t num_clients() const noexcept { return ctx_.data->num_clients(); }
+  const FlContext& context() const noexcept { return ctx_; }
+  const CommLedger& ledger() const noexcept { return ledger_; }
+
+  /// Mean personalized accuracy over ALL clients (evaluated in parallel).
+  double average_test_accuracy();
+  /// Per-client personalized accuracies.
+  std::vector<double> all_test_accuracies();
+
+ protected:
+  /// The shared initial model state θ_0 every algorithm starts from — derived
+  /// only from the seed so different algorithms are comparable run-to-run.
+  const StateDict& initial_state() const noexcept { return initial_state_; }
+
+  /// Deterministic per-(client, round) RNG stream.
+  Rng client_round_rng(std::size_t client, std::size_t round) const;
+
+  FlContext ctx_;
+  CommLedger ledger_;
+
+ private:
+  StateDict initial_state_;
+};
+
+}  // namespace subfed

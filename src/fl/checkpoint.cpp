@@ -1,0 +1,148 @@
+#include "fl/checkpoint.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "comm/serialize.h"
+#include "util/check.h"
+
+namespace subfed {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53464350;  // "SFCP"
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_blob(std::vector<std::uint8_t>& out, const std::vector<std::uint8_t>& blob) {
+  put_u32(out, static_cast<std::uint32_t>(blob.size()));
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() {
+    SUBFEDAVG_CHECK(pos_ + 4 <= bytes_.size(), "truncated checkpoint");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint8_t u8() {
+    SUBFEDAVG_CHECK(pos_ < bytes_.size(), "truncated checkpoint");
+    return bytes_[pos_++];
+  }
+
+  std::vector<std::uint8_t> blob() {
+    const std::uint32_t n = u32();
+    SUBFEDAVG_CHECK(pos_ + n <= bytes_.size(), "truncated checkpoint blob");
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  bool done() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// ModelMask ↔ StateDict bridging so masks reuse the tensor wire format.
+StateDict mask_to_state(const ModelMask& mask) {
+  StateDict state;
+  for (const auto& [name, tensor] : mask) state.add(name, tensor);
+  return state;
+}
+
+ModelMask state_to_mask(const StateDict& state) {
+  ModelMask mask;
+  for (const auto& [name, tensor] : state) mask.set(name, tensor);
+  return mask;
+}
+
+std::vector<std::uint8_t> channel_mask_bytes(const ChannelMask& mask) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, static_cast<std::uint32_t>(mask.num_blocks()));
+  for (std::size_t b = 0; b < mask.num_blocks(); ++b) {
+    put_u32(out, static_cast<std::uint32_t>(mask.block(b).size()));
+    out.insert(out.end(), mask.block(b).begin(), mask.block(b).end());
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_subfedavg_checkpoint(SubFedAvg& algorithm, const std::string& path) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_blob(out, encode_update(algorithm.global_state(), nullptr));
+  put_u32(out, static_cast<std::uint32_t>(algorithm.num_clients()));
+  for (std::size_t k = 0; k < algorithm.num_clients(); ++k) {
+    SubFedAvgClient& client = algorithm.client(k);
+    put_blob(out, encode_update(client.personal_state(), nullptr));
+    put_blob(out, encode_update(mask_to_state(client.weight_mask()), nullptr));
+    put_blob(out, channel_mask_bytes(client.channel_mask()));
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  SUBFEDAVG_CHECK(f != nullptr, "cannot open checkpoint for writing: " << path);
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  SUBFEDAVG_CHECK(written == out.size(), "short checkpoint write: " << path);
+}
+
+void load_subfedavg_checkpoint(SubFedAvg& algorithm, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  SUBFEDAVG_CHECK(f != nullptr, "cannot open checkpoint: " << path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  const std::size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  SUBFEDAVG_CHECK(read == bytes.size(), "short checkpoint read: " << path);
+
+  Reader reader(bytes);
+  SUBFEDAVG_CHECK(reader.u32() == kMagic, "bad checkpoint magic");
+  SUBFEDAVG_CHECK(reader.u32() == kVersion, "unsupported checkpoint version");
+
+  algorithm.set_global_state(decode_update(reader.blob()));
+  const std::uint32_t clients = reader.u32();
+  SUBFEDAVG_CHECK(clients == algorithm.num_clients(),
+                  "checkpoint has " << clients << " clients, federation has "
+                                    << algorithm.num_clients());
+  for (std::uint32_t k = 0; k < clients; ++k) {
+    StateDict personal = decode_update(reader.blob());
+    ModelMask weight_mask = state_to_mask(decode_update(reader.blob()));
+
+    const std::vector<std::uint8_t> cm_bytes = reader.blob();
+    Reader cm(cm_bytes);
+    const std::uint32_t blocks = cm.u32();
+    // Start from the client's current mask to get the right block sizes.
+    ChannelMask channel_mask = algorithm.client(k).channel_mask();
+    SUBFEDAVG_CHECK(blocks == channel_mask.num_blocks(), "channel mask block count");
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      const std::uint32_t block_size = cm.u32();
+      SUBFEDAVG_CHECK(block_size == channel_mask.block(b).size(),
+                      "channel mask block size");
+      for (std::uint32_t c = 0; c < block_size; ++c) {
+        channel_mask.block(b)[c] = cm.u8();
+      }
+    }
+    SUBFEDAVG_CHECK(cm.done(), "trailing channel-mask bytes");
+    algorithm.client(k).restore(std::move(personal), std::move(weight_mask),
+                                std::move(channel_mask));
+  }
+  SUBFEDAVG_CHECK(reader.done(), "trailing bytes in checkpoint");
+}
+
+}  // namespace subfed

@@ -1,0 +1,30 @@
+// Federation checkpointing.
+//
+// Paper-scale runs (100 clients × 300-500 rounds) take hours on CPU; the
+// checkpoint captures everything a Sub-FedAvg federation needs to resume:
+// the server's global state plus every client's personal model, unstructured
+// mask, and channel mask. Pruned fractions are re-derived from the masks on
+// load. The communication ledger is intentionally NOT persisted — resumed
+// runs account their own traffic.
+//
+// The file reuses the comm/serialize wire format for tensors, wrapped in a
+// small versioned container, so a checkpoint is readable by any build that
+// can decode an update.
+#pragma once
+
+#include <string>
+
+#include "fl/subfedavg.h"
+
+namespace subfed {
+
+/// Writes the federation's full state to `path` (overwrites).
+/// Throws CheckError on I/O failure.
+void save_subfedavg_checkpoint(SubFedAvg& algorithm, const std::string& path);
+
+/// Restores state saved by save_subfedavg_checkpoint into an algorithm built
+/// with the SAME data/spec/config. Throws CheckError on mismatch or corrupt
+/// input.
+void load_subfedavg_checkpoint(SubFedAvg& algorithm, const std::string& path);
+
+}  // namespace subfed

@@ -1,0 +1,74 @@
+#include "fl/driver.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace subfed {
+
+std::size_t RunResult::rounds_to_reach(double threshold) const noexcept {
+  for (const RoundPoint& p : curve) {
+    if (p.avg_accuracy >= threshold) return p.round;
+  }
+  return 0;
+}
+
+RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& config) {
+  SUBFEDAVG_CHECK(config.rounds > 0, "need at least one round");
+  SUBFEDAVG_CHECK(config.sample_rate > 0.0 && config.sample_rate <= 1.0,
+                  "sample rate " << config.sample_rate);
+
+  const std::size_t n = algorithm.num_clients();
+  const std::size_t per_round = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.sample_rate * static_cast<double>(n)));
+
+  Rng sample_rng = Rng(config.seed).split("client-sampling");
+  Rng dropout_rng = Rng(config.seed).split("client-dropout");
+  RunResult result;
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    std::vector<std::size_t> sampled =
+        sample_rng.sample_without_replacement(n, per_round);
+
+    if (config.dropout_prob > 0.0) {
+      std::vector<std::size_t> alive;
+      for (const std::size_t k : sampled) {
+        if (dropout_rng.bernoulli(config.dropout_prob)) {
+          ++result.dropped_clients;
+        } else {
+          alive.push_back(k);
+        }
+      }
+      sampled = std::move(alive);
+      if (sampled.empty()) {
+        // Nobody reported back; the server waits for the next round.
+        ++result.skipped_rounds;
+        continue;
+      }
+    }
+    algorithm.run_round(round, sampled);
+
+    const bool last = (round + 1 == config.rounds);
+    const bool checkpoint =
+        config.eval_every > 0 && ((round + 1) % config.eval_every == 0);
+    if (last || checkpoint) {
+      const double avg = algorithm.average_test_accuracy();
+      result.curve.push_back({round + 1, avg});
+      SUBFEDAVG_LOG(kInfo) << algorithm.name() << " round " << (round + 1) << "/"
+                           << config.rounds << " avg personalized acc = " << avg;
+    }
+  }
+
+  result.final_per_client = algorithm.all_test_accuracies();
+  result.final_avg_accuracy = 0.0;
+  for (const double a : result.final_per_client) result.final_avg_accuracy += a;
+  if (!result.final_per_client.empty()) {
+    result.final_avg_accuracy /= static_cast<double>(result.final_per_client.size());
+  }
+  result.up_bytes = algorithm.ledger().total_up();
+  result.down_bytes = algorithm.ledger().total_down();
+  return result;
+}
+
+}  // namespace subfed

@@ -1,0 +1,48 @@
+// Federation driver: the synchronized round loop of §3.4 —
+// sample clients, run the algorithm's round, periodically evaluate the
+// personalized accuracy of every client.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/algorithm.h"
+#include "metrics/stats.h"
+
+namespace subfed {
+
+struct DriverConfig {
+  std::size_t rounds = 50;
+  double sample_rate = 0.1;   ///< K; sampled count = max(1, ⌊K·N⌋)
+  std::size_t eval_every = 0; ///< 0 → evaluate only after the last round
+  std::uint64_t seed = 1;     ///< sampling stream seed
+  /// Availability fault injection (paper §1.1 lists client availability as a
+  /// practical FL issue): each sampled client independently drops out of the
+  /// round with this probability. A round where everyone drops is skipped.
+  double dropout_prob = 0.0;
+};
+
+struct RoundPoint {
+  std::size_t round = 0;       ///< 1-based round index at evaluation time
+  double avg_accuracy = 0.0;   ///< mean personalized accuracy over all clients
+};
+
+struct RunResult {
+  std::vector<RoundPoint> curve;            ///< eval checkpoints (incl. final)
+  double final_avg_accuracy = 0.0;
+  std::vector<double> final_per_client;
+  std::uint64_t up_bytes = 0;
+  std::uint64_t down_bytes = 0;
+  std::size_t dropped_clients = 0;          ///< fault-injection casualties
+  std::size_t skipped_rounds = 0;           ///< rounds where everyone dropped
+
+  std::uint64_t total_bytes() const noexcept { return up_bytes + down_bytes; }
+  /// First evaluated round whose average accuracy reaches `threshold`;
+  /// returns 0 when never reached (for Fig. 3's rounds-to-target).
+  std::size_t rounds_to_reach(double threshold) const noexcept;
+};
+
+/// Runs `config.rounds` federation rounds of `algorithm`.
+RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& config);
+
+}  // namespace subfed

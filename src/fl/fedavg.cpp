@@ -1,0 +1,64 @@
+#include "fl/fedavg.h"
+
+#include "comm/serialize.h"
+#include "util/thread_pool.h"
+
+namespace subfed {
+
+FedAvg::FedAvg(FlContext ctx) : FederatedAlgorithm(std::move(ctx)) {
+  global_ = initial_state();
+}
+
+void FedAvg::run_round(std::size_t round, std::span<const std::size_t> sampled) {
+  std::vector<ClientUpdate> updates(sampled.size());
+  std::vector<std::size_t> up_bytes(sampled.size()), down_bytes(sampled.size());
+
+  ThreadPool::global().parallel_for(sampled.size(), [&](std::size_t i) {
+    const std::size_t k = sampled[i];
+    const ClientData& data = ctx_.data->client(k);
+    Model model = ctx_.spec.build();
+    model.load_state(global_);
+    down_bytes[i] = payload_bytes(global_, nullptr);
+
+    Sgd optimizer(model.parameters(), ctx_.sgd);
+    Rng rng = client_round_rng(k, round);
+    train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng,
+                {}, make_grad_hook());
+
+    updates[i].state = model.state();
+    updates[i].num_examples = data.train_labels.size();
+    up_bytes[i] = payload_bytes(updates[i].state, nullptr);
+  });
+
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    ledger_.record(round, up_bytes[i], down_bytes[i]);
+  }
+  global_ = fedavg_aggregate(updates);
+}
+
+double FedAvg::client_test_accuracy(std::size_t k) {
+  const ClientData& data = ctx_.data->client(k);
+  Model model = ctx_.spec.build();
+  model.load_state(global_);
+  return evaluate(model, data.test_images, data.test_labels).accuracy;
+}
+
+FedProx::FedProx(FlContext ctx, double mu) : FedAvg(std::move(ctx)), mu_(mu) {}
+
+GradHook FedProx::make_grad_hook() {
+  // Capture the round's global snapshot by value so the hook stays valid
+  // while global_ is being replaced by aggregation.
+  const float mu = static_cast<float>(mu_);
+  StateDict anchor = global_;
+  return [mu, anchor = std::move(anchor)](Model& model) {
+    for (Parameter* p : model.parameters()) {
+      const Tensor* g = anchor.find(p->name);
+      if (g == nullptr) continue;
+      // grad += μ(w − w_global)
+      p->grad.axpy_(mu, p->value);
+      p->grad.axpy_(-mu, *g);
+    }
+  };
+}
+
+}  // namespace subfed

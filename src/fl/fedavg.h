@@ -1,0 +1,42 @@
+// FedAvg (McMahan et al. 2017) and FedProx (Li et al. 2018) baselines.
+//
+// FedProx is FedAvg plus a proximal pull μ(w − w_global) added to every
+// gradient step, implemented through the trainer's grad hook.
+#pragma once
+
+#include "core/aggregate.h"
+#include "fl/algorithm.h"
+
+namespace subfed {
+
+class FedAvg : public FederatedAlgorithm {
+ public:
+  explicit FedAvg(FlContext ctx);
+
+  std::string name() const override { return "FedAvg"; }
+  void run_round(std::size_t round, std::span<const std::size_t> sampled) override;
+  double client_test_accuracy(std::size_t k) override;
+
+  const StateDict& global_state() const noexcept { return global_; }
+
+ protected:
+  /// Per-client gradient hook; base FedAvg uses none.
+  virtual GradHook make_grad_hook() { return {}; }
+
+  StateDict global_;
+};
+
+class FedProx final : public FedAvg {
+ public:
+  FedProx(FlContext ctx, double mu);
+
+  std::string name() const override { return "FedProx"; }
+
+ protected:
+  GradHook make_grad_hook() override;
+
+ private:
+  double mu_;
+};
+
+}  // namespace subfed

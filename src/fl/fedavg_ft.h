@@ -1,0 +1,36 @@
+// FedAvg + local fine-tuning: the classic two-step personalization the paper
+// argues against (§2: "two separate steps where a global model is constituted
+// collaboratively in the first step, and then the global model is
+// personalized for each client ... These two steps might add extra
+// computational overhead").
+//
+// Federated rounds are plain FedAvg; at evaluation time each client takes the
+// current global model and fine-tunes it on its local data for
+// `finetune_epochs` before being scored. The fine-tuning cost is surfaced via
+// extra_finetune_steps() so benches can report the overhead the paper points
+// at.
+#pragma once
+
+#include <atomic>
+
+#include "fl/fedavg.h"
+
+namespace subfed {
+
+class FedAvgFinetune final : public FedAvg {
+ public:
+  FedAvgFinetune(FlContext ctx, std::size_t finetune_epochs);
+
+  std::string name() const override { return "FedAvg+FT"; }
+  double client_test_accuracy(std::size_t k) override;
+
+  /// Total local fine-tuning optimizer steps spent on evaluation so far —
+  /// the "extra computational overhead" of two-step personalization.
+  std::size_t extra_finetune_steps() const noexcept { return finetune_steps_.load(); }
+
+ private:
+  std::size_t finetune_epochs_;
+  std::atomic<std::size_t> finetune_steps_{0};
+};
+
+}  // namespace subfed

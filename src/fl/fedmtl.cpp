@@ -1,0 +1,73 @@
+#include "fl/fedmtl.h"
+
+#include "comm/serialize.h"
+#include "util/thread_pool.h"
+
+namespace subfed {
+
+FedMtl::FedMtl(FlContext ctx, double lambda)
+    : FederatedAlgorithm(std::move(ctx)), lambda_(lambda) {
+  personal_.assign(num_clients(), initial_state());
+  mean_ = initial_state();
+}
+
+void FedMtl::recompute_mean() {
+  StateDict next = personal_.front();
+  for (std::size_t e = 0; e < next.size(); ++e) {
+    Tensor& acc = next[e].second;
+    for (std::size_t k = 1; k < personal_.size(); ++k) {
+      acc.add_(personal_[k][e].second);
+    }
+    acc.scale_(1.0f / static_cast<float>(personal_.size()));
+  }
+  mean_ = std::move(next);
+}
+
+void FedMtl::run_round(std::size_t round, std::span<const std::size_t> sampled) {
+  std::vector<std::size_t> up_bytes(sampled.size()), down_bytes(sampled.size());
+  const float lambda = static_cast<float>(lambda_);
+
+  // Snapshot the mean so all sampled clients this round see the same anchor.
+  const StateDict anchor = mean_;
+
+  ThreadPool::global().parallel_for(sampled.size(), [&](std::size_t i) {
+    const std::size_t k = sampled[i];
+    const ClientData& data = ctx_.data->client(k);
+    Model model = ctx_.spec.build();
+    model.load_state(personal_[k]);
+
+    // Task-relationship pull toward the federation mean.
+    auto hook = [lambda, &anchor](Model& m) {
+      for (Parameter* p : m.parameters()) {
+        const Tensor* g = anchor.find(p->name);
+        if (g == nullptr) continue;
+        p->grad.axpy_(lambda, p->value);
+        p->grad.axpy_(-lambda, *g);
+      }
+    };
+
+    Sgd optimizer(model.parameters(), ctx_.sgd);
+    Rng rng = client_round_rng(k, round);
+    train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng,
+                {}, hook);
+    personal_[k] = model.state();
+
+    // Model + dual/relationship state in each direction (2× a dense model).
+    up_bytes[i] = 2 * payload_bytes(personal_[k], nullptr);
+    down_bytes[i] = 2 * payload_bytes(anchor, nullptr);
+  });
+
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    ledger_.record(round, up_bytes[i], down_bytes[i]);
+  }
+  recompute_mean();
+}
+
+double FedMtl::client_test_accuracy(std::size_t k) {
+  const ClientData& data = ctx_.data->client(k);
+  Model model = ctx_.spec.build();
+  model.load_state(personal_[k]);
+  return evaluate(model, data.test_images, data.test_labels).accuracy;
+}
+
+}  // namespace subfed

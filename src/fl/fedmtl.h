@@ -1,0 +1,33 @@
+// Federated multi-task learning baseline (Smith et al. 2017, MOCHA).
+//
+// MOCHA's primal-dual solver targets convex models; for the paper's CNNs we
+// use the standard non-convex MTL surrogate (as in the pFedMe/Ditto line of
+// work): each client k keeps a personal model w_k and every local gradient
+// step is pulled toward the federation mean w̄ by a task-relationship term
+// λ(w_k − w̄). Clients additionally exchange dual/relationship state, which
+// is what makes MTL the most communication-hungry row of Table 1 — modeled
+// here as one extra model-sized payload per direction per round.
+// (Substitution documented in DESIGN.md §1.)
+#pragma once
+
+#include "fl/algorithm.h"
+
+namespace subfed {
+
+class FedMtl final : public FederatedAlgorithm {
+ public:
+  FedMtl(FlContext ctx, double lambda);
+
+  std::string name() const override { return "MTL"; }
+  void run_round(std::size_t round, std::span<const std::size_t> sampled) override;
+  double client_test_accuracy(std::size_t k) override;
+
+ private:
+  void recompute_mean();
+
+  double lambda_;
+  std::vector<StateDict> personal_;
+  StateDict mean_;  ///< federation mean w̄ over all clients
+};
+
+}  // namespace subfed

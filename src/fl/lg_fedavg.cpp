@@ -1,0 +1,76 @@
+#include "fl/lg_fedavg.h"
+
+#include "comm/serialize.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace subfed {
+
+bool LgFedAvg::is_global_entry(const std::string& name) {
+  return name.rfind("fc", 0) == 0;  // fc1.weight, fc2.bias, ...
+}
+
+namespace {
+
+StateDict extract_head(const StateDict& full) {
+  StateDict head;
+  for (const auto& [name, tensor] : full) {
+    if (LgFedAvg::is_global_entry(name)) head.add(name, tensor);
+  }
+  return head;
+}
+
+}  // namespace
+
+LgFedAvg::LgFedAvg(FlContext ctx) : FederatedAlgorithm(std::move(ctx)) {
+  personal_.assign(num_clients(), initial_state());
+  global_head_ = extract_head(initial_state());
+  SUBFEDAVG_CHECK(!global_head_.empty(), "model has no FC head to federate");
+}
+
+void LgFedAvg::merge_head(StateDict& state) const {
+  for (auto& [name, tensor] : state) {
+    if (const Tensor* g = global_head_.find(name)) tensor = *g;
+  }
+}
+
+void LgFedAvg::run_round(std::size_t round, std::span<const std::size_t> sampled) {
+  std::vector<ClientUpdate> updates(sampled.size());
+  std::vector<std::size_t> up_bytes(sampled.size()), down_bytes(sampled.size());
+
+  ThreadPool::global().parallel_for(sampled.size(), [&](std::size_t i) {
+    const std::size_t k = sampled[i];
+    const ClientData& data = ctx_.data->client(k);
+
+    StateDict start = personal_[k];
+    merge_head(start);
+    down_bytes[i] = payload_bytes(global_head_, nullptr);
+
+    Model model = ctx_.spec.build();
+    model.load_state(start);
+    Sgd optimizer(model.parameters(), ctx_.sgd);
+    Rng rng = client_round_rng(k, round);
+    train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng);
+
+    personal_[k] = model.state();
+    updates[i].state = extract_head(personal_[k]);
+    updates[i].num_examples = data.train_labels.size();
+    up_bytes[i] = payload_bytes(updates[i].state, nullptr);
+  });
+
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    ledger_.record(round, up_bytes[i], down_bytes[i]);
+  }
+  global_head_ = fedavg_aggregate(updates);
+}
+
+double LgFedAvg::client_test_accuracy(std::size_t k) {
+  const ClientData& data = ctx_.data->client(k);
+  StateDict state = personal_[k];
+  merge_head(state);
+  Model model = ctx_.spec.build();
+  model.load_state(state);
+  return evaluate(model, data.test_images, data.test_labels).accuracy;
+}
+
+}  // namespace subfed

@@ -1,0 +1,57 @@
+#include "fl/robust.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace subfed {
+
+void corrupt_update(ClientUpdate& update, const CorruptionConfig& config, Rng& rng) {
+  for (auto& [name, tensor] : update.state) {
+    tensor.fill_normal(rng, 0.0f, config.noise_stddev);
+  }
+}
+
+double update_distance(const ClientUpdate& update, const StateDict& reference) {
+  SUBFEDAVG_CHECK(update.state.size() == reference.size(), "state arity mismatch");
+  double total = 0.0;
+  for (std::size_t e = 0; e < reference.size(); ++e) {
+    const Tensor& a = update.state[e].second;
+    const Tensor& b = reference[e].second;
+    SUBFEDAVG_CHECK(a.numel() == b.numel(), "entry size mismatch at " << e);
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+      const double d = static_cast<double>(a[i]) - b[i];
+      total += d * d;
+    }
+  }
+  return std::sqrt(total);
+}
+
+std::vector<std::size_t> filter_updates_by_norm(std::span<const ClientUpdate> updates,
+                                                const StateDict& previous_global,
+                                                double filter_factor) {
+  SUBFEDAVG_CHECK(filter_factor > 0.0, "filter factor must be positive");
+  std::vector<std::size_t> all(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) all[i] = i;
+  if (updates.size() < 3) return all;
+
+  std::vector<double> distances(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    distances[i] = update_distance(updates[i], previous_global);
+  }
+  std::vector<double> sorted = distances;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size() / 2),
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+
+  std::vector<std::size_t> passed;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (distances[i] <= filter_factor * median) passed.push_back(i);
+  }
+  // Degenerate cohort (e.g. median 0): keep everyone rather than nobody.
+  if (passed.empty()) return all;
+  return passed;
+}
+
+}  // namespace subfed

@@ -1,0 +1,41 @@
+// Corrupted-update injection and a server-side defense.
+//
+// The paper lists "corrupted updates by the clients" among the practical FL
+// issues outside its scope (§1.1). This module makes the threat concrete for
+// the simulator: a configurable fraction of uploads is replaced by noise
+// (crashed/byzantine devices), and the server may screen updates before
+// aggregation with a norm-based outlier filter — updates whose distance from
+// the previous global exceeds `filter_factor` × the median distance of the
+// cohort are discarded.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "util/rng.h"
+
+namespace subfed {
+
+struct CorruptionConfig {
+  double probability = 0.0;   ///< chance an upload is corrupted
+  float noise_stddev = 1.0f;  ///< N(0, σ) replacing every tensor entry
+};
+
+/// Replaces `update`'s state values with Gaussian noise (mask/coverage and
+/// example counts untouched — the corruption is in the payload, not the
+/// metadata).
+void corrupt_update(ClientUpdate& update, const CorruptionConfig& config, Rng& rng);
+
+/// L2 distance between an update's state and a reference state.
+double update_distance(const ClientUpdate& update, const StateDict& reference);
+
+/// Returns the indices of updates that PASS the median-distance filter:
+/// d_k ≤ filter_factor × median(d). With fewer than 3 updates everything
+/// passes (no meaningful median).
+std::vector<std::size_t> filter_updates_by_norm(std::span<const ClientUpdate> updates,
+                                                const StateDict& previous_global,
+                                                double filter_factor);
+
+}  // namespace subfed

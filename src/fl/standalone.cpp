@@ -1,0 +1,32 @@
+#include "fl/standalone.h"
+
+#include "util/thread_pool.h"
+
+namespace subfed {
+
+Standalone::Standalone(FlContext ctx) : FederatedAlgorithm(std::move(ctx)) {
+  personal_.assign(num_clients(), initial_state());
+}
+
+void Standalone::run_round(std::size_t round, std::span<const std::size_t> sampled) {
+  ThreadPool::global().parallel_for(sampled.size(), [&](std::size_t i) {
+    const std::size_t k = sampled[i];
+    const ClientData& data = ctx_.data->client(k);
+    Model model = ctx_.spec.build();
+    model.load_state(personal_[k]);
+    Sgd optimizer(model.parameters(), ctx_.sgd);
+    Rng rng = client_round_rng(k, round);
+    train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng);
+    personal_[k] = model.state();
+  });
+  // No traffic: standalone never talks to a server.
+}
+
+double Standalone::client_test_accuracy(std::size_t k) {
+  const ClientData& data = ctx_.data->client(k);
+  Model model = ctx_.spec.build();
+  model.load_state(personal_[k]);
+  return evaluate(model, data.test_images, data.test_labels).accuracy;
+}
+
+}  // namespace subfed

@@ -1,0 +1,22 @@
+// Standalone benchmark: every client trains only on its own local data —
+// no federation, no communication. The paper's lower (sometimes upper!)
+// reference under pathological non-IID (§4.2, Remark-2).
+#pragma once
+
+#include "fl/algorithm.h"
+
+namespace subfed {
+
+class Standalone final : public FederatedAlgorithm {
+ public:
+  explicit Standalone(FlContext ctx);
+
+  std::string name() const override { return "Standalone"; }
+  void run_round(std::size_t round, std::span<const std::size_t> sampled) override;
+  double client_test_accuracy(std::size_t k) override;
+
+ private:
+  std::vector<StateDict> personal_;  ///< each client's persistent local model
+};
+
+}  // namespace subfed

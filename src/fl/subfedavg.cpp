@@ -1,0 +1,79 @@
+#include "fl/subfedavg.h"
+
+#include "comm/serialize.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace subfed {
+
+SubFedAvg::SubFedAvg(FlContext ctx, SubFedAvgConfig config)
+    : FederatedAlgorithm(std::move(ctx)), config_(config) {
+  config_.train = ctx_.train;
+  config_.sgd = ctx_.sgd;
+  global_ = initial_state();
+
+  clients_.reserve(num_clients());
+  for (std::size_t k = 0; k < num_clients(); ++k) {
+    Rng client_rng = Rng(ctx_.seed).split("subfed-client", k);
+    clients_.push_back(std::make_unique<SubFedAvgClient>(
+        k, ctx_.spec, config_, &ctx_.data->client(k), client_rng));
+    clients_.back()->seed_personal(global_);
+  }
+}
+
+std::string SubFedAvg::name() const {
+  return config_.hybrid ? "Sub-FedAvg (Hy)" : "Sub-FedAvg (Un)";
+}
+
+SubFedAvgClient& SubFedAvg::client(std::size_t k) {
+  SUBFEDAVG_CHECK(k < clients_.size(), "client " << k);
+  return *clients_[k];
+}
+
+void SubFedAvg::run_round(std::size_t round, std::span<const std::size_t> sampled) {
+  std::vector<ClientUpdate> updates(sampled.size());
+  std::vector<std::size_t> up_bytes(sampled.size()), down_bytes(sampled.size());
+
+  ThreadPool::global().parallel_for(sampled.size(), [&](std::size_t i) {
+    const std::size_t k = sampled[i];
+    // Download: the client needs only the entries its pre-round mask keeps.
+    ModelMask pre_mask = clients_[k]->combined_mask();
+    down_bytes[i] = payload_bytes(global_, &pre_mask);
+
+    updates[i] = clients_[k]->run_round(global_, round);
+    up_bytes[i] = payload_bytes(updates[i].state, &updates[i].mask);
+  });
+
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    ledger_.record(round, up_bytes[i], down_bytes[i]);
+  }
+  global_ = strict_ ? sub_fedavg_aggregate_strict(updates, global_)
+                    : sub_fedavg_aggregate(updates, global_);
+}
+
+double SubFedAvg::client_test_accuracy(std::size_t k) {
+  return client(k).evaluate_test().accuracy;
+}
+
+double SubFedAvg::average_unstructured_pruned() const {
+  double sum = 0.0;
+  for (const auto& c : clients_) sum += c->unstructured_pruned();
+  return clients_.empty() ? 0.0 : sum / static_cast<double>(clients_.size());
+}
+
+double SubFedAvg::average_structured_pruned() const {
+  double sum = 0.0;
+  for (const auto& c : clients_) sum += c->structured_pruned();
+  return clients_.empty() ? 0.0 : sum / static_cast<double>(clients_.size());
+}
+
+ReductionReport SubFedAvg::client_reduction(std::size_t k) {
+  SubFedAvgClient& c = client(k);
+  Model model = ctx_.spec.build();
+  model.load_state(c.personal_state());
+  const ChannelMask* channel = config_.hybrid ? &c.channel_mask() : nullptr;
+  const ModelMask& weights = c.weight_mask();
+  return reduction_report(model, channel, &weights);
+}
+
+}  // namespace subfed

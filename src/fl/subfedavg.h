@@ -1,0 +1,52 @@
+// The paper's algorithms as FederatedAlgorithm implementations:
+// Sub-FedAvg (Un) — Algorithm 1 — and Sub-FedAvg (Hy) — Algorithm 2.
+//
+// The server aggregates sampled clients' uploads with per-parameter counting
+// over retained entries (core/aggregate.h) and keeps its previous value for
+// entries no sampled client retained.
+#pragma once
+
+#include <memory>
+
+#include "core/subfedavg_client.h"
+#include "fl/algorithm.h"
+#include "metrics/flops.h"
+
+namespace subfed {
+
+class SubFedAvg final : public FederatedAlgorithm {
+ public:
+  /// `config.hybrid` selects Algorithm 2; otherwise Algorithm 1. The train /
+  /// sgd settings of `ctx` are copied into the client config.
+  SubFedAvg(FlContext ctx, SubFedAvgConfig config);
+
+  std::string name() const override;
+  void run_round(std::size_t round, std::span<const std::size_t> sampled) override;
+  double client_test_accuracy(std::size_t k) override;
+
+  const StateDict& global_state() const noexcept { return global_; }
+  SubFedAvgClient& client(std::size_t k);
+
+  /// Mean committed pruned fractions across clients.
+  double average_unstructured_pruned() const;
+  double average_structured_pruned() const;
+
+  /// FLOP / parameter reduction of client k's current subnetwork.
+  ReductionReport client_reduction(std::size_t k);
+
+  /// Use the strict-intersection aggregation ablation instead of counting.
+  void set_strict_intersection(bool strict) noexcept { strict_ = strict; }
+
+  /// Replaces the server's global state (checkpoint resume).
+  void set_global_state(StateDict state) { global_ = std::move(state); }
+
+  bool hybrid() const noexcept { return config_.hybrid; }
+
+ private:
+  SubFedAvgConfig config_;
+  StateDict global_;
+  std::vector<std::unique_ptr<SubFedAvgClient>> clients_;
+  bool strict_ = false;
+};
+
+}  // namespace subfed

@@ -1,0 +1,84 @@
+#include "metrics/flops.h"
+
+#include "nn/conv2d.h"
+#include "util/check.h"
+
+namespace subfed {
+
+namespace {
+
+std::size_t conv_layer_flops(const Conv2d& conv, std::size_t kept_in, std::size_t kept_out,
+                             std::size_t out_h, std::size_t out_w) {
+  // 2 FLOPs per MAC; cost = out_spatial × kept_out × kept_in × k².
+  return 2 * out_h * out_w * kept_out * kept_in * conv.kernel() * conv.kernel();
+}
+
+}  // namespace
+
+std::size_t dense_conv_flops(const Model& model) {
+  const ModelTopology& topo = model.topology();
+  SUBFEDAVG_CHECK(topo.conv_blocks.size() == topo.conv_out_hw.size(),
+                  "topology conv_out_hw not filled");
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < topo.conv_blocks.size(); ++b) {
+    const Conv2d& conv = *topo.conv_blocks[b].conv;
+    const auto [oh, ow] = topo.conv_out_hw[b];
+    total += conv_layer_flops(conv, conv.in_channels(), conv.out_channels(), oh, ow);
+  }
+  return total;
+}
+
+std::size_t pruned_conv_flops(const Model& model, const ChannelMask& mask) {
+  const ModelTopology& topo = model.topology();
+  SUBFEDAVG_CHECK(mask.num_blocks() == topo.conv_blocks.size(), "mask/model mismatch");
+  std::size_t total = 0;
+  std::size_t prev_kept = topo.conv_blocks.empty()
+                              ? 0
+                              : topo.conv_blocks.front().conv->in_channels();
+  for (std::size_t b = 0; b < topo.conv_blocks.size(); ++b) {
+    const Conv2d& conv = *topo.conv_blocks[b].conv;
+    std::size_t kept_out = 0;
+    for (const std::uint8_t k : mask.block(b)) kept_out += (k != 0);
+    const auto [oh, ow] = topo.conv_out_hw[b];
+    total += conv_layer_flops(conv, prev_kept, kept_out, oh, ow);
+    prev_kept = kept_out;
+  }
+  return total;
+}
+
+std::size_t dense_parameter_count(const Model& model) { return model.num_parameters(); }
+
+std::size_t kept_parameter_count(Model& model, const ModelMask& mask) {
+  std::size_t kept = 0;
+  for (Parameter* p : model.parameters()) {
+    if (const Tensor* m = mask.find(p->name)) {
+      for (std::size_t i = 0; i < m->numel(); ++i) kept += ((*m)[i] != 0.0f);
+    } else {
+      kept += p->value.numel();
+    }
+  }
+  return kept;
+}
+
+ReductionReport reduction_report(Model& model, const ChannelMask* channel_mask,
+                                 const ModelMask* weight_mask) {
+  ReductionReport report;
+
+  const double dense_flops = static_cast<double>(dense_conv_flops(model));
+  double pruned_flops = dense_flops;
+  if (channel_mask != nullptr) {
+    pruned_flops = static_cast<double>(pruned_conv_flops(model, *channel_mask));
+  }
+  report.flop_reduction = dense_flops > 0 ? 1.0 - pruned_flops / dense_flops : 0.0;
+  report.flop_speedup = pruned_flops > 0 ? dense_flops / pruned_flops : 1.0;
+
+  ModelMask combined;
+  if (channel_mask != nullptr) combined = channel_mask->to_model_mask(model);
+  if (weight_mask != nullptr) combined = combined.intersected(*weight_mask);
+  const double dense_params = static_cast<double>(dense_parameter_count(model));
+  const double kept = static_cast<double>(kept_parameter_count(model, combined));
+  report.param_reduction = dense_params > 0 ? 1.0 - kept / dense_params : 0.0;
+  return report;
+}
+
+}  // namespace subfed

@@ -1,0 +1,44 @@
+// FLOP and parameter accounting.
+//
+// Following the paper (§4.2.3) and Liu et al. 2017, speedup analysis counts
+// convolution operations only — BN/pooling/activation costs are ignored, and
+// FC layers are reported separately via parameter counts. A pruned channel
+// removes its filter's output plane AND its contribution to downstream
+// layers, which is what produces the paper's 2.4× conv-FLOP cut at ~50%
+// channels pruned.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/model.h"
+#include "pruning/mask.h"
+#include "pruning/structured.h"
+
+namespace subfed {
+
+/// Multiply-accumulates ×2 of all conv layers at the model's nominal input
+/// resolution, with every channel kept.
+std::size_t dense_conv_flops(const Model& model);
+
+/// Conv FLOPs with the channel mask applied: layer cost scales with kept
+/// output channels × kept input channels.
+std::size_t pruned_conv_flops(const Model& model, const ChannelMask& mask);
+
+/// Total learnable parameters (dense).
+std::size_t dense_parameter_count(const Model& model);
+
+/// Parameters kept under `mask` (parameters not covered by the mask count as
+/// kept). Combine structured+unstructured masks with intersected() first.
+std::size_t kept_parameter_count(Model& model, const ModelMask& mask);
+
+/// Convenience ratios for Table 2 rows.
+struct ReductionReport {
+  double flop_reduction = 0.0;    ///< 1 − pruned/dense conv FLOPs
+  double param_reduction = 0.0;   ///< 1 − kept/dense parameters
+  double flop_speedup = 1.0;      ///< dense/pruned conv FLOPs
+};
+
+ReductionReport reduction_report(Model& model, const ChannelMask* channel_mask,
+                                 const ModelMask* weight_mask);
+
+}  // namespace subfed

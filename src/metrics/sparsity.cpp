@@ -1,0 +1,33 @@
+#include "metrics/sparsity.h"
+
+#include "util/table.h"
+
+namespace subfed {
+
+std::vector<LayerSparsity> layer_sparsity(Model& model, const ModelMask& mask) {
+  std::vector<LayerSparsity> rows;
+  for (Parameter* p : model.parameters()) {
+    LayerSparsity row;
+    row.name = p->name;
+    row.total = p->value.numel();
+    if (const Tensor* m = mask.find(p->name)) {
+      row.covered = true;
+      for (std::size_t i = 0; i < m->numel(); ++i) row.kept += ((*m)[i] != 0.0f);
+    } else {
+      row.kept = row.total;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string sparsity_report(Model& model, const ModelMask& mask) {
+  TablePrinter table({"parameter", "kept/total", "pruned %", "covered"});
+  for (const LayerSparsity& row : layer_sparsity(model, mask)) {
+    table.add_row({row.name, std::to_string(row.kept) + "/" + std::to_string(row.total),
+                   format_percent(row.pruned_fraction(), 1), row.covered ? "yes" : "no"});
+  }
+  return table.to_string();
+}
+
+}  // namespace subfed

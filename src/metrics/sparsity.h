@@ -1,0 +1,33 @@
+// Per-layer sparsity breakdown of a masked model.
+//
+// Aggregate pruned fractions hide where a subnetwork lives; the per-layer
+// view shows e.g. that hybrid pruning concentrates in FC layers while the
+// channel mask thins the convs — the structure behind Table 2's numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "pruning/mask.h"
+
+namespace subfed {
+
+struct LayerSparsity {
+  std::string name;        ///< parameter name, e.g. "fc1.weight"
+  std::size_t total = 0;   ///< scalar count
+  std::size_t kept = 0;    ///< mask==1 count (== total when uncovered)
+  bool covered = false;    ///< whether the mask covers this parameter
+
+  double pruned_fraction() const noexcept {
+    return total == 0 ? 0.0 : 1.0 - static_cast<double>(kept) / static_cast<double>(total);
+  }
+};
+
+/// One row per learnable parameter of `model`, in registration order.
+std::vector<LayerSparsity> layer_sparsity(Model& model, const ModelMask& mask);
+
+/// Renders the breakdown as an aligned table (name, kept/total, pruned %).
+std::string sparsity_report(Model& model, const ModelMask& mask);
+
+}  // namespace subfed

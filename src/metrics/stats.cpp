@@ -1,0 +1,47 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace subfed {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = s.max = values[0];
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double acc = 0.0;
+    for (const double v : values) acc += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(acc / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+double Series::back() const {
+  SUBFEDAVG_CHECK(!values_.empty(), "empty series");
+  return values_.back();
+}
+
+double Series::at(std::size_t i) const {
+  SUBFEDAVG_CHECK(i < values_.size(), "series index " << i);
+  return values_[i];
+}
+
+std::size_t Series::first_reaching(double threshold) const noexcept {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] >= threshold) return i;
+  }
+  return values_.size();
+}
+
+}  // namespace subfed

@@ -1,0 +1,38 @@
+// Small summary-statistics helpers for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace subfed {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Mean / sample-stddev / min / max of a sequence (zeros when empty).
+Summary summarize(std::span<const double> values);
+
+/// Per-round series of a scalar metric (e.g. average client accuracy).
+class Series {
+ public:
+  void push(double value) { values_.push_back(value); }
+  std::size_t size() const noexcept { return values_.size(); }
+  double back() const;
+  double at(std::size_t i) const;
+  std::span<const double> values() const noexcept { return values_; }
+
+  /// First index where the series reaches `threshold` (rounds-to-target in
+  /// Fig. 3); returns size() when never reached.
+  std::size_t first_reaching(double threshold) const noexcept;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace subfed

@@ -1,0 +1,104 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace subfed {
+
+Conv2d::Conv2d(std::string name, std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(name + ".weight", Tensor({out_channels, in_channels, kernel, kernel}),
+              /*is_prunable=*/true),
+      bias_(name + ".bias", Tensor({out_channels}), /*is_prunable=*/false) {
+  SUBFEDAVG_CHECK(kernel > 0 && stride > 0, "bad conv geometry");
+}
+
+void Conv2d::init(Rng& rng) {
+  const double fan_in = static_cast<double>(in_channels_ * kernel_ * kernel_);
+  weight_.value.fill_normal(rng, 0.0f, static_cast<float>(std::sqrt(2.0 / fan_in)));
+  bias_.value.zero();
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
+  SUBFEDAVG_CHECK(input.shape().rank() == 4, "conv input must be NCHW, got "
+                                                 << input.shape().to_string());
+  const std::size_t batch = input.shape()[0];
+  SUBFEDAVG_CHECK(input.shape()[1] == in_channels_,
+                  "conv in_channels " << in_channels_ << " vs input " << input.shape()[1]);
+  const ConvGeometry g{in_channels_, input.shape()[2], input.shape()[3],
+                       kernel_,      stride_,          pad_};
+  const std::size_t oh = g.out_h(), ow = g.out_w(), spatial = oh * ow;
+
+  cached_input_ = input;
+  Tensor output({batch, out_channels_, oh, ow});
+
+  std::vector<float> columns(g.patch_size() * spatial);
+  const std::size_t in_plane = in_channels_ * g.in_h * g.in_w;
+  for (std::size_t n = 0; n < batch; ++n) {
+    im2col(input.data() + n * in_plane, g, columns.data());
+    // out[oc, ohw] = W[oc, ckk] · cols[ckk, ohw]
+    gemm(weight_.value.data(), columns.data(), output.data() + n * out_channels_ * spatial,
+         out_channels_, g.patch_size(), spatial);
+    float* out_n = output.data() + n * out_channels_ * spatial;
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float b = bias_.value[oc];
+      if (b == 0.0f) continue;
+      float* plane = out_n + oc * spatial;
+      for (std::size_t s = 0; s < spatial; ++s) plane[s] += b;
+    }
+  }
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  SUBFEDAVG_CHECK(!cached_input_.empty(), "backward before forward");
+  const Tensor& input = cached_input_;
+  const std::size_t batch = input.shape()[0];
+  const ConvGeometry g{in_channels_, input.shape()[2], input.shape()[3],
+                       kernel_,      stride_,          pad_};
+  const std::size_t oh = g.out_h(), ow = g.out_w(), spatial = oh * ow;
+  SUBFEDAVG_CHECK(grad_output.shape() == Shape({batch, out_channels_, oh, ow}),
+                  "grad_output shape " << grad_output.shape().to_string());
+
+  Tensor grad_input(input.shape());
+  std::vector<float> columns(g.patch_size() * spatial);
+  std::vector<float> grad_columns(g.patch_size() * spatial);
+  const std::size_t in_plane = in_channels_ * g.in_h * g.in_w;
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    // Recompute the unrolled patches (cheaper than caching them per sample).
+    im2col(input.data() + n * in_plane, g, columns.data());
+    const float* go = grad_output.data() + n * out_channels_ * spatial;
+
+    // dW[oc, ckk] += dOut[oc, ohw] · colsᵀ[ohw, ckk]
+    gemm_a_bt(go, columns.data(), grad_columns.data(), out_channels_, spatial,
+              g.patch_size());
+    for (std::size_t i = 0; i < out_channels_ * g.patch_size(); ++i) {
+      weight_.grad[i] += grad_columns[i];
+    }
+
+    // db[oc] += sum over spatial of dOut
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      float acc = 0.0f;
+      const float* plane = go + oc * spatial;
+      for (std::size_t s = 0; s < spatial; ++s) acc += plane[s];
+      bias_.grad[oc] += acc;
+    }
+
+    // dCols[ckk, ohw] = Wᵀ[ckk, oc] · dOut[oc, ohw]; then scatter back.
+    gemm_at_b(weight_.value.data(), go, grad_columns.data(), g.patch_size(), out_channels_,
+              spatial);
+    col2im(grad_columns.data(), g, grad_input.data() + n * in_plane);
+  }
+  return grad_input;
+}
+
+}  // namespace subfed

@@ -1,0 +1,41 @@
+// 2-D convolution (square kernel) via im2col + GEMM.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/gemm.h"
+
+namespace subfed {
+
+class Rng;
+
+class Conv2d final : public Layer {
+ public:
+  /// Weight shape [out_channels, in_channels, kernel, kernel]; bias [out_channels].
+  Conv2d(std::string name, std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride = 1, std::size_t pad = 0);
+
+  /// Kaiming-normal weight init, zero bias.
+  void init(Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string kind() const override { return "Conv2d"; }
+
+  std::size_t in_channels() const noexcept { return in_channels_; }
+  std::size_t out_channels() const noexcept { return out_channels_; }
+  std::size_t kernel() const noexcept { return kernel_; }
+  std::size_t stride() const noexcept { return stride_; }
+  std::size_t pad() const noexcept { return pad_; }
+
+  Parameter& weight() noexcept { return weight_; }
+  Parameter& bias() noexcept { return bias_; }
+
+ private:
+  std::size_t in_channels_, out_channels_, kernel_, stride_, pad_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;  // [N, C, H, W] saved by forward for backward
+};
+
+}  // namespace subfed

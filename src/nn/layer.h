@@ -1,0 +1,43 @@
+// Layer interface: explicit forward / backward with cached activations.
+//
+// The library uses per-layer analytic backward passes instead of a taped
+// autograd: the paper's models are straight-line Sequential CNNs, and explicit
+// backward keeps the hot path allocation-light and easy to verify against
+// finite differences (see tests/test_nn_gradcheck.cpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+
+namespace subfed {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. `train` toggles training-time behaviour
+  /// (BatchNorm batch statistics). Implementations cache what backward needs.
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput. Must be called after forward with matching shapes.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers). Pointers remain valid
+  /// for the life of the layer.
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Persistent non-learnable buffers (BatchNorm running stats).
+  virtual std::vector<Parameter*> buffers() { return {}; }
+
+  /// Human-readable kind, e.g. "Conv2d".
+  virtual std::string kind() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace subfed

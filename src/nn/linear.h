@@ -1,0 +1,35 @@
+// Fully-connected layer: y = x·Wᵀ + b.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace subfed {
+
+class Rng;
+
+class Linear final : public Layer {
+ public:
+  /// Weight shape [out_features, in_features]; bias [out_features].
+  Linear(std::string name, std::size_t in_features, std::size_t out_features);
+
+  /// Kaiming-normal weight init, zero bias.
+  void init(Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string kind() const override { return "Linear"; }
+
+  std::size_t in_features() const noexcept { return in_features_; }
+  std::size_t out_features() const noexcept { return out_features_; }
+  Parameter& weight() noexcept { return weight_; }
+  Parameter& bias() noexcept { return bias_; }
+
+ private:
+  std::size_t in_features_, out_features_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;  // [N, in]
+};
+
+}  // namespace subfed

@@ -1,0 +1,56 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace subfed {
+
+Tensor softmax(const Tensor& logits) {
+  SUBFEDAVG_CHECK(logits.shape().rank() == 2, "softmax expects (N, C)");
+  const std::size_t batch = logits.shape()[0], classes = logits.shape()[1];
+  Tensor probs(logits.shape());
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    float* out = probs.data() + n * classes;
+    float max_logit = row[0];
+    for (std::size_t c = 1; c < classes; ++c) max_logit = std::max(max_logit, row[c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      out[c] = std::exp(row[c] - max_logit);
+      denom += out[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t c = 0; c < classes; ++c) out[c] *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int32_t> labels) {
+  SUBFEDAVG_CHECK(logits.shape().rank() == 2, "loss expects (N, C)");
+  const std::size_t batch = logits.shape()[0], classes = logits.shape()[1];
+  SUBFEDAVG_CHECK(labels.size() == batch, "labels size " << labels.size() << " != batch "
+                                                         << batch);
+
+  LossResult result;
+  result.grad_logits = softmax(logits);
+  double total = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::int32_t label = labels[n];
+    SUBFEDAVG_CHECK(label >= 0 && static_cast<std::size_t>(label) < classes,
+                    "label " << label << " out of " << classes);
+    float* row = result.grad_logits.data() + n * classes;
+    const float p = std::max(row[static_cast<std::size_t>(label)], 1e-12f);
+    total -= std::log(p);
+    if (argmax({row, classes}) == static_cast<std::size_t>(label)) ++result.correct;
+    // d/dlogits of mean NLL: (softmax − onehot) / N
+    row[static_cast<std::size_t>(label)] -= 1.0f;
+    for (std::size_t c = 0; c < classes; ++c) row[c] *= inv_batch;
+  }
+  result.loss = total / static_cast<double>(batch);
+  return result;
+}
+
+}  // namespace subfed

@@ -1,0 +1,24 @@
+// Softmax cross-entropy with integer class labels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace subfed {
+
+struct LossResult {
+  double loss = 0.0;       ///< mean negative log-likelihood over the batch
+  Tensor grad_logits;      ///< dLoss/dLogits, shape (N, C)
+  std::size_t correct = 0; ///< argmax hits, for accuracy accounting
+};
+
+/// Numerically-stable softmax cross-entropy. `logits` is (N, C); `labels`
+/// holds N class indices in [0, C).
+LossResult softmax_cross_entropy(const Tensor& logits, std::span<const std::int32_t> labels);
+
+/// Softmax probabilities (N, C) — used by tests and calibration tooling.
+Tensor softmax(const Tensor& logits);
+
+}  // namespace subfed

@@ -1,0 +1,33 @@
+#include "nn/sgd.h"
+
+#include "util/check.h"
+
+namespace subfed {
+
+Sgd::Sgd(std::vector<Parameter*> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  SUBFEDAVG_CHECK(!params_.empty(), "optimizer needs parameters");
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& v = velocity_[i];
+    const float wd = config_.weight_decay;
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      float g = p.grad[j];
+      if (wd != 0.0f) g += wd * p.value[j];
+      v[j] = config_.momentum * v[j] + g;
+      p.value[j] -= config_.lr * v[j];
+    }
+    p.grad.zero();
+  }
+}
+
+void Sgd::reset_momentum() {
+  for (auto& v : velocity_) v.zero();
+}
+
+}  // namespace subfed

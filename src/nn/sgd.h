@@ -1,0 +1,35 @@
+// SGD with momentum — the optimizer the paper uses everywhere
+// (lr = 0.01, momentum = 0.5, §4.1).
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace subfed {
+
+struct SgdConfig {
+  float lr = 0.01f;
+  float momentum = 0.5f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, SgdConfig config);
+
+  /// v ← momentum·v + grad (+ wd·w);  w ← w − lr·v;  grads are then zeroed.
+  void step();
+
+  /// Drops momentum state (used when a client re-seeds from the global model).
+  void reset_momentum();
+
+  const SgdConfig& config() const noexcept { return config_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig config_;
+};
+
+}  // namespace subfed

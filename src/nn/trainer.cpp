@@ -1,0 +1,102 @@
+#include "nn/trainer.h"
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "nn/loss.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace subfed {
+
+Tensor gather_rows(const Tensor& images, std::span<const std::size_t> indices) {
+  SUBFEDAVG_CHECK(images.shape().rank() >= 2, "gather_rows needs a batch dim");
+  const std::size_t n = images.shape()[0];
+  const std::size_t row = images.numel() / n;
+  std::vector<std::size_t> dims = images.shape().dims();
+  dims[0] = indices.size();
+  Tensor out{Shape(dims)};
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    SUBFEDAVG_CHECK(indices[i] < n, "row " << indices[i] << " out of " << n);
+    std::memcpy(out.data() + i * row, images.data() + indices[i] * row, row * sizeof(float));
+  }
+  return out;
+}
+
+TrainStats train_local(Model& model, Sgd& optimizer, const Tensor& images,
+                       std::span<const std::int32_t> labels, const TrainConfig& config,
+                       Rng& rng, const EpochCallback& on_epoch_end,
+                       const GradHook& grad_hook) {
+  const std::size_t n = images.shape()[0];
+  SUBFEDAVG_CHECK(labels.size() == n, "labels/images size mismatch");
+  SUBFEDAVG_CHECK(n > 0, "empty training set");
+  const std::size_t batch = std::min(config.batch_size, n);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainStats stats;
+  for (std::size_t epoch = 1; epoch <= config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t epoch_correct = 0, epoch_seen = 0, epoch_batches = 0;
+
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t count = std::min(batch, n - start);
+      std::span<const std::size_t> idx(order.data() + start, count);
+      Tensor batch_images = gather_rows(images, idx);
+      std::vector<std::int32_t> batch_labels(count);
+      for (std::size_t i = 0; i < count; ++i) batch_labels[i] = labels[idx[i]];
+
+      Tensor logits = model.forward(batch_images, /*train=*/true);
+      LossResult loss = softmax_cross_entropy(logits, batch_labels);
+      model.backward(loss.grad_logits);
+      if (grad_hook) grad_hook(model);
+      optimizer.step();
+
+      epoch_loss += loss.loss;
+      epoch_correct += loss.correct;
+      epoch_seen += count;
+      ++epoch_batches;
+      ++stats.steps;
+    }
+
+    stats.last_epoch_loss = epoch_batches > 0 ? epoch_loss / epoch_batches : 0.0;
+    stats.last_epoch_accuracy =
+        epoch_seen > 0 ? static_cast<double>(epoch_correct) / epoch_seen : 0.0;
+    if (on_epoch_end) on_epoch_end(epoch);
+  }
+  return stats;
+}
+
+EvalStats evaluate(Model& model, const Tensor& images,
+                   std::span<const std::int32_t> labels, std::size_t batch_size) {
+  const std::size_t n = images.shape()[0];
+  SUBFEDAVG_CHECK(labels.size() == n, "labels/images size mismatch");
+  EvalStats stats;
+  stats.examples = n;
+  if (n == 0) return stats;
+
+  double total_loss = 0.0;
+  std::size_t correct = 0, batches = 0;
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t count = std::min(batch_size, n - start);
+    idx.resize(count);
+    std::iota(idx.begin(), idx.end(), start);
+    Tensor batch_images = gather_rows(images, idx);
+    std::vector<std::int32_t> batch_labels(labels.begin() + start,
+                                           labels.begin() + start + count);
+    Tensor logits = model.forward(batch_images, /*train=*/false);
+    LossResult loss = softmax_cross_entropy(logits, batch_labels);
+    total_loss += loss.loss;
+    correct += loss.correct;
+    ++batches;
+  }
+  stats.loss = total_loss / batches;
+  stats.accuracy = static_cast<double>(correct) / n;
+  return stats;
+}
+
+}  // namespace subfed

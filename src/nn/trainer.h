@@ -1,0 +1,59 @@
+// Local SGD training loop and evaluation.
+//
+// Two extension seams make the FL algorithms composable without subclassing:
+//  * `on_epoch_end` — Sub-FedAvg derives pruning masks at the end of the
+//    FIRST and LAST local epoch (Algorithms 1 & 2).
+//  * `grad_hook` — runs after backward, before the optimizer step. FedProx
+//    adds its proximal term here; pruned-weight gradient freezing also lives
+//    here so masked weights stay exactly zero through momentum updates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "nn/model.h"
+#include "nn/sgd.h"
+#include "tensor/tensor.h"
+
+namespace subfed {
+
+class Rng;
+
+struct TrainConfig {
+  std::size_t epochs = 5;      ///< paper: local epochs 5
+  std::size_t batch_size = 10; ///< paper: local batch size 10
+};
+
+struct TrainStats {
+  double last_epoch_loss = 0.0;
+  double last_epoch_accuracy = 0.0;
+  std::size_t steps = 0;
+};
+
+struct EvalStats {
+  double loss = 0.0;
+  double accuracy = 0.0;
+  std::size_t examples = 0;
+};
+
+/// Called at the end of each local epoch with the 1-based epoch number.
+using EpochCallback = std::function<void(std::size_t epoch)>;
+/// Called after backward, before each optimizer step.
+using GradHook = std::function<void(Model&)>;
+
+/// Trains `model` for config.epochs over (images, labels) with shuffled
+/// mini-batches drawn from `rng`. Returns stats of the final epoch.
+TrainStats train_local(Model& model, Sgd& optimizer, const Tensor& images,
+                       std::span<const std::int32_t> labels, const TrainConfig& config,
+                       Rng& rng, const EpochCallback& on_epoch_end = {},
+                       const GradHook& grad_hook = {});
+
+/// Full-dataset evaluation in inference mode (BatchNorm running stats).
+EvalStats evaluate(Model& model, const Tensor& images,
+                   std::span<const std::int32_t> labels, std::size_t batch_size = 64);
+
+/// Copies rows `indices` of a [N, ...] tensor into a new batch tensor.
+Tensor gather_rows(const Tensor& images, std::span<const std::size_t> indices);
+
+}  // namespace subfed

@@ -1,0 +1,38 @@
+// The paper's pruning gate (ClientUpdate in Algorithms 1 & 2).
+//
+// A client commits a newly derived mask only when ALL of:
+//   1. local validation accuracy ≥ Accth,
+//   2. the target pruning rate has not been reached yet,
+//   3. the Hamming distance between the first-epoch and last-epoch masks
+//      is at least ε.
+// In hybrid mode the structured and unstructured gates are evaluated
+// independently ("when one does satisfy the constraints it applies the mask
+// regardless of if the other one satisfies", §3.5).
+#pragma once
+
+namespace subfed {
+
+struct PruneGateConfig {
+  double acc_threshold = 0.5;  ///< Accth on local validation accuracy
+  double target_rate = 0.5;    ///< target pruned fraction p
+  double epsilon = 1e-4;       ///< minimum mask distance Δ
+  double step_rate = 0.1;      ///< r: fraction of remaining pruned per round
+};
+
+struct PruneGateInputs {
+  double val_accuracy = 0.0;
+  double current_pruned = 0.0;
+  double mask_distance = 0.0;  ///< Δ(m_fe, m_le)
+};
+
+/// True iff the triple condition holds and the mask should be applied.
+constexpr bool prune_gate_open(const PruneGateConfig& config, const PruneGateInputs& in) {
+  // Compare against the target with a small slack: floor() quantization of
+  // per-tensor counts can leave the achieved fraction a hair under target.
+  constexpr double kSlack = 1e-9;
+  return in.val_accuracy >= config.acc_threshold &&
+         in.current_pruned + kSlack < config.target_rate &&
+         in.mask_distance >= config.epsilon;
+}
+
+}  // namespace subfed

@@ -1,0 +1,59 @@
+#include "pruning/unstructured.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace subfed {
+
+double next_pruned_fraction(double current_pruned, double rate, double target) {
+  SUBFEDAVG_CHECK(current_pruned >= 0.0 && current_pruned <= 1.0, "bad pruned fraction");
+  const double next = current_pruned + rate * (1.0 - current_pruned);
+  return std::min(next, target);
+}
+
+ModelMask derive_magnitude_mask(Model& model, const ModelMask& current,
+                                double target_fraction) {
+  SUBFEDAVG_CHECK(target_fraction >= 0.0 && target_fraction < 1.0,
+                  "target fraction " << target_fraction);
+  ModelMask next = current;
+
+  for (Parameter* p : model.parameters()) {
+    Tensor* mask = next.find(p->name);
+    if (mask == nullptr) continue;
+
+    const std::size_t n = p->value.numel();
+    const std::size_t want_pruned = static_cast<std::size_t>(
+        std::floor(target_fraction * static_cast<double>(n)));
+
+    // Already-pruned positions stay pruned; count how many more to cut.
+    std::size_t already_pruned = 0;
+    for (std::size_t i = 0; i < n; ++i) already_pruned += ((*mask)[i] == 0.0f);
+    if (want_pruned <= already_pruned) continue;
+    std::size_t to_prune = want_pruned - already_pruned;
+
+    // Never empty a tensor completely.
+    const std::size_t kept_now = n - already_pruned;
+    if (to_prune >= kept_now) to_prune = kept_now - 1;
+    if (to_prune == 0) continue;
+
+    // nth_element over the currently-kept magnitudes.
+    std::vector<std::pair<float, std::size_t>> kept;
+    kept.reserve(kept_now);
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((*mask)[i] != 0.0f) kept.emplace_back(std::fabs(p->value[i]), i);
+    }
+    std::nth_element(kept.begin(), kept.begin() + static_cast<std::ptrdiff_t>(to_prune - 1),
+                     kept.end(),
+                     [](const auto& a, const auto& b) {
+                       // Tie-break on index for full determinism.
+                       return a.first != b.first ? a.first < b.first : a.second < b.second;
+                     });
+    for (std::size_t i = 0; i < to_prune; ++i) (*mask)[kept[i].second] = 0.0f;
+  }
+  return next;
+}
+
+}  // namespace subfed

@@ -1,0 +1,28 @@
+// Unstructured (parameter-level) magnitude pruning.
+//
+// Lottery-ticket-style iterative pruning: each call prunes the
+// lowest-magnitude *currently kept* weights of every covered tensor until
+// the tensor's pruned fraction reaches `target_fraction`. Per-layer
+// percentiles (not a global pool) match the paper's reference code.
+#pragma once
+
+#include "pruning/mask.h"
+
+namespace subfed {
+
+/// Returns a new mask whose every covered tensor has `target_fraction` of its
+/// entries pruned (monotonically extends `current`: a pruned weight never
+/// revives). At least one weight per tensor is always kept.
+///
+/// Magnitudes are read from the model's CURRENT weights, so call this at the
+/// end of an epoch (Algorithms 1 & 2 derive masks at the end of the first and
+/// last local epoch).
+ModelMask derive_magnitude_mask(Model& model, const ModelMask& current,
+                                double target_fraction);
+
+/// The paper's per-round schedule: advance the pruned fraction by pruning
+/// `rate` of the REMAINING weights, clamped to `target`:
+///   next = min(target, pruned + rate·(1 − pruned)).
+double next_pruned_fraction(double current_pruned, double rate, double target);
+
+}  // namespace subfed

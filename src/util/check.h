@@ -1,0 +1,49 @@
+// Lightweight runtime contract checks used across the library.
+//
+// SUBFEDAVG_CHECK is active in all build types: the simulator is a research
+// artifact, and silent invariant violations cost far more debugging time than
+// the branch costs at runtime. Hot inner loops (GEMM, im2col) avoid per-element
+// checks by validating shapes once at entry.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace subfed {
+
+/// Thrown on any violated precondition or invariant detected by SUBFEDAVG_CHECK.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace subfed
+
+/// Abort-with-exception precondition check. `msg` is streamed, so
+/// `SUBFEDAVG_CHECK(a == b, "a=" << a << " b=" << b)` works.
+#define SUBFEDAVG_CHECK(expr, msg)                                            \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream subfed_check_os_;                                    \
+      subfed_check_os_ << msg; /* NOLINT */                                   \
+      ::subfed::detail::check_failed(#expr, __FILE__, __LINE__,               \
+                                     subfed_check_os_.str());                 \
+    }                                                                         \
+  } while (false)
+
+/// Shorthand for checks with no extra message.
+#define SUBFEDAVG_CHECK0(expr) SUBFEDAVG_CHECK(expr, "")

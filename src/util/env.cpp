@@ -1,0 +1,31 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace subfed {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) noexcept {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
+double env_double(const char* name, double fallback) noexcept {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return value;
+}
+
+}  // namespace subfed

@@ -1,0 +1,22 @@
+// Environment-variable configuration knobs.
+//
+// Benches default to scaled-down configs that finish in CI time; the
+// SUBFEDAVG_* env vars restore paper scale without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace subfed {
+
+/// Integer env var with default; accepts decimal. Returns `fallback` when
+/// unset or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback) noexcept;
+
+/// Floating env var with default.
+double env_double(const char* name, double fallback) noexcept;
+
+/// String env var with default.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace subfed

@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+#include "util/env.h"
+
+namespace subfed {
+
+namespace {
+
+LogLevel parse_level(const std::string& name) {
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "debug") return LogLevel::kDebug;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{
+      static_cast<int>(parse_level(env_string("SUBFEDAVG_LOG", "info")))};
+  return level;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(level_storage().load()); }
+
+void set_log_level(LogLevel level) noexcept { level_storage().store(static_cast<int>(level)); }
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  const auto now = std::chrono::system_clock::now();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch()) .count() % 100000000;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s %8lld] %s\n", level_tag(level),
+               static_cast<long long>(ms), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace subfed

@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// The simulator logs round-level progress at Info and per-client detail at
+// Debug. Level is controlled by SUBFEDAVG_LOG (error|warn|info|debug),
+// default info. Output goes to stderr so bench stdout stays machine-readable.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace subfed {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current process-wide log level (read once from SUBFEDAVG_LOG).
+LogLevel log_level() noexcept;
+
+/// Override the level programmatically (tests silence Info noise).
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+
+/// Serialized write of one formatted log line to stderr.
+void log_line(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct NullMessage {
+  template <typename T>
+  NullMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace detail
+}  // namespace subfed
+
+#define SUBFEDAVG_LOG(level)                                           \
+  if (::subfed::LogLevel::level > ::subfed::log_level()) {             \
+  } else                                                               \
+    ::subfed::detail::LogMessage(::subfed::LogLevel::level)

@@ -1,0 +1,40 @@
+// ASCII table and CSV rendering for bench output.
+//
+// Every bench prints the same rows the paper's tables/figures report;
+// TablePrinter keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace subfed {
+
+/// Column-aligned ASCII table with a header row.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column padding, `|` separators and a rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting helpers used by benches.
+std::string format_float(double value, int digits = 2);
+/// Formats a byte count as B / KB / MB / GB with two decimals (SI-1024).
+std::string format_bytes(double bytes);
+/// Formats `value` as a percentage string, e.g. 0.314 -> "31.40%".
+std::string format_percent(double fraction, int digits = 2);
+
+}  // namespace subfed

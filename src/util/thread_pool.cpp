@@ -1,0 +1,124 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "util/env.h"
+
+namespace subfed {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared between the caller and every worker task. Heap-allocated and
+// reference-counted: a worker can still be draining the index counter after
+// the caller has already observed completion and returned, so this state must
+// outlive the parallel_for call frame.
+struct ParallelState {
+  explicit ParallelState(std::size_t total, std::function<void(std::size_t)> body)
+      : n(total), fn(std::move(body)) {}
+
+  const std::size_t n;
+  const std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelState>(n, fn);
+
+  // One queued task per worker; each drains indices from the shared counter.
+  // Tasks hold a shared_ptr so the state survives stragglers.
+  const std::size_t tasks = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      tasks_.push([state] { state->drain(); });
+    }
+  }
+  cv_.notify_all();
+
+  // The calling thread participates too, so parallel_for called from inside
+  // a pool task cannot deadlock even when all workers are busy.
+  state->drain();
+
+  {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->done_cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) >= n;
+    });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(static_cast<std::size_t>(
+      env_int("SUBFEDAVG_THREADS", 0)));
+  return pool;
+}
+
+}  // namespace subfed

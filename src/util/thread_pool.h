@@ -1,0 +1,48 @@
+// Fixed-size thread pool with a deterministic parallel_for.
+//
+// The FL simulator trains the sampled clients of each round concurrently
+// ("for each client k ∈ S_j in parallel", Algorithm 1/2). Determinism is
+// preserved because each client draws from its own named RNG stream and
+// results are written to per-index slots — thread scheduling cannot change
+// any computed value, only wall-clock time.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace subfed {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n). Blocks until all iterations complete.
+  /// Exceptions from tasks are captured and the first one is rethrown here.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized from SUBFEDAVG_THREADS (default: hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace subfed

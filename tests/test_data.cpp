@@ -1,0 +1,231 @@
+// Synthetic dataset generation and non-IID shard partitioning.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/client_data.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "util/check.h"
+
+namespace subfed {
+namespace {
+
+TEST(DatasetSpec, PaperShapes) {
+  const DatasetSpec mnist = DatasetSpec::mnist();
+  EXPECT_EQ(mnist.num_classes, 10u);
+  EXPECT_EQ(mnist.channels, 1u);
+  EXPECT_EQ(mnist.hw, 28u);
+  EXPECT_EQ(mnist.shard_size, 250u);
+
+  const DatasetSpec emnist = DatasetSpec::emnist();
+  EXPECT_EQ(emnist.num_classes, 47u);
+
+  const DatasetSpec cifar10 = DatasetSpec::cifar10();
+  EXPECT_EQ(cifar10.channels, 3u);
+  EXPECT_EQ(cifar10.hw, 32u);
+
+  const DatasetSpec cifar100 = DatasetSpec::cifar100();
+  EXPECT_EQ(cifar100.num_classes, 100u);
+  EXPECT_EQ(cifar100.shard_size, 125u);  // paper: 125-example shards
+}
+
+TEST(DatasetSpec, ByNameRoundTrip) {
+  for (const char* name : {"mnist", "emnist", "cifar10", "cifar100"}) {
+    EXPECT_EQ(DatasetSpec::by_name(name).name, name);
+  }
+  EXPECT_THROW(DatasetSpec::by_name("imagenet"), CheckError);
+}
+
+TEST(SyntheticGenerator, DeterministicImages) {
+  SyntheticImageGenerator g1(DatasetSpec::mnist(), 42);
+  SyntheticImageGenerator g2(DatasetSpec::mnist(), 42);
+  EXPECT_EQ(g1.train_image(3, 7), g2.train_image(3, 7));
+  EXPECT_EQ(g1.test_image(3, 7), g2.test_image(3, 7));
+}
+
+TEST(SyntheticGenerator, DistinctAcrossIndicesLabelsSeedsAndSplits) {
+  SyntheticImageGenerator g(DatasetSpec::mnist(), 42);
+  SyntheticImageGenerator other(DatasetSpec::mnist(), 43);
+  EXPECT_NE(g.train_image(3, 7), g.train_image(3, 8));
+  EXPECT_NE(g.train_image(3, 7), g.train_image(4, 7));
+  EXPECT_NE(g.train_image(3, 7), g.test_image(3, 7));
+  EXPECT_NE(g.train_image(3, 7), other.train_image(3, 7));
+}
+
+TEST(SyntheticGenerator, ImageShape) {
+  SyntheticImageGenerator g(DatasetSpec::cifar10(), 1);
+  const Tensor img = g.train_image(0, 0);
+  EXPECT_EQ(img.shape(), Shape({3, 32, 32}));
+}
+
+TEST(SyntheticGenerator, ClassPrototypesAreSeparated) {
+  // Same-class examples must be closer to their own prototype mixture than
+  // random cross-class pairs on average — the learnability precondition.
+  SyntheticImageGenerator g(DatasetSpec::mnist(), 5);
+  double intra = 0.0, inter = 0.0;
+  int pairs = 0;
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      Tensor a = g.train_image(c, i);
+      Tensor b = g.train_image(c, i + 10);
+      Tensor d = g.train_image((c + 1) % 4, i);
+      Tensor ab = sub(a, b), ad = sub(a, d);
+      intra += ab.squared_norm();
+      inter += ad.squared_norm();
+      ++pairs;
+    }
+  }
+  // Same class can still differ (3 prototypes/class), but cross-class should
+  // be clearly farther on average.
+  EXPECT_LT(intra / pairs, inter / pairs);
+}
+
+TEST(ShardPartitioner, ShardArithmetic) {
+  const DatasetSpec spec = DatasetSpec::mnist();
+  ShardPartitioner part(spec, {/*clients=*/10, /*shards=*/2, /*shard_size=*/50}, Rng(1));
+  EXPECT_EQ(part.num_clients(), 10u);
+  EXPECT_EQ(part.shard_size(), 50u);
+  // 10 clients × 2 shards × 50 = 1000 examples over 10 classes → 100/class.
+  EXPECT_EQ(part.pool_per_class(), 100u);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(part.client(k).examples.size(), 100u);
+  }
+}
+
+TEST(ShardPartitioner, DefaultsToPaperShardSize) {
+  const DatasetSpec spec = DatasetSpec::cifar100();
+  ShardPartitioner part(spec, {4, 2, 0}, Rng(1));
+  EXPECT_EQ(part.shard_size(), 125u);
+}
+
+TEST(ShardPartitioner, AtMostTwoLabelsWithAlignedShards) {
+  // When shard_size divides pool_per_class, every shard is label-pure, so a
+  // 2-shard client sees at most 2 labels — the paper's pathological non-IID.
+  const DatasetSpec spec = DatasetSpec::mnist();
+  ShardPartitioner part(spec, {20, 2, 100}, Rng(7));
+  // pool_per_class = 20·2·100/10 = 400 → divisible by 100.
+  for (std::size_t k = 0; k < 20; ++k) {
+    EXPECT_LE(part.client(k).labels_present.size(), 2u);
+    EXPECT_GE(part.client(k).labels_present.size(), 1u);
+  }
+}
+
+TEST(ShardPartitioner, ShardsArePartition) {
+  // No example is assigned twice across the federation.
+  const DatasetSpec spec = DatasetSpec::mnist();
+  ShardPartitioner part(spec, {12, 2, 30}, Rng(3));
+  std::set<std::pair<std::int32_t, std::uint32_t>> seen;
+  for (std::size_t k = 0; k < part.num_clients(); ++k) {
+    for (const ExampleRef& ref : part.client(k).examples) {
+      const bool inserted = seen.insert({ref.label, ref.index}).second;
+      EXPECT_TRUE(inserted) << "duplicate example (" << ref.label << "," << ref.index << ")";
+    }
+  }
+  EXPECT_EQ(seen.size(), 12u * 2 * 30);
+}
+
+TEST(ShardPartitioner, LabelsPresentMatchesExamples) {
+  const DatasetSpec spec = DatasetSpec::emnist();
+  ShardPartitioner part(spec, {8, 2, 40}, Rng(5));
+  for (std::size_t k = 0; k < part.num_clients(); ++k) {
+    std::set<std::int32_t> labels;
+    for (const ExampleRef& ref : part.client(k).examples) labels.insert(ref.label);
+    const auto& present = part.client(k).labels_present;
+    EXPECT_EQ(labels.size(), present.size());
+    for (const std::int32_t l : present) EXPECT_TRUE(labels.count(l));
+    EXPECT_TRUE(std::is_sorted(present.begin(), present.end()));
+  }
+}
+
+TEST(ShardPartitioner, DeterministicGivenSeed) {
+  const DatasetSpec spec = DatasetSpec::mnist();
+  ShardPartitioner a(spec, {6, 2, 25}, Rng(11));
+  ShardPartitioner b(spec, {6, 2, 25}, Rng(11));
+  ShardPartitioner c(spec, {6, 2, 25}, Rng(12));
+  EXPECT_EQ(a.client(0).labels_present, b.client(0).labels_present);
+  bool any_differ = false;
+  for (std::size_t k = 0; k < 6 && !any_differ; ++k) {
+    any_differ = a.client(k).labels_present != c.client(k).labels_present;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(FederatedData, ClientTensorsSized) {
+  FederatedDataConfig config;
+  config.partition = {4, 2, 30};
+  config.test_per_class = 10;
+  config.val_fraction = 0.1;
+  config.seed = 2;
+  FederatedData data(DatasetSpec::mnist(), config);
+
+  EXPECT_EQ(data.num_clients(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const ClientData& cd = data.client(k);
+    // 60 local examples → 54 train + 6 val.
+    EXPECT_EQ(cd.train_images.shape()[0], 54u);
+    EXPECT_EQ(cd.train_labels.size(), 54u);
+    EXPECT_EQ(cd.val_images.shape()[0], 6u);
+    EXPECT_EQ(cd.test_images.shape()[0], cd.labels_present.size() * 10);
+    EXPECT_EQ(cd.train_images.shape()[1], 1u);
+    EXPECT_EQ(cd.train_images.shape()[2], 28u);
+  }
+}
+
+TEST(FederatedData, TestSetOnlyClientLabels) {
+  FederatedDataConfig config;
+  config.partition = {6, 2, 20};
+  config.test_per_class = 5;
+  config.seed = 3;
+  FederatedData data(DatasetSpec::mnist(), config);
+
+  for (std::size_t k = 0; k < data.num_clients(); ++k) {
+    const ClientData& cd = data.client(k);
+    std::set<std::int32_t> allowed(cd.labels_present.begin(), cd.labels_present.end());
+    for (const std::int32_t l : cd.test_labels) EXPECT_TRUE(allowed.count(l));
+    for (const std::int32_t l : cd.train_labels) EXPECT_TRUE(allowed.count(l));
+    for (const std::int32_t l : cd.val_labels) EXPECT_TRUE(allowed.count(l));
+  }
+}
+
+TEST(FederatedData, DeterministicAcrossConstructions) {
+  FederatedDataConfig config;
+  config.partition = {3, 2, 15};
+  config.seed = 9;
+  FederatedData a(DatasetSpec::mnist(), config);
+  FederatedData b(DatasetSpec::mnist(), config);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(a.client(k).train_images, b.client(k).train_images);
+    EXPECT_EQ(a.client(k).train_labels, b.client(k).train_labels);
+    EXPECT_EQ(a.client(k).test_images, b.client(k).test_images);
+  }
+}
+
+TEST(FederatedData, SharedTestPoolConsistentAcrossClients) {
+  // Clients sharing a label see the *same* test images for it (the global
+  // test pool filtered per client, not freshly sampled).
+  FederatedDataConfig config;
+  config.partition = {8, 2, 25};
+  config.test_per_class = 4;
+  config.seed = 4;
+  FederatedData data(DatasetSpec::mnist(), config);
+
+  std::map<std::int32_t, Tensor> first_seen;
+  for (std::size_t k = 0; k < data.num_clients(); ++k) {
+    const ClientData& cd = data.client(k);
+    const std::size_t per = 4;
+    for (std::size_t li = 0; li < cd.labels_present.size(); ++li) {
+      const std::int32_t label = cd.labels_present[li];
+      // Extract this label's first test image from the stacked tensor.
+      const std::size_t row = cd.test_images.numel() / cd.test_images.shape()[0];
+      Tensor img({1, 28, 28});
+      for (std::size_t i = 0; i < row; ++i) img[i] = cd.test_images[li * per * row + i];
+      auto [it, inserted] = first_seen.emplace(label, img);
+      if (!inserted) EXPECT_EQ(it->second, img) << "label " << label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subfed

@@ -1,0 +1,161 @@
+// Algorithm 2 (hybrid) on the paper's CIFAR configuration (LeNet-5), plus
+// deeper-model coverage: the full structured+unstructured interplay on the
+// architectures the paper evaluates and the CnnDeep extension.
+#include <gtest/gtest.h>
+
+#include "core/subfedavg_client.h"
+#include "fl/driver.h"
+#include "fl/subfedavg.h"
+#include "metrics/flops.h"
+#include "metrics/sparsity.h"
+#include "util/logging.h"
+
+namespace subfed {
+namespace {
+
+const FederatedData& cifar_data() {
+  static FederatedData instance(DatasetSpec::cifar10(), [] {
+    FederatedDataConfig config;
+    config.partition = {6, 2, 25};
+    config.test_per_class = 8;
+    config.seed = 61;
+    return config;
+  }());
+  return instance;
+}
+
+FlContext cifar_ctx() {
+  set_log_level(LogLevel::kWarn);
+  FlContext c;
+  c.data = &cifar_data();
+  c.spec = ModelSpec::lenet5(10);
+  c.train = {2, 10};
+  c.seed = 61;
+  return c;
+}
+
+SubFedAvgConfig hybrid_config() {
+  SubFedAvgConfig config;
+  config.hybrid = true;
+  config.unstructured = {0.0, 0.6, 0.0, 0.25};
+  config.structured = {0.0, 0.5, 0.0, 0.3};
+  return config;
+}
+
+TEST(HybridLeNet, FederationPrunesBothDimensions) {
+  SubFedAvg alg(cifar_ctx(), hybrid_config());
+  DriverConfig driver{/*rounds=*/6, /*sample_rate=*/0.5, 0, 61};
+  const RunResult result = run_federation(alg, driver);
+
+  EXPECT_GT(alg.average_structured_pruned(), 0.2);
+  EXPECT_GT(alg.average_unstructured_pruned(), 0.3);
+  // Functional bound only: 6 rounds with gate-always-open pruning on the
+  // noisy CIFAR surrogate — well above 2-label chance, below convergence.
+  EXPECT_GT(result.final_avg_accuracy, 0.35);
+}
+
+TEST(HybridLeNet, FlopReductionTracksChannelMask) {
+  SubFedAvg alg(cifar_ctx(), hybrid_config());
+  DriverConfig driver{6, 0.5, 0, 61};
+  run_federation(alg, driver);
+
+  for (std::size_t k = 0; k < alg.num_clients(); ++k) {
+    const double channels_pruned = alg.client(k).structured_pruned();
+    const ReductionReport r = alg.client_reduction(k);
+    if (channels_pruned > 0.0) {
+      EXPECT_GT(r.flop_reduction, 0.0) << "client " << k;
+      // Channel pruning cuts FLOPs at least linearly in pruned channels.
+      EXPECT_GE(r.flop_reduction, channels_pruned * 0.8) << "client " << k;
+    }
+  }
+}
+
+TEST(HybridLeNet, SparsityReportSeparatesConvAndFc) {
+  SubFedAvg alg(cifar_ctx(), hybrid_config());
+  DriverConfig driver{5, 0.5, 0, 61};
+  run_federation(alg, driver);
+
+  SubFedAvgClient& client = alg.client(0);
+  Model model = cifar_ctx().spec.build();
+  model.load_state(client.personal_state());
+  ModelMask combined = client.combined_mask();
+  const auto rows = layer_sparsity(model, combined);
+
+  double fc_pruned = 0.0;
+  std::size_t fc_rows = 0;
+  for (const LayerSparsity& row : rows) {
+    if (row.name.rfind("fc", 0) == 0 && row.name.find("weight") != std::string::npos) {
+      fc_pruned += row.pruned_fraction();
+      ++fc_rows;
+    }
+  }
+  ASSERT_GT(fc_rows, 0u);
+  // Unstructured pruning concentrated in FC weights.
+  EXPECT_GT(fc_pruned / static_cast<double>(fc_rows), 0.2);
+}
+
+TEST(HybridLeNet, UploadMaskCoversConvAndFc) {
+  SubFedAvg alg(cifar_ctx(), hybrid_config());
+  DriverConfig driver{4, 0.5, 0, 61};
+  run_federation(alg, driver);
+  ModelMask mask = alg.client(1).combined_mask();
+  EXPECT_NE(mask.find("conv1.weight"), nullptr);
+  EXPECT_NE(mask.find("conv2.weight"), nullptr);
+  EXPECT_NE(mask.find("fc1.weight"), nullptr);
+  EXPECT_NE(mask.find("bn1.gamma"), nullptr);  // channel expansion covers BN
+}
+
+TEST(HybridDeep, SubFedAvgRunsOnCnnDeep) {
+  // The 4-conv-block extension model works end to end under Algorithm 2.
+  static FederatedData data(DatasetSpec::cifar10(), [] {
+    FederatedDataConfig config;
+    config.partition = {4, 2, 20};
+    config.test_per_class = 6;
+    config.seed = 62;
+    return config;
+  }());
+  FlContext ctx;
+  ctx.data = &data;
+  ctx.spec = ModelSpec::cnn_deep(10);
+  ctx.train = {1, 10};
+  ctx.seed = 62;
+
+  SubFedAvgConfig config = hybrid_config();
+  SubFedAvg alg(ctx, config);
+  DriverConfig driver{3, 0.75, 0, 62};
+  const RunResult result = run_federation(alg, driver);
+  EXPECT_GT(alg.average_structured_pruned(), 0.1);
+  EXPECT_GT(result.final_avg_accuracy, 0.2);
+  // All four blocks keep at least one channel.
+  for (std::size_t k = 0; k < alg.num_clients(); ++k) {
+    const ChannelMask& mask = alg.client(k).channel_mask();
+    for (std::size_t b = 0; b < mask.num_blocks(); ++b) {
+      std::size_t kept = 0;
+      for (const auto bit : mask.block(b)) kept += (bit != 0);
+      EXPECT_GE(kept, 1u) << "client " << k << " block " << b;
+    }
+  }
+}
+
+class HybridTargetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HybridTargetSweep, StructuredFractionRespectsTarget) {
+  const double target = GetParam();
+  SubFedAvgConfig config;
+  config.hybrid = true;
+  config.unstructured = {0.0, 0.5, 0.0, 0.3};
+  config.structured = {0.0, target, 0.0, 0.5};
+  SubFedAvg alg(cifar_ctx(), config);
+  DriverConfig driver{5, 0.75, 0, 61};
+  run_federation(alg, driver);
+
+  for (std::size_t k = 0; k < alg.num_clients(); ++k) {
+    // Never overshoots the target (floor quantization can undershoot).
+    EXPECT_LE(alg.client(k).structured_pruned(), target + 1e-9) << "client " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, HybridTargetSweep, ::testing::Values(0.2, 0.4, 0.6));
+
+}  // namespace
+}  // namespace subfed

@@ -1,0 +1,153 @@
+// ModelMask semantics: coverage, application, distance, composition.
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.h"
+#include "pruning/mask.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace subfed {
+namespace {
+
+Model make_model(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return ModelSpec::cnn5(10).build_init(rng);
+}
+
+TEST(ModelMask, AllPrunableCoversWeightsOnly) {
+  Model m = make_model();
+  ModelMask mask = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  EXPECT_NE(mask.find("conv1.weight"), nullptr);
+  EXPECT_NE(mask.find("fc1.weight"), nullptr);
+  EXPECT_EQ(mask.find("conv1.bias"), nullptr);
+  EXPECT_EQ(mask.find("bn1.gamma"), nullptr);
+  // Covered = conv1.w + conv2.w + fc1.w + fc2.w.
+  EXPECT_EQ(mask.covered(), 250u + 5000u + 16000u + 500u);
+  EXPECT_EQ(mask.kept(), mask.covered());
+  EXPECT_EQ(mask.pruned_fraction(), 0.0);
+}
+
+TEST(ModelMask, FcOnlyScope) {
+  Model m = make_model();
+  ModelMask mask = ModelMask::ones_like(m, MaskScope::kFcOnly);
+  EXPECT_EQ(mask.find("conv1.weight"), nullptr);
+  EXPECT_NE(mask.find("fc1.weight"), nullptr);
+  EXPECT_NE(mask.find("fc2.weight"), nullptr);
+  EXPECT_EQ(mask.covered(), 16000u + 500u);
+}
+
+TEST(ModelMask, ApplyToWeightsZeroesMasked) {
+  Model m = make_model();
+  ModelMask mask = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  Tensor* fc1 = mask.find("fc1.weight");
+  for (std::size_t i = 0; i < 100; ++i) (*fc1)[i] = 0.0f;
+  mask.apply_to_weights(m);
+
+  for (Parameter* p : m.parameters()) {
+    if (p->name == "fc1.weight") {
+      for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(p->value[i], 0.0f);
+      // Position 100 untouched (nonzero with overwhelming probability).
+      EXPECT_NE(p->value[100], 0.0f);
+    }
+  }
+}
+
+TEST(ModelMask, ApplyToGradsFreezesMasked) {
+  Model m = make_model();
+  for (Parameter* p : m.parameters()) p->grad.fill(1.0f);
+  ModelMask mask = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  (*mask.find("conv1.weight"))[0] = 0.0f;
+  mask.apply_to_grads(m);
+  for (Parameter* p : m.parameters()) {
+    if (p->name == "conv1.weight") {
+      EXPECT_EQ(p->grad[0], 0.0f);
+      EXPECT_EQ(p->grad[1], 1.0f);
+    }
+    if (p->name == "conv1.bias") EXPECT_EQ(p->grad[0], 1.0f);  // uncovered
+  }
+}
+
+TEST(ModelMask, PrunedFractionCountsZeros) {
+  Model m = make_model();
+  ModelMask mask = ModelMask::ones_like(m, MaskScope::kFcOnly);
+  Tensor* fc2 = mask.find("fc2.weight");
+  for (std::size_t i = 0; i < 250; ++i) (*fc2)[i] = 0.0f;
+  EXPECT_EQ(mask.kept(), 16500u - 250u);
+  EXPECT_NEAR(mask.pruned_fraction(), 250.0 / 16500.0, 1e-12);
+}
+
+TEST(ModelMask, HammingDistance) {
+  Model m = make_model();
+  ModelMask a = ModelMask::ones_like(m, MaskScope::kFcOnly);
+  ModelMask b = a;
+  EXPECT_EQ(ModelMask::hamming_distance(a, b), 0.0);
+  (*b.find("fc1.weight"))[0] = 0.0f;
+  (*b.find("fc1.weight"))[1] = 0.0f;
+  EXPECT_NEAR(ModelMask::hamming_distance(a, b), 2.0 / 16500.0, 1e-12);
+}
+
+TEST(ModelMask, HammingDistanceRequiresSameCoverage) {
+  Model m = make_model();
+  ModelMask a = ModelMask::ones_like(m, MaskScope::kFcOnly);
+  ModelMask b = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  EXPECT_THROW(ModelMask::hamming_distance(a, b), CheckError);
+}
+
+TEST(ModelMask, IntersectionAndsBitsAndUnionsCoverage) {
+  Model m = make_model();
+  ModelMask fc = ModelMask::ones_like(m, MaskScope::kFcOnly);
+  (*fc.find("fc1.weight"))[0] = 0.0f;
+
+  ModelMask conv;
+  conv.set("conv1.weight", Tensor({10, 1, 5, 5}, 1.0f));
+  (*conv.find("conv1.weight"))[3] = 0.0f;
+
+  ModelMask both = fc.intersected(conv);
+  EXPECT_NE(both.find("fc1.weight"), nullptr);
+  EXPECT_NE(both.find("conv1.weight"), nullptr);
+  EXPECT_EQ((*both.find("fc1.weight"))[0], 0.0f);
+  EXPECT_EQ((*both.find("conv1.weight"))[3], 0.0f);
+  EXPECT_EQ((*both.find("conv1.weight"))[4], 1.0f);
+
+  // Overlapping coverage ANDs.
+  ModelMask fc2 = ModelMask::ones_like(m, MaskScope::kFcOnly);
+  (*fc2.find("fc1.weight"))[1] = 0.0f;
+  ModelMask anded = fc.intersected(fc2);
+  EXPECT_EQ((*anded.find("fc1.weight"))[0], 0.0f);
+  EXPECT_EQ((*anded.find("fc1.weight"))[1], 0.0f);
+  EXPECT_EQ((*anded.find("fc1.weight"))[2], 1.0f);
+}
+
+TEST(ModelMask, JaccardOverlap) {
+  Model m = make_model();
+  ModelMask a = ModelMask::ones_like(m, MaskScope::kFcOnly);
+  ModelMask b = a;
+  EXPECT_EQ(ModelMask::jaccard_overlap(a, b), 1.0);
+  // Disjoint kept sets in a tiny window.
+  Tensor* ta = a.find("fc2.weight");
+  Tensor* tb = b.find("fc2.weight");
+  ta->zero();
+  tb->zero();
+  (*ta)[0] = 1.0f;
+  (*tb)[1] = 1.0f;
+  const double expected = 16000.0 / (16000.0 + 2.0);  // fc1 fully shared
+  EXPECT_NEAR(ModelMask::jaccard_overlap(a, b), expected, 1e-9);
+}
+
+TEST(ModelMask, SetReplacesExisting) {
+  ModelMask mask;
+  mask.set("w", Tensor({4}, 1.0f));
+  mask.set("w", Tensor({4}, 0.0f));
+  EXPECT_EQ(mask.num_entries(), 1u);
+  EXPECT_EQ(mask.kept(), 0u);
+}
+
+TEST(ModelMask, ApplyShapeMismatchThrows) {
+  Model m = make_model();
+  ModelMask mask;
+  mask.set("conv1.weight", Tensor({3}, 1.0f));
+  EXPECT_THROW(mask.apply_to_weights(m), CheckError);
+}
+
+}  // namespace
+}  // namespace subfed

@@ -1,0 +1,125 @@
+// FLOP/parameter accounting and summary statistics.
+#include <gtest/gtest.h>
+
+#include "metrics/flops.h"
+#include "metrics/stats.h"
+#include "nn/model_zoo.h"
+#include "pruning/unstructured.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace subfed {
+namespace {
+
+TEST(Flops, DenseLeNetMatchesHandCount) {
+  Model m = ModelSpec::lenet5(10).build();
+  // conv1: 2·28·28·6·3·25, conv2: 2·10·10·16·6·25.
+  const std::size_t expected = 2ull * 28 * 28 * 6 * 3 * 25 + 2ull * 10 * 10 * 16 * 6 * 25;
+  EXPECT_EQ(dense_conv_flops(m), expected);
+}
+
+TEST(Flops, DenseCnn5MatchesHandCount) {
+  Model m = ModelSpec::cnn5(10).build();
+  // conv1: 2·24·24·10·1·25, conv2: 2·8·8·20·10·25.
+  const std::size_t expected = 2ull * 24 * 24 * 10 * 1 * 25 + 2ull * 8 * 8 * 20 * 10 * 25;
+  EXPECT_EQ(dense_conv_flops(m), expected);
+}
+
+TEST(Flops, FullMaskEqualsDense) {
+  Model m = ModelSpec::lenet5(10).build();
+  const ChannelMask mask = ChannelMask::ones_like(m);
+  EXPECT_EQ(pruned_conv_flops(m, mask), dense_conv_flops(m));
+}
+
+TEST(Flops, HalfChannelsGiveRoughlyQuarterSecondLayer) {
+  Model m = ModelSpec::lenet5(10).build();
+  ChannelMask mask = ChannelMask::ones_like(m);
+  // Prune half of conv1 (3/6) and half of conv2 (8/16).
+  for (std::size_t c = 0; c < 3; ++c) mask.block(0)[c] = 0;
+  for (std::size_t c = 0; c < 8; ++c) mask.block(1)[c] = 0;
+
+  // conv1: out 3 of 6 → ×0.5; conv2: in 3/6 × out 8/16 → ×0.25.
+  const std::size_t conv1 = 2ull * 28 * 28 * 3 * 3 * 25;
+  const std::size_t conv2 = 2ull * 10 * 10 * 8 * 3 * 25;
+  EXPECT_EQ(pruned_conv_flops(m, mask), conv1 + conv2);
+
+  // The paper's headline: ~50% channels pruned ⇒ >2× conv-FLOP speedup.
+  const double speedup = static_cast<double>(dense_conv_flops(m)) /
+                         static_cast<double>(pruned_conv_flops(m, mask));
+  EXPECT_GT(speedup, 2.0);
+  EXPECT_LT(speedup, 5.0);
+}
+
+TEST(Params, DenseCountsAndKeptUnderMask) {
+  Rng rng(1);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  EXPECT_EQ(dense_parameter_count(m), m.num_parameters());
+
+  ModelMask mask = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  EXPECT_EQ(kept_parameter_count(m, mask), m.num_parameters());
+
+  mask = derive_magnitude_mask(m, mask, 0.5);
+  const std::size_t kept = kept_parameter_count(m, mask);
+  // Uncovered params (biases, BN) all kept; covered at 50%.
+  const std::size_t covered = mask.covered();
+  const std::size_t uncovered = m.num_parameters() - covered;
+  EXPECT_NEAR(static_cast<double>(kept),
+              static_cast<double>(uncovered) + 0.5 * static_cast<double>(covered),
+              4.0);
+}
+
+TEST(ReductionReport, CombinesStructuredAndUnstructured) {
+  Rng rng(2);
+  Model m = ModelSpec::lenet5(10).build_init(rng);
+  ChannelMask channels = ChannelMask::ones_like(m);
+  for (std::size_t c = 0; c < 3; ++c) channels.block(0)[c] = 0;
+  for (std::size_t c = 0; c < 8; ++c) channels.block(1)[c] = 0;
+  ModelMask weights = ModelMask::ones_like(m, MaskScope::kFcOnly);
+  weights = derive_magnitude_mask(m, weights, 0.7);
+
+  const ReductionReport report = reduction_report(m, &channels, &weights);
+  EXPECT_GT(report.flop_reduction, 0.5);
+  EXPECT_GT(report.flop_speedup, 2.0);
+  // FC is ~95% of LeNet params; 70% of it pruned plus conv channels.
+  EXPECT_GT(report.param_reduction, 0.6);
+  EXPECT_LT(report.param_reduction, 0.9);
+}
+
+TEST(ReductionReport, DenseBaselineIsZero) {
+  Rng rng(3);
+  Model m = ModelSpec::lenet5(10).build_init(rng);
+  const ReductionReport report = reduction_report(m, nullptr, nullptr);
+  EXPECT_EQ(report.flop_reduction, 0.0);
+  EXPECT_EQ(report.param_reduction, 0.0);
+  EXPECT_EQ(report.flop_speedup, 1.0);
+}
+
+TEST(Summary, MomentsAndExtremes) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+  EXPECT_EQ(s.count, 4u);
+
+  const Summary empty = summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.mean, 0.0);
+}
+
+TEST(Series, FirstReaching) {
+  Series s;
+  s.push(0.1);
+  s.push(0.5);
+  s.push(0.4);
+  s.push(0.9);
+  EXPECT_EQ(s.first_reaching(0.45), 1u);
+  EXPECT_EQ(s.first_reaching(0.95), 4u);  // never → size()
+  EXPECT_EQ(s.back(), 0.9);
+  EXPECT_EQ(s.at(2), 0.4);
+  EXPECT_THROW(s.at(9), CheckError);
+}
+
+}  // namespace
+}  // namespace subfed

@@ -1,0 +1,205 @@
+// Optimizer and training-loop behaviour.
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "nn/model_zoo.h"
+#include "nn/sgd.h"
+#include "nn/trainer.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace subfed {
+namespace {
+
+TEST(Sgd, PlainStepDescends) {
+  Parameter p("w", Tensor({2}, std::vector<float>{1.0f, -1.0f}), true);
+  p.grad = Tensor({2}, std::vector<float>{0.5f, -0.5f});
+  Sgd opt({&p}, {/*lr=*/0.1f, /*momentum=*/0.0f, /*weight_decay=*/0.0f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value[1], -1.0f + 0.1f * 0.5f);
+  // Grads zeroed after step.
+  EXPECT_EQ(p.grad.squared_norm(), 0.0);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Parameter p("w", Tensor({1}, std::vector<float>{0.0f}), true);
+  Sgd opt({&p}, {/*lr=*/1.0f, /*momentum=*/0.5f, /*weight_decay=*/0.0f});
+  p.grad[0] = 1.0f;
+  opt.step();  // v=1, w=-1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+  p.grad[0] = 1.0f;
+  opt.step();  // v=1.5, w=-2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+  opt.reset_momentum();
+  p.grad[0] = 1.0f;
+  opt.step();  // v=1 again
+  EXPECT_FLOAT_EQ(p.value[0], -3.5f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Parameter p("w", Tensor({1}, std::vector<float>{2.0f}), true);
+  Sgd opt({&p}, {/*lr=*/0.1f, /*momentum=*/0.0f, /*weight_decay=*/0.5f});
+  p.grad[0] = 0.0f;
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 2.0f - 0.1f * (0.5f * 2.0f));
+}
+
+TEST(Sgd, RequiresParameters) {
+  EXPECT_THROW(Sgd({}, {}), CheckError);
+}
+
+TEST(GatherRows, SelectsAndValidates) {
+  Tensor images({3, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  std::vector<std::size_t> idx{2, 0};
+  Tensor batch = gather_rows(images, idx);
+  EXPECT_EQ(batch.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(batch.at2(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(batch.at2(1, 1), 2.0f);
+  std::vector<std::size_t> bad{3};
+  EXPECT_THROW(gather_rows(images, bad), CheckError);
+}
+
+// A linearly separable 2-class problem a linear model must learn.
+struct ToyProblem {
+  Tensor images;
+  std::vector<std::int32_t> labels;
+
+  static ToyProblem make(std::size_t n, Rng& rng) {
+    ToyProblem p;
+    p.images = Tensor({n, 4});
+    p.labels.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t y = static_cast<std::int32_t>(rng.uniform_index(2));
+      const float sign = y == 0 ? -1.0f : 1.0f;
+      for (std::size_t d = 0; d < 4; ++d) {
+        p.images.at2(i, d) = sign * 1.0f + static_cast<float>(rng.normal(0.0, 0.3));
+      }
+      p.labels[i] = y;
+    }
+    return p;
+  }
+};
+
+TEST(TrainLocal, LearnsSeparableProblem) {
+  Rng rng(11);
+  ToyProblem train = ToyProblem::make(128, rng);
+  ToyProblem test = ToyProblem::make(64, rng);
+
+  Model m;
+  auto* fc = m.add(std::make_unique<Linear>("fc", 4, 2));
+  fc->init(rng);
+  Sgd opt(m.parameters(), {0.05f, 0.5f, 0.0f});
+
+  Rng train_rng = rng.split("train");
+  const TrainStats stats =
+      train_local(m, opt, train.images, train.labels, {/*epochs=*/5, /*batch=*/16}, train_rng);
+  EXPECT_GT(stats.last_epoch_accuracy, 0.9);
+  EXPECT_EQ(stats.steps, 5 * 128 / 16);
+
+  const EvalStats eval = evaluate(m, test.images, test.labels);
+  EXPECT_GT(eval.accuracy, 0.9);
+  EXPECT_EQ(eval.examples, 64u);
+}
+
+TEST(TrainLocal, EpochCallbackFiresInOrder) {
+  Rng rng(12);
+  ToyProblem train = ToyProblem::make(32, rng);
+  Model m;
+  auto* fc = m.add(std::make_unique<Linear>("fc", 4, 2));
+  fc->init(rng);
+  Sgd opt(m.parameters(), {0.01f, 0.0f, 0.0f});
+
+  std::vector<std::size_t> epochs;
+  Rng train_rng = rng.split("train");
+  train_local(m, opt, train.images, train.labels, {3, 8}, train_rng,
+              [&](std::size_t e) { epochs.push_back(e); });
+  EXPECT_EQ(epochs, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(TrainLocal, GradHookRunsEveryStep) {
+  Rng rng(13);
+  ToyProblem train = ToyProblem::make(32, rng);
+  Model m;
+  auto* fc = m.add(std::make_unique<Linear>("fc", 4, 2));
+  fc->init(rng);
+  Sgd opt(m.parameters(), {0.01f, 0.0f, 0.0f});
+
+  std::size_t calls = 0;
+  Rng train_rng = rng.split("train");
+  const TrainStats stats = train_local(m, opt, train.images, train.labels, {2, 8},
+                                       train_rng, {}, [&](Model&) { ++calls; });
+  EXPECT_EQ(calls, stats.steps);
+}
+
+TEST(TrainLocal, ZeroingGradHookFreezesModel) {
+  Rng rng(14);
+  ToyProblem train = ToyProblem::make(32, rng);
+  Model m;
+  auto* fc = m.add(std::make_unique<Linear>("fc", 4, 2));
+  fc->init(rng);
+  const StateDict before = m.state();
+
+  Sgd opt(m.parameters(), {0.1f, 0.5f, 0.0f});
+  Rng train_rng = rng.split("train");
+  train_local(m, opt, train.images, train.labels, {2, 8}, train_rng, {},
+              [](Model& model) {
+                for (Parameter* p : model.parameters()) p->grad.zero();
+              });
+  const StateDict after = m.state();
+  for (std::size_t e = 0; e < before.size(); ++e) {
+    EXPECT_EQ(before[e].second, after[e].second) << before[e].first;
+  }
+}
+
+TEST(TrainLocal, BatchLargerThanDatasetClamps) {
+  Rng rng(15);
+  ToyProblem train = ToyProblem::make(5, rng);
+  Model m;
+  auto* fc = m.add(std::make_unique<Linear>("fc", 4, 2));
+  fc->init(rng);
+  Sgd opt(m.parameters(), {0.01f, 0.0f, 0.0f});
+  Rng train_rng = rng.split("train");
+  const TrainStats stats =
+      train_local(m, opt, train.images, train.labels, {1, 64}, train_rng);
+  EXPECT_EQ(stats.steps, 1u);
+}
+
+TEST(TrainLocal, DeterministicGivenSameRng) {
+  Rng rng(16);
+  ToyProblem train = ToyProblem::make(64, rng);
+
+  auto run = [&](std::uint64_t seed) {
+    Rng init(17);
+    Model m;
+    auto* fc = m.add(std::make_unique<Linear>("fc", 4, 2));
+    fc->init(init);
+    Sgd opt(m.parameters(), {0.05f, 0.5f, 0.0f});
+    Rng train_rng(seed);
+    train_local(m, opt, train.images, train.labels, {3, 8}, train_rng);
+    return m.state();
+  };
+
+  const StateDict a = run(100), b = run(100), c = run(101);
+  bool identical_ab = true, identical_ac = true;
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    identical_ab &= (a[e].second == b[e].second);
+    identical_ac &= (a[e].second == c[e].second);
+  }
+  EXPECT_TRUE(identical_ab);
+  EXPECT_FALSE(identical_ac);  // different shuffle order ⇒ different floats
+}
+
+TEST(Evaluate, EmptySetYieldsZero) {
+  Model m;
+  auto* fc = m.add(std::make_unique<Linear>("fc", 4, 2));
+  (void)fc;
+  Tensor empty({0, 4});
+  std::vector<std::int32_t> labels;
+  const EvalStats stats = evaluate(m, empty, labels);
+  EXPECT_EQ(stats.examples, 0u);
+  EXPECT_EQ(stats.accuracy, 0.0);
+}
+
+}  // namespace
+}  // namespace subfed

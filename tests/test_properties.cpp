@@ -1,0 +1,249 @@
+// Property-style sweeps (TEST_P) over invariants that must hold for every
+// configuration: pruning schedules, mask algebra, aggregation conservation,
+// serialization round-trips, partition arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/serialize.h"
+#include "core/aggregate.h"
+#include "data/partition.h"
+#include "nn/model_zoo.h"
+#include "pruning/structured.h"
+#include "pruning/unstructured.h"
+#include "util/rng.h"
+
+namespace subfed {
+namespace {
+
+// ---------- Pruning schedule properties ------------------------------------
+
+class ScheduleSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ScheduleSweep, MonotoneBoundedConvergent) {
+  const auto [rate, target] = GetParam();
+  double pruned = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double next = next_pruned_fraction(pruned, rate, target);
+    EXPECT_GE(next, pruned);       // monotone
+    EXPECT_LE(next, target + 1e-12);  // never overshoots
+    pruned = next;
+  }
+  EXPECT_NEAR(pruned, target, 1e-6);  // converges
+}
+
+INSTANTIATE_TEST_SUITE_P(RatesAndTargets, ScheduleSweep,
+                         ::testing::Combine(::testing::Values(0.05, 0.1, 0.2, 0.5),
+                                            ::testing::Values(0.3, 0.5, 0.7, 0.9)));
+
+// ---------- Magnitude-mask properties over target sweep ---------------------
+
+class MagnitudeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MagnitudeSweep, FractionMatchesTargetAndMaskIsBinary) {
+  const double target = GetParam();
+  Rng rng(static_cast<std::uint64_t>(target * 1000));
+  Model m = ModelSpec::lenet5(10).build_init(rng);
+  ModelMask ones = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  ModelMask pruned = derive_magnitude_mask(m, ones, target);
+
+  EXPECT_NEAR(pruned.pruned_fraction(), target, 0.01);
+  for (const auto& [name, mask] : pruned) {
+    for (std::size_t i = 0; i < mask.numel(); ++i) {
+      EXPECT_TRUE(mask[i] == 0.0f || mask[i] == 1.0f);
+    }
+  }
+  // Kept weights dominate pruned weights in magnitude per layer: the largest
+  // pruned |w| cannot exceed the smallest kept |w| within a tensor.
+  for (const auto& [name, mask] : pruned) {
+    const Tensor* w = nullptr;
+    for (Parameter* p : m.parameters()) {
+      if (p->name == name) w = &p->value;
+    }
+    ASSERT_NE(w, nullptr);
+    float max_pruned = 0.0f, min_kept = 1e30f;
+    for (std::size_t i = 0; i < mask.numel(); ++i) {
+      const float a = std::fabs((*w)[i]);
+      if (mask[i] == 0.0f) {
+        max_pruned = std::max(max_pruned, a);
+      } else {
+        min_kept = std::min(min_kept, a);
+      }
+    }
+    EXPECT_LE(max_pruned, min_kept + 1e-6f) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, MagnitudeSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+// ---------- Channel-mask properties -----------------------------------------
+
+class ChannelSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChannelSweep, ExpansionConsistentWithCensus) {
+  const double target = GetParam();
+  Rng rng(static_cast<std::uint64_t>(target * 977));
+  Model m = ModelSpec::lenet5(10).build_init(rng);
+  ChannelMask mask = derive_channel_mask(m, ChannelMask::ones_like(m), target);
+
+  // Census identity: total = kept + pruned.
+  EXPECT_EQ(mask.total_channels(),
+            mask.kept_channels() + static_cast<std::size_t>(std::llround(
+                                       mask.pruned_fraction() * mask.total_channels())));
+
+  // Expanded mask zero-set grows with the channel pruned fraction.
+  ModelMask expanded = mask.to_model_mask(m);
+  if (target > 0.0 && mask.pruned_fraction() > 0.0) {
+    EXPECT_GT(expanded.pruned_fraction(), 0.0);
+  }
+  // Applying the expansion twice is idempotent.
+  expanded.apply_to_weights(m);
+  const StateDict once = m.state();
+  expanded.apply_to_weights(m);
+  const StateDict twice = m.state();
+  for (std::size_t e = 0; e < once.size(); ++e) {
+    EXPECT_EQ(once[e].second, twice[e].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, ChannelSweep, ::testing::Values(0.0, 0.2, 0.5, 0.8));
+
+// ---------- Aggregation conservation properties ------------------------------
+
+class AggregateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregateSweep, OutputWithinClientEnvelopeAndMaskRespected) {
+  const int num_clients = GetParam();
+  Rng rng(100 + num_clients);
+  Model reference = ModelSpec::cnn5(10).build_init(rng);
+  const StateDict prev = reference.state();
+
+  std::vector<ClientUpdate> updates;
+  for (int k = 0; k < num_clients; ++k) {
+    Rng crng = rng.split("client", k);
+    Model m = ModelSpec::cnn5(10).build_init(crng);
+    ModelMask mask = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+    mask = derive_magnitude_mask(m, mask, 0.3 + 0.1 * (k % 3));
+    mask.apply_to_weights(m);
+    updates.push_back({m.state(), mask, 100});
+  }
+
+  const StateDict merged = sub_fedavg_aggregate(updates, prev);
+  for (std::size_t e = 0; e < merged.size(); ++e) {
+    const auto& [name, tensor] = merged[e];
+    for (std::size_t i = 0; i < tensor.numel(); ++i) {
+      // Every output entry lies within [min, max] over {clients' kept values,
+      // previous global} — averaging cannot extrapolate.
+      float lo = prev[e].second[i], hi = prev[e].second[i];
+      for (const ClientUpdate& u : updates) {
+        const float v = u.state[e].second[i];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      EXPECT_GE(tensor[i], lo - 1e-5f) << name;
+      EXPECT_LE(tensor[i], hi + 1e-5f) << name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClientCounts, AggregateSweep, ::testing::Values(1, 2, 5, 9));
+
+// ---------- Serialization round-trip sweep -----------------------------------
+
+class SerializeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SerializeSweep, RoundTripAtEverySparsity) {
+  const double target = GetParam();
+  Rng rng(static_cast<std::uint64_t>(target * 31337) + 7);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  ModelMask mask = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  if (target > 0.0) mask = derive_magnitude_mask(m, mask, target);
+  mask.apply_to_weights(m);
+  const StateDict state = m.state();
+
+  const StateDict decoded = decode_update(encode_update(state, &mask));
+  ASSERT_EQ(decoded.size(), state.size());
+  for (std::size_t e = 0; e < state.size(); ++e) {
+    EXPECT_EQ(decoded[e].second, state[e].second) << state[e].first;
+  }
+  // Payload shrinks monotonically with sparsity (checked against the dense
+  // encoding; bitmaps round up per covered tensor, hence the num_entries
+  // slack).
+  EXPECT_LE(payload_bytes(state, &mask),
+            payload_bytes(state, nullptr) + (mask.covered() + 7) / 8 +
+                mask.num_entries());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, SerializeSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 0.95));
+
+// ---------- Partition arithmetic sweep ----------------------------------------
+
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PartitionSweep, ExactCoverageAndClientSizes) {
+  const auto [clients, shards, shard_size] = GetParam();
+  const DatasetSpec spec = DatasetSpec::mnist();
+  ShardPartitioner part(spec,
+                        {static_cast<std::size_t>(clients),
+                         static_cast<std::size_t>(shards),
+                         static_cast<std::size_t>(shard_size)},
+                        Rng(clients * 100 + shards));
+
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < part.num_clients(); ++k) {
+    EXPECT_EQ(part.client(k).examples.size(),
+              static_cast<std::size_t>(shards) * shard_size);
+    total += part.client(k).examples.size();
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(clients) * shards * shard_size);
+  // Every example index is within the per-class pool bound.
+  for (std::size_t k = 0; k < part.num_clients(); ++k) {
+    for (const ExampleRef& ref : part.client(k).examples) {
+      EXPECT_LT(ref.index, part.pool_per_class());
+      EXPECT_LT(static_cast<std::size_t>(ref.label), spec.num_classes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PartitionSweep,
+                         ::testing::Values(std::make_tuple(5, 2, 20),
+                                           std::make_tuple(10, 2, 50),
+                                           std::make_tuple(7, 3, 13),
+                                           std::make_tuple(20, 2, 100),
+                                           std::make_tuple(1, 1, 10)));
+
+// ---------- Mask algebra properties -------------------------------------------
+
+class MaskAlgebraSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MaskAlgebraSweep, IntersectionIsCommutativeIdempotentAndTightens) {
+  const double target = GetParam();
+  Rng rng(static_cast<std::uint64_t>(target * 555) + 3);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  ModelMask a = derive_magnitude_mask(m, ModelMask::ones_like(m, MaskScope::kAllPrunable),
+                                      target);
+  // Re-randomize and derive an unrelated mask b.
+  for (Parameter* p : m.parameters()) {
+    Rng r = rng.split(p->name);
+    p->value.fill_normal(r, 0.0f, 1.0f);
+  }
+  ModelMask b = derive_magnitude_mask(m, ModelMask::ones_like(m, MaskScope::kAllPrunable),
+                                      target);
+
+  const ModelMask ab = a.intersected(b);
+  const ModelMask ba = b.intersected(a);
+  EXPECT_EQ(ModelMask::hamming_distance(ab, ba), 0.0);                 // commutative
+  EXPECT_EQ(ModelMask::hamming_distance(ab, ab.intersected(ab)), 0.0); // idempotent
+  EXPECT_GE(ab.pruned_fraction(), a.pruned_fraction() - 1e-12);        // tightens
+  EXPECT_GE(ab.pruned_fraction(), b.pruned_fraction() - 1e-12);
+  // Jaccard symmetric.
+  EXPECT_DOUBLE_EQ(ModelMask::jaccard_overlap(a, b), ModelMask::jaccard_overlap(b, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, MaskAlgebraSweep, ::testing::Values(0.2, 0.5, 0.8));
+
+}  // namespace
+}  // namespace subfed

@@ -1,0 +1,183 @@
+// FedAvg+FT baseline and corrupted-update handling.
+#include <gtest/gtest.h>
+
+#include "core/aggregate.h"
+#include "fl/driver.h"
+#include "fl/fedavg.h"
+#include "fl/fedavg_ft.h"
+#include "fl/robust.h"
+#include "util/logging.h"
+
+namespace subfed {
+namespace {
+
+const FederatedData& data() {
+  static FederatedData instance(DatasetSpec::mnist(), [] {
+    FederatedDataConfig config;
+    config.partition = {6, 2, 25};
+    config.test_per_class = 8;
+    config.seed = 41;
+    return config;
+  }());
+  return instance;
+}
+
+FlContext ctx() {
+  set_log_level(LogLevel::kWarn);
+  FlContext c;
+  c.data = &data();
+  c.spec = ModelSpec::cnn5(10);
+  c.train = {2, 10};
+  c.seed = 41;
+  return c;
+}
+
+TEST(FedAvgFinetune, BeatsPlainFedAvgOnPersonalizedEval) {
+  DriverConfig driver{/*rounds=*/5, /*sample_rate=*/1.0, 0, 41};
+
+  FedAvg plain(ctx());
+  const double plain_acc = run_federation(plain, driver).final_avg_accuracy;
+
+  FedAvgFinetune ft(ctx(), /*finetune_epochs=*/2);
+  const double ft_acc = run_federation(ft, driver).final_avg_accuracy;
+
+  // Fine-tuning on local data recovers personalization the global model
+  // lacks under non-IID splits.
+  EXPECT_GT(ft_acc, plain_acc + 0.1);
+  EXPECT_GT(ft.extra_finetune_steps(), 0u);
+}
+
+TEST(FedAvgFinetune, ZeroEpochsEqualsPlainFedAvg) {
+  DriverConfig driver{3, 1.0, 0, 41};
+  FedAvg plain(ctx());
+  const double plain_acc = run_federation(plain, driver).final_avg_accuracy;
+  FedAvgFinetune ft(ctx(), 0);
+  const double ft_acc = run_federation(ft, driver).final_avg_accuracy;
+  EXPECT_EQ(plain_acc, ft_acc);
+  EXPECT_EQ(ft.extra_finetune_steps(), 0u);
+}
+
+TEST(FedAvgFinetune, TracksOverheadSteps) {
+  FedAvgFinetune ft(ctx(), 2);
+  DriverConfig driver{2, 1.0, 0, 41};
+  run_federation(ft, driver);
+  // Each of the 6 clients fine-tunes 2 epochs over 45 examples at batch 10
+  // (= 5 steps/epoch) at final evaluation; intermediate evals add more.
+  EXPECT_GE(ft.extra_finetune_steps(), 6u * 2 * 5);
+}
+
+TEST(CorruptUpdate, ReplacesPayloadKeepsMetadata) {
+  Rng rng(1);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  ClientUpdate update;
+  update.state = m.state();
+  update.num_examples = 123;
+  const StateDict original = update.state;
+
+  CorruptionConfig config{1.0, 2.0f};
+  corrupt_update(update, config, rng);
+  EXPECT_EQ(update.num_examples, 123u);
+  bool changed = false;
+  for (std::size_t e = 0; e < original.size(); ++e) {
+    changed |= !(update.state[e].second == original[e].second);
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(UpdateDistance, ZeroForIdenticalAndPositiveOtherwise) {
+  Rng rng(2);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  ClientUpdate update;
+  update.state = m.state();
+  EXPECT_DOUBLE_EQ(update_distance(update, m.state()), 0.0);
+
+  StateDict shifted = m.state();
+  (*shifted.find("fc1.weight"))[0] += 3.0f;
+  EXPECT_NEAR(update_distance(update, shifted), 3.0, 1e-5);
+}
+
+TEST(NormFilter, DropsObviousOutliers) {
+  Rng rng(3);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  const StateDict global = m.state();
+
+  std::vector<ClientUpdate> updates;
+  for (int k = 0; k < 5; ++k) {
+    ClientUpdate u;
+    u.state = global;
+    // Honest clients drift slightly.
+    (*u.state.find("fc1.weight"))[static_cast<std::size_t>(k)] += 0.01f;
+    updates.push_back(std::move(u));
+  }
+  // One corrupted update far away.
+  CorruptionConfig config{1.0, 5.0f};
+  Rng crng(4);
+  corrupt_update(updates[2], config, crng);
+
+  const auto passed = filter_updates_by_norm(updates, global, /*filter_factor=*/3.0);
+  EXPECT_EQ(passed.size(), 4u);
+  for (const std::size_t i : passed) EXPECT_NE(i, 2u);
+}
+
+TEST(NormFilter, SmallCohortsPassThrough) {
+  Rng rng(5);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  std::vector<ClientUpdate> updates(2);
+  updates[0].state = m.state();
+  updates[1].state = m.state();
+  const auto passed = filter_updates_by_norm(updates, m.state(), 3.0);
+  EXPECT_EQ(passed.size(), 2u);
+}
+
+TEST(NormFilter, DegenerateMedianKeepsEveryone) {
+  Rng rng(6);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  // All updates identical to the global → all distances zero → median zero.
+  std::vector<ClientUpdate> updates(4);
+  for (auto& u : updates) u.state = m.state();
+  const auto passed = filter_updates_by_norm(updates, m.state(), 3.0);
+  EXPECT_EQ(passed.size(), 4u);
+}
+
+TEST(NormFilter, FilteredAggregationSurvivesCorruption) {
+  // End-to-end: aggregate honest + corrupted cohorts with and without the
+  // filter; the filtered global stays near the honest mean.
+  Rng rng(7);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  const StateDict global = m.state();
+
+  std::vector<ClientUpdate> updates;
+  for (int k = 0; k < 6; ++k) {
+    ClientUpdate u;
+    u.state = global;
+    u.num_examples = 10;
+    updates.push_back(std::move(u));
+  }
+  Rng crng(8);
+  CorruptionConfig config{1.0, 10.0f};
+  corrupt_update(updates[0], config, crng);
+  corrupt_update(updates[3], config, crng);
+
+  // Unfiltered FedAvg gets dragged away from the honest value.
+  const StateDict dirty = fedavg_aggregate(updates);
+  double dirty_drift = 0.0;
+  for (std::size_t e = 0; e < global.size(); ++e) {
+    Tensor diff = sub(dirty[e].second, global[e].second);
+    dirty_drift += diff.squared_norm();
+  }
+
+  const auto passed = filter_updates_by_norm(updates, global, 3.0);
+  std::vector<ClientUpdate> clean;
+  for (const std::size_t i : passed) clean.push_back(updates[i]);
+  const StateDict filtered = fedavg_aggregate(clean);
+  double clean_drift = 0.0;
+  for (std::size_t e = 0; e < global.size(); ++e) {
+    Tensor diff = sub(filtered[e].second, global[e].second);
+    clean_drift += diff.squared_norm();
+  }
+  EXPECT_LT(clean_drift, 1e-9);
+  EXPECT_GT(dirty_drift, 1.0);
+}
+
+}  // namespace
+}  // namespace subfed

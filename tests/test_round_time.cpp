@@ -1,0 +1,90 @@
+// Synchronous-round wall-clock model (comm/round_time.h).
+#include <gtest/gtest.h>
+
+#include "comm/round_time.h"
+#include "util/check.h"
+
+namespace subfed {
+namespace {
+
+TEST(LinkFleet, UniformWhenSpreadIsOne) {
+  LinkModel base;
+  LinkFleet fleet(8, base, /*spread=*/1.0, Rng(1));
+  for (std::size_t k = 0; k < fleet.size(); ++k) {
+    EXPECT_DOUBLE_EQ(fleet.link(k).up_bytes_per_s, base.uplink_bytes_per_s);
+    EXPECT_DOUBLE_EQ(fleet.link(k).down_bytes_per_s, base.downlink_bytes_per_s);
+  }
+}
+
+TEST(LinkFleet, SpreadBoundsRates) {
+  LinkModel base;
+  const double spread = 5.0;
+  LinkFleet fleet(64, base, spread, Rng(2));
+  bool any_slow = false;
+  for (std::size_t k = 0; k < fleet.size(); ++k) {
+    EXPECT_LE(fleet.link(k).up_bytes_per_s, base.uplink_bytes_per_s + 1e-9);
+    EXPECT_GE(fleet.link(k).up_bytes_per_s, base.uplink_bytes_per_s / spread - 1e-9);
+    any_slow |= fleet.link(k).up_bytes_per_s < 0.5 * base.uplink_bytes_per_s;
+  }
+  EXPECT_TRUE(any_slow);  // the tail exists with 64 draws
+}
+
+TEST(LinkFleet, DeterministicPerSeed) {
+  LinkModel base;
+  LinkFleet a(8, base, 3.0, Rng(7));
+  LinkFleet b(8, base, 3.0, Rng(7));
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.link(k).up_bytes_per_s, b.link(k).up_bytes_per_s);
+  }
+  EXPECT_THROW(a.link(8), CheckError);
+  EXPECT_THROW(LinkFleet(4, base, 0.5, Rng(1)), CheckError);
+}
+
+TEST(RoundSeconds, MaxOverParticipants) {
+  LinkModel base{/*up=*/100.0, /*down=*/1000.0};
+  LinkFleet fleet(3, base, 1.0, Rng(3));
+  // Client 0: 100B up → 1s + 0.5s compute = 1.5s total.
+  // Client 1: 1000B down → 1s, 50B up → 0.5s, no compute = 1.5s.
+  // Client 2: dominates with 4s compute.
+  std::vector<ClientRoundCost> costs{
+      {0, 100, 0, 0.5},
+      {1, 50, 1000, 0.0},
+      {2, 0, 0, 4.0},
+  };
+  EXPECT_DOUBLE_EQ(round_seconds(fleet, costs), 4.0);
+  costs.pop_back();
+  EXPECT_DOUBLE_EQ(round_seconds(fleet, costs), 1.5);
+}
+
+TEST(RoundSeconds, EmptyRoundIsFree) {
+  LinkFleet fleet(2, LinkModel{}, 1.0, Rng(4));
+  EXPECT_DOUBLE_EQ(round_seconds(fleet, {}), 0.0);
+}
+
+TEST(RoundSeconds, UplinkDominatesSymmetricPayloads) {
+  // The paper's asymmetry argument: with equal payloads, upload time is the
+  // bottleneck because uplink is slower.
+  LinkModel base;  // 1 MB/s up, 8 MB/s down
+  LinkFleet fleet(1, base, 1.0, Rng(5));
+  const std::size_t payload = 4 * 1024 * 1024;
+  std::vector<ClientRoundCost> costs{{0, payload, payload, 0.0}};
+  const double total = round_seconds(fleet, costs);
+  const double up_only = static_cast<double>(payload) / base.uplink_bytes_per_s;
+  EXPECT_GT(up_only / total, 0.85);  // upload is ≥85% of the round
+}
+
+TEST(RoundSeconds, SmallerUpdatesShortenStragglerRounds) {
+  // A pruned (smaller) update on the slowest client cuts the round time
+  // proportionally — the mechanism behind the paper's time-to-accuracy gain.
+  LinkModel base;
+  LinkFleet fleet(4, base, 4.0, Rng(6));
+  std::vector<ClientRoundCost> dense, pruned;
+  for (std::size_t k = 0; k < 4; ++k) {
+    dense.push_back({k, 1000000, 1000000, 0.1});
+    pruned.push_back({k, 300000, 300000, 0.1});
+  }
+  EXPECT_LT(round_seconds(fleet, pruned), 0.5 * round_seconds(fleet, dense));
+}
+
+}  // namespace
+}  // namespace subfed

@@ -1,0 +1,184 @@
+// Channel-level pruning: BN-|γ| selection, mask expansion with downstream
+// propagation, and functional equivalence (a pruned channel is truly dead).
+#include <gtest/gtest.h>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/model_zoo.h"
+#include "pruning/structured.h"
+#include "util/rng.h"
+
+namespace subfed {
+namespace {
+
+Model make_lenet(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return ModelSpec::lenet5(10).build_init(rng);
+}
+
+TEST(ChannelMask, OnesLikeMatchesTopology) {
+  Model m = make_lenet();
+  ChannelMask mask = ChannelMask::ones_like(m);
+  EXPECT_EQ(mask.num_blocks(), 2u);
+  EXPECT_EQ(mask.block(0).size(), 6u);
+  EXPECT_EQ(mask.block(1).size(), 16u);
+  EXPECT_EQ(mask.total_channels(), 22u);
+  EXPECT_EQ(mask.kept_channels(), 22u);
+  EXPECT_EQ(mask.pruned_fraction(), 0.0);
+}
+
+TEST(ChannelMask, HammingDistance) {
+  Model m = make_lenet();
+  ChannelMask a = ChannelMask::ones_like(m);
+  ChannelMask b = a;
+  EXPECT_EQ(ChannelMask::hamming_distance(a, b), 0.0);
+  b.block(0)[2] = 0;
+  b.block(1)[7] = 0;
+  EXPECT_NEAR(ChannelMask::hamming_distance(a, b), 2.0 / 22.0, 1e-12);
+}
+
+TEST(DeriveChannelMask, PrunesSmallestGamma) {
+  Model m = make_lenet();
+  // Make γ values explicit: block 0 gets large γ, block 1 small ascending.
+  BatchNorm2d* bn1 = m.topology().conv_blocks[0].bn;
+  BatchNorm2d* bn2 = m.topology().conv_blocks[1].bn;
+  for (std::size_t c = 0; c < 6; ++c) bn1->gamma().value[c] = 10.0f + c;
+  for (std::size_t c = 0; c < 16; ++c) bn2->gamma().value[c] = 0.1f * (c + 1);
+
+  ChannelMask ones = ChannelMask::ones_like(m);
+  // Prune 25% of 22 = 5 channels → the 5 smallest |γ| all live in block 1.
+  ChannelMask pruned = derive_channel_mask(m, ones, 0.25);
+  EXPECT_EQ(pruned.kept_channels(), 17u);
+  for (std::size_t c = 0; c < 5; ++c) EXPECT_EQ(pruned.block(1)[c], 0);
+  EXPECT_EQ(pruned.block(1)[5], 1);
+  for (std::size_t c = 0; c < 6; ++c) EXPECT_EQ(pruned.block(0)[c], 1);
+}
+
+TEST(DeriveChannelMask, GlobalPercentileAcrossLayers) {
+  Model m = make_lenet();
+  BatchNorm2d* bn1 = m.topology().conv_blocks[0].bn;
+  BatchNorm2d* bn2 = m.topology().conv_blocks[1].bn;
+  // Interleave importance so pruning takes from both blocks.
+  for (std::size_t c = 0; c < 6; ++c) bn1->gamma().value[c] = 0.05f * (c + 1);
+  for (std::size_t c = 0; c < 16; ++c) bn2->gamma().value[c] = 0.04f * (c + 1);
+
+  ChannelMask pruned = derive_channel_mask(m, ChannelMask::ones_like(m), 0.3);
+  std::size_t pruned0 = 0, pruned1 = 0;
+  for (const auto k : pruned.block(0)) pruned0 += (k == 0);
+  for (const auto k : pruned.block(1)) pruned1 += (k == 0);
+  EXPECT_GT(pruned0, 0u);
+  EXPECT_GT(pruned1, 0u);
+  EXPECT_EQ(pruned0 + pruned1, 6u);  // floor(0.3 · 22)
+}
+
+TEST(DeriveChannelMask, KeepsAtLeastOneChannelPerBlock) {
+  Model m = make_lenet();
+  ChannelMask pruned = derive_channel_mask(m, ChannelMask::ones_like(m), 0.95);
+  std::size_t kept0 = 0, kept1 = 0;
+  for (const auto k : pruned.block(0)) kept0 += (k != 0);
+  for (const auto k : pruned.block(1)) kept1 += (k != 0);
+  EXPECT_GE(kept0, 1u);
+  EXPECT_GE(kept1, 1u);
+}
+
+TEST(DeriveChannelMask, MonotoneNoRevival) {
+  Model m = make_lenet();
+  ChannelMask first = derive_channel_mask(m, ChannelMask::ones_like(m), 0.2);
+  // Re-randomize γ then prune further.
+  Rng rng(9);
+  for (const ConvBlock& block : m.topology().conv_blocks) {
+    block.bn->gamma().value.fill_normal(rng, 0.0f, 1.0f);
+  }
+  ChannelMask second = derive_channel_mask(m, first, 0.5);
+  for (std::size_t b = 0; b < first.num_blocks(); ++b) {
+    for (std::size_t c = 0; c < first.block(b).size(); ++c) {
+      if (first.block(b)[c] == 0) EXPECT_EQ(second.block(b)[c], 0);
+    }
+  }
+}
+
+TEST(ToModelMask, CoversConvBnAndDownstream) {
+  Model m = make_lenet();
+  ChannelMask mask = ChannelMask::ones_like(m);
+  mask.block(0)[3] = 0;  // prune conv1 channel 3
+  ModelMask expanded = mask.to_model_mask(m);
+
+  // conv1 filter 3 fully zeroed.
+  const Tensor& w1 = *expanded.find("conv1.weight");
+  const std::size_t filter1 = 3 * 5 * 5;
+  for (std::size_t i = 0; i < filter1; ++i) EXPECT_EQ(w1[3 * filter1 + i], 0.0f);
+  for (std::size_t i = 0; i < filter1; ++i) EXPECT_EQ(w1[2 * filter1 + i], 1.0f);
+  // BN affine zeroed.
+  EXPECT_EQ((*expanded.find("bn1.gamma"))[3], 0.0f);
+  EXPECT_EQ((*expanded.find("bn1.beta"))[3], 0.0f);
+  EXPECT_EQ((*expanded.find("bn1.gamma"))[2], 1.0f);
+  // conv2 input plane 3 zeroed for every filter.
+  const Tensor& w2 = *expanded.find("conv2.weight");
+  const std::size_t k2 = 25, in_stride = 6 * k2;
+  for (std::size_t f = 0; f < 16; ++f) {
+    for (std::size_t i = 0; i < k2; ++i) EXPECT_EQ(w2[f * in_stride + 3 * k2 + i], 0.0f);
+    EXPECT_EQ(w2[f * in_stride + 2 * k2], 1.0f);
+  }
+  // conv1.bias zeroed at channel 3.
+  EXPECT_EQ((*expanded.find("conv1.bias"))[3], 0.0f);
+}
+
+TEST(ToModelMask, LastConvPropagatesIntoFcColumns) {
+  Model m = make_lenet();
+  ChannelMask mask = ChannelMask::ones_like(m);
+  mask.block(1)[5] = 0;  // prune conv2 channel 5 (feeds fc1 via flatten)
+  ModelMask expanded = mask.to_model_mask(m);
+
+  const Tensor& fc1 = *expanded.find("fc1.weight");
+  const std::size_t spatial = 25;  // 5×5 after conv2+pool
+  for (std::size_t row = 0; row < 120; ++row) {
+    for (std::size_t s = 0; s < spatial; ++s) {
+      EXPECT_EQ(fc1[row * 400 + 5 * spatial + s], 0.0f);
+    }
+    EXPECT_EQ(fc1[row * 400 + 4 * spatial], 1.0f);
+  }
+}
+
+TEST(ApplyChannelMask, PrunedChannelIsFunctionallyDead) {
+  // After applying the mask, the model output must be invariant to the
+  // pruned channel's would-be activations: perturbing conv1 filter 0's
+  // weights must not change the logits (they're zeroed), and the masked
+  // model must produce identical logits to a model where that channel's
+  // activation is forced to zero.
+  Model m = make_lenet(3);
+  ChannelMask mask = ChannelMask::ones_like(m);
+  mask.block(0)[0] = 0;
+  apply_channel_mask(m, mask);
+
+  Rng rng(4);
+  Tensor x({2, 3, 32, 32});
+  x.fill_normal(rng, 0.0f, 1.0f);
+  Tensor before = m.forward(x, /*train=*/false);
+
+  // Tamper with the pruned filter's (already-zero) region via BN running
+  // stats of channel 0 — output must be unchanged because γ=β=0.
+  BatchNorm2d* bn1 = m.topology().conv_blocks[0].bn;
+  bn1->buffers()[0]->value[0] = 123.0f;
+  Tensor after = m.forward(x, /*train=*/false);
+  for (std::size_t i = 0; i < before.numel(); ++i) EXPECT_FLOAT_EQ(before[i], after[i]);
+}
+
+TEST(ApplyChannelMask, EquivalentToExpandedModelMask) {
+  Model a = make_lenet(5);
+  Model b = make_lenet(5);
+  ChannelMask mask = ChannelMask::ones_like(a);
+  mask.block(0)[1] = 0;
+  mask.block(1)[9] = 0;
+
+  apply_channel_mask(a, mask);
+  mask.to_model_mask(b).apply_to_weights(b);
+
+  const StateDict sa = a.state(), sb = b.state();
+  for (std::size_t e = 0; e < sa.size(); ++e) {
+    EXPECT_EQ(sa[e].second, sb[e].second) << sa[e].first;
+  }
+}
+
+}  // namespace
+}  // namespace subfed

@@ -1,0 +1,142 @@
+// Magnitude pruning: schedule arithmetic, per-layer percentiles, monotonicity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.h"
+#include "nn/model_zoo.h"
+#include "pruning/gate.h"
+#include "pruning/unstructured.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace subfed {
+namespace {
+
+TEST(Schedule, NextPrunedFraction) {
+  // Prune 10% of remaining per round toward a 50% target.
+  EXPECT_NEAR(next_pruned_fraction(0.0, 0.1, 0.5), 0.1, 1e-12);
+  EXPECT_NEAR(next_pruned_fraction(0.1, 0.1, 0.5), 0.19, 1e-12);
+  EXPECT_NEAR(next_pruned_fraction(0.45, 0.1, 0.5), 0.5, 1e-12);  // clamped
+  EXPECT_NEAR(next_pruned_fraction(0.5, 0.1, 0.5), 0.5, 1e-12);   // at target
+}
+
+TEST(Schedule, ConvergesToTarget) {
+  double pruned = 0.0;
+  for (int i = 0; i < 200; ++i) pruned = next_pruned_fraction(pruned, 0.1, 0.7);
+  EXPECT_NEAR(pruned, 0.7, 1e-9);
+}
+
+TEST(MagnitudePruning, PrunesSmallestPerLayer) {
+  Model m;
+  auto* fc = m.add(std::make_unique<Linear>("fc", 5, 2));
+  fc->weight().value = Tensor({2, 5}, std::vector<float>{0.1f, -0.9f, 0.5f, -0.2f, 0.7f,
+                                                         0.05f, 0.6f, -0.4f, 0.3f, -0.8f});
+  ModelMask ones = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  ModelMask pruned = derive_magnitude_mask(m, ones, 0.4);  // prune 4 of 10
+
+  const Tensor& mask = *pruned.find("fc.weight");
+  // Smallest |w|: 0.05, 0.1, 0.2, 0.3 at indices 5, 0, 3, 8.
+  EXPECT_EQ(mask[5], 0.0f);
+  EXPECT_EQ(mask[0], 0.0f);
+  EXPECT_EQ(mask[3], 0.0f);
+  EXPECT_EQ(mask[8], 0.0f);
+  EXPECT_EQ(mask[1], 1.0f);
+  EXPECT_NEAR(pruned.pruned_fraction(), 0.4, 1e-12);
+}
+
+TEST(MagnitudePruning, MonotoneNoRevival) {
+  Rng rng(1);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  ModelMask mask = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  mask = derive_magnitude_mask(m, mask, 0.3);
+
+  // Perturb weights so magnitudes reorder, then prune further: previously
+  // pruned positions must stay pruned.
+  for (Parameter* p : m.parameters()) {
+    Rng r = rng.split(p->name);
+    p->value.fill_normal(r, 0.0f, 1.0f);
+  }
+  ModelMask next = derive_magnitude_mask(m, mask, 0.5);
+  for (const auto& [name, before] : mask) {
+    const Tensor& after = *next.find(name);
+    for (std::size_t i = 0; i < before.numel(); ++i) {
+      if (before[i] == 0.0f) {
+        EXPECT_EQ(after[i], 0.0f) << name << "[" << i << "]";
+      }
+    }
+  }
+  EXPECT_NEAR(next.pruned_fraction(), 0.5, 0.01);
+}
+
+TEST(MagnitudePruning, EachLayerHitsTargetIndividually) {
+  // Per-layer percentile semantics: every covered tensor ends at the target
+  // fraction, not just the aggregate.
+  Rng rng(2);
+  Model m = ModelSpec::lenet5(10).build_init(rng);
+  ModelMask ones = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  ModelMask pruned = derive_magnitude_mask(m, ones, 0.6);
+  for (const auto& [name, mask] : pruned) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < mask.numel(); ++i) kept += (mask[i] != 0.0f);
+    const double fraction = 1.0 - static_cast<double>(kept) / mask.numel();
+    EXPECT_NEAR(fraction, 0.6, 1.0 / static_cast<double>(mask.numel()) + 1e-9) << name;
+  }
+}
+
+TEST(MagnitudePruning, NeverEmptiesATensor) {
+  Model m;
+  auto* fc = m.add(std::make_unique<Linear>("fc", 2, 2));
+  fc->weight().value = Tensor({2, 2}, std::vector<float>{1, 2, 3, 4});
+  ModelMask ones = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  ModelMask pruned = derive_magnitude_mask(m, ones, 0.99);
+  std::size_t kept = 0;
+  const Tensor& mask = *pruned.find("fc.weight");
+  for (std::size_t i = 0; i < 4; ++i) kept += (mask[i] != 0.0f);
+  EXPECT_GE(kept, 1u);
+  // The survivor is the largest magnitude.
+  EXPECT_EQ(mask[3], 1.0f);
+}
+
+TEST(MagnitudePruning, NoOpWhenTargetAlreadyMet) {
+  Rng rng(3);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  ModelMask mask = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  mask = derive_magnitude_mask(m, mask, 0.5);
+  ModelMask again = derive_magnitude_mask(m, mask, 0.3);  // lower target
+  EXPECT_EQ(ModelMask::hamming_distance(mask, again), 0.0);
+}
+
+TEST(MagnitudePruning, RespectsScopeFcOnly) {
+  Rng rng(4);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  ModelMask mask = ModelMask::ones_like(m, MaskScope::kFcOnly);
+  ModelMask pruned = derive_magnitude_mask(m, mask, 0.5);
+  EXPECT_EQ(pruned.find("conv1.weight"), nullptr);
+  EXPECT_NEAR(pruned.pruned_fraction(), 0.5, 0.01);
+}
+
+TEST(MagnitudePruning, RejectsDegenerateTarget) {
+  Rng rng(5);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  ModelMask mask = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  EXPECT_THROW(derive_magnitude_mask(m, mask, 1.0), CheckError);
+  EXPECT_THROW(derive_magnitude_mask(m, mask, -0.1), CheckError);
+}
+
+TEST(PruneGate, TripleCondition) {
+  const PruneGateConfig config{/*acc=*/0.5, /*target=*/0.5, /*eps=*/1e-4, /*rate=*/0.1};
+  // All conditions met.
+  EXPECT_TRUE(prune_gate_open(config, {0.6, 0.3, 1e-3}));
+  // Accuracy below threshold.
+  EXPECT_FALSE(prune_gate_open(config, {0.4, 0.3, 1e-3}));
+  // Target reached.
+  EXPECT_FALSE(prune_gate_open(config, {0.6, 0.5, 1e-3}));
+  // Mask stable (distance below ε).
+  EXPECT_FALSE(prune_gate_open(config, {0.6, 0.3, 1e-5}));
+  // Boundary: acc exactly at threshold passes; distance exactly ε passes.
+  EXPECT_TRUE(prune_gate_open(config, {0.5, 0.3, 1e-4}));
+}
+
+}  // namespace
+}  // namespace subfed

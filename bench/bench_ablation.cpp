@@ -26,12 +26,12 @@ void ablation_aggregation(const FlContext& ctx, const BenchScale& scale) {
   std::printf("-- A. aggregation rule: counting vs strict intersection --\n");
   TablePrinter table({"rule", "avg accuracy", "avg pruned %", "comm"});
   for (const bool strict : {false, true}) {
-    SubFedAvg alg(ctx, un_config(0.5, scale));
-    alg.set_strict_intersection(strict);
-    const RunResult result = run_federation(alg, make_driver(scale));
+    auto alg = make_algo("subfedavg_un", ctx,
+                         un_params(0.5, scale).set_bool("strict", strict));
+    const RunResult result = run_federation(*alg, make_driver(scale));
     table.add_row({strict ? "strict intersection" : "counting (default)",
                    format_percent(result.final_avg_accuracy),
-                   format_percent(alg.average_unstructured_pruned(), 1),
+                   format_percent(as_subfedavg(*alg).average_unstructured_pruned(), 1),
                    format_bytes(static_cast<double>(result.total_bytes()))});
   }
   std::printf("%s\n", table.to_string().c_str());
@@ -39,8 +39,8 @@ void ablation_aggregation(const FlContext& ctx, const BenchScale& scale) {
 
 void ablation_download(const FlContext& ctx, const BenchScale& scale) {
   std::printf("-- B. download masking: masked (charged) vs dense downlink --\n");
-  SubFedAvg alg(ctx, un_config(0.7, scale));
-  const RunResult result = run_federation(alg, make_driver(scale));
+  auto alg = make_algo("subfedavg_un", ctx, un_params(0.7, scale));
+  const RunResult result = run_federation(*alg, make_driver(scale));
 
   // The masked download is what the ledger charged; a dense downlink would
   // send the full global state to every sampled client each round.
@@ -65,19 +65,18 @@ void ablation_schedule(const FlContext& ctx, const BenchScale& scale) {
   std::printf("-- C. prune schedule: fixed steps vs round-budget-adaptive --\n");
   TablePrinter table({"schedule", "achieved pruned %", "avg accuracy"});
   for (const double step : {0.05, 0.1, 0.2}) {
-    SubFedAvgConfig config = un_config(0.5, scale);
-    config.unstructured.step_rate = step;
-    SubFedAvg alg(ctx, config);
-    const RunResult result = run_federation(alg, make_driver(scale));
+    auto alg = make_algo("subfedavg_un", ctx,
+                         un_params(0.5, scale).set_double("step", step));
+    const RunResult result = run_federation(*alg, make_driver(scale));
     table.add_row({"fixed " + format_percent(step, 0),
-                   format_percent(alg.average_unstructured_pruned(), 1),
+                   format_percent(as_subfedavg(*alg).average_unstructured_pruned(), 1),
                    format_percent(result.final_avg_accuracy)});
   }
   {
-    SubFedAvg alg(ctx, un_config(0.5, scale));
-    const RunResult result = run_federation(alg, make_driver(scale));
+    auto alg = make_algo("subfedavg_un", ctx, un_params(0.5, scale));
+    const RunResult result = run_federation(*alg, make_driver(scale));
     table.add_row({"adaptive (" + format_percent(adaptive_step(0.5, scale), 1) + ")",
-                   format_percent(alg.average_unstructured_pruned(), 1),
+                   format_percent(as_subfedavg(*alg).average_unstructured_pruned(), 1),
                    format_percent(result.final_avg_accuracy)});
   }
   std::printf("%s\n", table.to_string().c_str());
@@ -95,12 +94,13 @@ void ablation_gate(const FlContext& ctx, const BenchScale& scale) {
                           Variant{"no accuracy condition", 0.0, 1e-4},
                           Variant{"no distance condition", 0.5, 0.0},
                           Variant{"neither (always prune)", 0.0, 0.0}}) {
-    SubFedAvgConfig config = un_config(0.5, scale);
-    config.unstructured.acc_threshold = v.acc_threshold;
-    config.unstructured.epsilon = v.epsilon;
-    SubFedAvg alg(ctx, config);
-    const RunResult result = run_federation(alg, make_driver(scale));
-    table.add_row({v.name, format_percent(alg.average_unstructured_pruned(), 1),
+    auto alg = make_algo("subfedavg_un", ctx,
+                         un_params(0.5, scale)
+                             .set_double("acc_threshold", v.acc_threshold)
+                             .set_double("epsilon", v.epsilon));
+    const RunResult result = run_federation(*alg, make_driver(scale));
+    table.add_row({v.name,
+                   format_percent(as_subfedavg(*alg).average_unstructured_pruned(), 1),
                    format_percent(result.final_avg_accuracy)});
   }
   std::printf("%s\n", table.to_string().c_str());
@@ -110,14 +110,15 @@ void ablation_slimming(const FlContext& ctx, const BenchScale& scale) {
   std::printf("-- E. BN-gamma L1 (network slimming) in hybrid mode --\n");
   TablePrinter table({"bn L1", "channels pruned %", "params pruned %", "avg accuracy"});
   for (const float l1 : {0.0f, 1e-4f, 1e-3f}) {
-    SubFedAvgConfig config = hy_config(0.45, 0.5, scale);
-    config.bn_l1 = l1;
-    SubFedAvg alg(ctx, config);
-    const RunResult result = run_federation(alg, make_driver(scale));
+    auto alg = make_algo("subfedavg_hy", ctx,
+                         hy_params(0.45, 0.5, scale)
+                             .set_double("bn_l1", static_cast<double>(l1)));
+    const RunResult result = run_federation(*alg, make_driver(scale));
     char label[32];
     std::snprintf(label, sizeof(label), "%g", static_cast<double>(l1));
-    table.add_row({label, format_percent(alg.average_structured_pruned(), 1),
-                   format_percent(alg.average_unstructured_pruned(), 1),
+    const SubFedAvg& sub = as_subfedavg(*alg);
+    table.add_row({label, format_percent(sub.average_structured_pruned(), 1),
+                   format_percent(sub.average_unstructured_pruned(), 1),
                    format_percent(result.final_avg_accuracy)});
   }
   std::printf("%s\n", table.to_string().c_str());

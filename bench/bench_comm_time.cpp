@@ -6,6 +6,7 @@
 //
 //   ./bench_comm_time [dataset]   (default mnist)
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,22 +19,43 @@ using namespace subfed::bench;
 
 namespace {
 
-/// Runs the federation round-by-round, converting each round's per-client
-/// payloads into synchronous-round seconds under `fleet`.
-template <typename MakeCosts>
-double timed_run(FederatedAlgorithm& alg, const BenchScale& scale, const LinkFleet& fleet,
-                 MakeCosts&& make_costs) {
-  Rng sample_rng = Rng(scale.seed).split("client-sampling");
-  const std::size_t per_round = std::max<std::size_t>(
-      1, static_cast<std::size_t>(scale.sample_rate * static_cast<double>(scale.clients)));
-  double total_seconds = 0.0;
-  for (std::size_t round = 0; round < scale.rounds; ++round) {
-    const auto sampled = sample_rng.sample_without_replacement(scale.clients, per_round);
-    const std::vector<ClientRoundCost> costs = make_costs(sampled);
-    alg.run_round(round, sampled);
-    total_seconds += round_seconds(fleet, costs);
+/// Converts each round's per-client payloads into synchronous-round seconds
+/// under `fleet`. Costing runs on_round_begin — BEFORE the round trains —
+/// because the upload size is determined by the mask the client holds when
+/// the round starts.
+class RoundTimeObserver final : public RoundObserver {
+ public:
+  using MakeCosts = std::function<std::vector<ClientRoundCost>(std::span<const std::size_t>)>;
+
+  RoundTimeObserver(const LinkFleet& fleet, MakeCosts make_costs)
+      : fleet_(fleet), make_costs_(std::move(make_costs)) {}
+
+  void on_round_begin(std::size_t, std::span<const std::size_t> sampled) override {
+    total_seconds_ += round_seconds(fleet_, make_costs_(sampled));
   }
-  return total_seconds;
+
+  double total_seconds() const noexcept { return total_seconds_; }
+
+ private:
+  const LinkFleet& fleet_;
+  MakeCosts make_costs_;
+  double total_seconds_ = 0.0;
+};
+
+struct TimedRun {
+  RunResult result;
+  double seconds = 0.0;
+};
+
+/// Runs the federation under the driver while the observer accumulates
+/// synchronous wall-clock.
+TimedRun timed_run(FederatedAlgorithm& alg, const BenchScale& scale, const LinkFleet& fleet,
+                   RoundTimeObserver::MakeCosts make_costs) {
+  RoundTimeObserver observer(fleet, std::move(make_costs));
+  TimedRun timed;
+  timed.result = run_federation(alg, make_driver(scale), &observer);
+  timed.seconds = observer.total_seconds();
+  return timed;
 }
 
 }  // namespace
@@ -57,37 +79,37 @@ int main(int argc, char** argv) {
   TablePrinter table({"algorithm", "total bytes", "sync wall-clock", "avg accuracy"});
 
   {
-    FedAvg alg(ctx);
-    auto costs = [&](const std::vector<std::size_t>& sampled) {
+    auto alg = make_algo("fedavg", ctx);
+    auto costs = [&](std::span<const std::size_t> sampled) {
       std::vector<ClientRoundCost> out;
       for (const std::size_t k : sampled) {
         out.push_back({k, dense_payload, dense_payload, kComputeSeconds});
       }
       return out;
     };
-    const double seconds = timed_run(alg, scale, fleet, costs);
-    table.add_row({"FedAvg", format_bytes(static_cast<double>(alg.ledger().total())),
-                   format_float(seconds, 1) + "s",
-                   format_percent(alg.average_test_accuracy())});
+    const TimedRun timed = timed_run(*alg, scale, fleet, costs);
+    table.add_row({"FedAvg", format_bytes(static_cast<double>(timed.result.total_bytes())),
+                   format_float(timed.seconds, 1) + "s",
+                   format_percent(timed.result.final_avg_accuracy)});
   }
 
   for (const double target : {0.5, 0.9}) {
-    SubFedAvg alg(ctx, un_config(target, scale));
-    auto costs = [&](const std::vector<std::size_t>& sampled) {
+    auto alg = make_algo("subfedavg_un", ctx, un_params(target, scale));
+    SubFedAvg& sub = as_subfedavg(*alg);
+    auto costs = [&](std::span<const std::size_t> sampled) {
       std::vector<ClientRoundCost> out;
       for (const std::size_t k : sampled) {
-        ModelMask mask = alg.client(k).combined_mask();
-        const std::size_t payload =
-            payload_bytes(alg.client(k).personal_state(), &mask);
+        ModelMask mask = sub.client(k).combined_mask();
+        const std::size_t payload = payload_bytes(sub.client(k).personal_state(), &mask);
         out.push_back({k, payload, payload, kComputeSeconds});
       }
       return out;
     };
-    const double seconds = timed_run(alg, scale, fleet, costs);
+    const TimedRun timed = timed_run(*alg, scale, fleet, costs);
     table.add_row({"Sub-FedAvg (Un) p=" + format_percent(target, 0),
-                   format_bytes(static_cast<double>(alg.ledger().total())),
-                   format_float(seconds, 1) + "s",
-                   format_percent(alg.average_test_accuracy())});
+                   format_bytes(static_cast<double>(timed.result.total_bytes())),
+                   format_float(timed.seconds, 1) + "s",
+                   format_percent(timed.result.final_avg_accuracy)});
   }
 
   std::printf("%s\n", table.to_string().c_str());

@@ -11,6 +11,10 @@
 //   SUBFEDAVG_BENCH_TPC       test images per class        (default 16)
 //   SUBFEDAVG_BENCH_SEED      master seed                  (default 1)
 //
+// Algorithms are constructed exclusively through the registry
+// (fl/registry.h); benches pass AlgoParams instead of touching concrete
+// algorithm classes.
+//
 // The paper's qualitative shape (who wins, by what rough factor) is stable
 // across these scales; absolute accuracy differs because the substrate is a
 // synthetic-data simulator (DESIGN.md §1).
@@ -22,13 +26,11 @@
 #include <string>
 
 #include "data/client_data.h"
-#include "fl/algorithm.h"
 #include "fl/driver.h"
-#include "fl/fedavg.h"
-#include "fl/fedmtl.h"
-#include "fl/lg_fedavg.h"
-#include "fl/standalone.h"
+#include "fl/experiment.h"
+#include "fl/registry.h"
 #include "fl/subfedavg.h"
+#include "util/check.h"
 #include "util/env.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -91,40 +93,53 @@ inline DriverConfig make_driver(const BenchScale& scale, std::size_t eval_every 
   return d;
 }
 
-/// Per-round prune step calibrated to the run length: a client participates
-/// in ≈ rounds × sample_rate rounds, and must reach `target` within them.
-/// The paper prunes 5-20% of remaining per round over 300-500 rounds; scaled
-/// runs compress that schedule so the sweep still spans its target range.
-/// Override with SUBFEDAVG_BENCH_PRUNE_STEP.
+/// Registry construction shorthand for benches.
+inline std::unique_ptr<FederatedAlgorithm> make_algo(const std::string& name,
+                                                     const FlContext& ctx,
+                                                     const AlgoParams& params = {}) {
+  return registry().create(name, ctx, params);
+}
+
+/// Downcast for benches that report Sub-FedAvg pruning state; checks the
+/// registry really produced a SubFedAvg.
+inline SubFedAvg& as_subfedavg(FederatedAlgorithm& algorithm) {
+  auto* sub = dynamic_cast<SubFedAvg*>(&algorithm);
+  SUBFEDAVG_CHECK(sub != nullptr, algorithm.name() << " is not a SubFedAvg");
+  return *sub;
+}
+
+/// Round-budget-adaptive per-round prune step (fl/experiment.h), with the
+/// SUBFEDAVG_BENCH_PRUNE_STEP env override the benches document.
 inline double adaptive_step(double target, const BenchScale& scale) {
   const double override_step = env_double("SUBFEDAVG_BENCH_PRUNE_STEP", 0.0);
   if (override_step > 0.0) return override_step;
-  const double participations =
-      std::max(2.0, static_cast<double>(scale.rounds) * scale.sample_rate * 0.7);
-  return 1.0 - std::pow(1.0 - target, 1.0 / participations);
+  return adaptive_prune_step(target, scale.rounds, scale.sample_rate);
 }
 
-/// Sub-FedAvg configs matching the paper's hyper-parameters (§4.1):
-/// mask-distance thresholds 1e-4 (unstructured) and 0.05 (hybrid).
-inline SubFedAvgConfig un_config(double target, const BenchScale& scale) {
-  SubFedAvgConfig config;
-  config.unstructured = {/*acc_threshold=*/0.5, target, /*epsilon=*/1e-4,
-                         adaptive_step(target, scale)};
-  return config;
+/// Sub-FedAvg (Un) params matching the paper's hyper-parameters (§4.1):
+/// mask-distance threshold 1e-4, Accth 0.5.
+inline AlgoParams un_params(double target, const BenchScale& scale) {
+  AlgoParams params;
+  params.set_double("target", target);
+  params.set_double("step", adaptive_step(target, scale));
+  return params;
 }
 
-inline SubFedAvgConfig hy_config(double target_channels, double target_weights,
-                                 const BenchScale& scale) {
-  SubFedAvgConfig config;
-  config.hybrid = true;
-  config.unstructured = {/*acc_threshold=*/0.5, target_weights, /*epsilon=*/1e-4,
-                         adaptive_step(target_weights, scale)};
-  config.structured = {/*acc_threshold=*/0.5, target_channels, /*epsilon=*/0.05,
-                       adaptive_step(target_channels, scale)};
-  return config;
+/// Sub-FedAvg (Hy) params: channel gate ε 0.05 (registry default), separate
+/// channel/weight targets and steps.
+inline AlgoParams hy_params(double target_channels, double target_weights,
+                            const BenchScale& scale) {
+  AlgoParams params;
+  params.set_double("target", target_weights);
+  params.set_double("step", adaptive_step(target_weights, scale));
+  params.set_double("channel_target", target_channels);
+  params.set_double("channel_step", adaptive_step(target_channels, scale));
+  return params;
 }
 
-/// FedProx μ and MTL λ used across benches (standard values for this setup).
+/// FedProx μ and MTL λ used across benches (standard values for this setup);
+/// these match the registry defaults and are passed explicitly for
+/// reproducibility in printed configs.
 constexpr double kFedProxMu = 0.1;
 constexpr double kFedMtlLambda = 0.1;
 

@@ -6,8 +6,8 @@
 // pruned fraction: accuracy rises with moderate pruning (common parameters
 // removed) and degrades past ~50% (personal parameters start dying).
 //
-// This bench drives the round loop manually so it can snapshot
-// (pruned %, accuracy) for every sampled client after every round.
+// A RoundObserver snapshots (pruned %, accuracy) for every sampled client
+// after every round, so the standard driver loop still runs the federation.
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -17,6 +17,32 @@
 
 using namespace subfed;
 using namespace subfed::bench;
+
+namespace {
+
+/// Per-client (pruned fraction, personalized accuracy) traces, appended after
+/// each round for the clients that participated.
+class PruneTraceObserver final : public RoundObserver {
+ public:
+  explicit PruneTraceObserver(SubFedAvg& algorithm) : algorithm_(algorithm) {}
+
+  void on_round_end(const RoundEndInfo& info) override {
+    for (const std::size_t k : info.sampled) {
+      traces_[k].emplace_back(algorithm_.client(k).unstructured_pruned(),
+                              algorithm_.client_test_accuracy(k));
+    }
+  }
+
+  const std::map<std::size_t, std::vector<std::pair<double, double>>>& traces() const {
+    return traces_;
+  }
+
+ private:
+  SubFedAvg& algorithm_;
+  std::map<std::size_t, std::vector<std::pair<double, double>>> traces_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
@@ -33,25 +59,13 @@ int main(int argc, char** argv) {
 
   // High target, fixed 10%-of-remaining step per round — the paper's Fig. 1
   // "iteratively pruning by 5%-10% per iteration".
-  SubFedAvgConfig config = un_config(0.92, scale);
-  config.unstructured.step_rate = 0.1;
-  SubFedAvg alg(ctx, config);
+  AlgoParams params = un_params(0.92, scale);
+  params.set_double("step", 0.1);
+  auto alg = make_algo("subfedavg_un", ctx, params);
 
-  // (client → [(pruned %, accuracy), ...]) traces.
-  std::map<std::size_t, std::vector<std::pair<double, double>>> traces;
-
-  Rng sample_rng = Rng(scale.seed).split("client-sampling");
-  const std::size_t per_round = std::max<std::size_t>(
-      1, static_cast<std::size_t>(scale.sample_rate * static_cast<double>(scale.clients)));
-
-  for (std::size_t round = 0; round < scale.rounds; ++round) {
-    const auto sampled = sample_rng.sample_without_replacement(scale.clients, per_round);
-    alg.run_round(round, sampled);
-    for (const std::size_t k : sampled) {
-      traces[k].emplace_back(alg.client(k).unstructured_pruned(),
-                             alg.client_test_accuracy(k));
-    }
-  }
+  PruneTraceObserver observer(as_subfedavg(*alg));
+  run_federation(*alg, make_driver(scale), &observer);
+  const auto& traces = observer.traces();
 
   // Report the clients with the longest traces (most participation).
   std::vector<std::pair<std::size_t, std::size_t>> by_length;
@@ -66,7 +80,7 @@ int main(int argc, char** argv) {
     for (const auto label : data.client(k).labels_present) std::printf(" %d", label);
     std::printf(")\n");
     TablePrinter table({"pruned %", "test accuracy"});
-    for (const auto& [pruned, acc] : traces[k]) {
+    for (const auto& [pruned, acc] : traces.at(k)) {
       table.add_row({format_percent(pruned, 1), format_percent(acc)});
     }
     std::printf("%s\n", table.to_string().c_str());

@@ -32,17 +32,12 @@ int main(int argc, char** argv) {
 
     TablePrinter table({"target pruned %", "achieved avg pruned %", "avg accuracy"});
     for (const double target : targets) {
-      SubFedAvgConfig config = un_config(target, scale);
-      if (target == 0.0) {
-        // 0% point: Sub-FedAvg aggregation with no pruning (personalized
-        // evaluation of the dense federated model).
-        config.unstructured.target_rate = 0.0;
-        config.unstructured.step_rate = 0.0;
-      }
-      SubFedAvg alg(ctx, config);
-      const RunResult result = run_federation(alg, driver);
+      // The 0% point is Sub-FedAvg aggregation with no pruning (personalized
+      // evaluation of the dense federated model): target 0, step 0.
+      auto alg = make_algo("subfedavg_un", ctx, un_params(target, scale));
+      const RunResult result = run_federation(*alg, driver);
       table.add_row({format_percent(target, 0),
-                     format_percent(alg.average_unstructured_pruned(), 1),
+                     format_percent(as_subfedavg(*alg).average_unstructured_pruned(), 1),
                      format_percent(result.final_avg_accuracy)});
     }
     std::printf("%s\n", table.to_string().c_str());

@@ -35,21 +35,20 @@ int main(int argc, char** argv) {
     };
     std::vector<Entry> entries;
 
-    {
-      SubFedAvg alg(ctx, un_config(0.5, scale));
-      entries.push_back({"Sub-FedAvg (Un)", run_federation(alg, driver)});
-    }
-    {
-      FedAvg alg(ctx);
-      entries.push_back({"FedAvg", run_federation(alg, driver)});
-    }
-    {
-      LgFedAvg alg(ctx);
-      entries.push_back({"LG-FedAvg", run_federation(alg, driver)});
-    }
-    {
-      FedMtl alg(ctx, kFedMtlLambda);
-      entries.push_back({"MTL", run_federation(alg, driver)});
+    struct Contender {
+      const char* display;
+      const char* algo;
+      AlgoParams params;
+    };
+    const Contender contenders[] = {
+        {"Sub-FedAvg (Un)", "subfedavg_un", un_params(0.5, scale)},
+        {"FedAvg", "fedavg", {}},
+        {"LG-FedAvg", "lg_fedavg", {}},
+        {"MTL", "fedmtl", AlgoParams{}.set_double("lambda", kFedMtlLambda)},
+    };
+    for (const Contender& c : contenders) {
+      auto alg = make_algo(c.algo, ctx, c.params);
+      entries.push_back({c.display, run_federation(*alg, driver)});
     }
 
     // Accuracy-vs-round series (one column per algorithm).

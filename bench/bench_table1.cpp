@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "fl/fedavg_ft.h"
 
 using namespace subfed;
 using namespace subfed::bench;
@@ -42,51 +41,35 @@ void run_dataset(const DatasetSpec& spec, const BenchScale& scale) {
 
   std::vector<Row> rows;
 
-  {
-    Standalone alg(ctx);
-    rows.push_back(run_one("Standalone", alg, driver));
-    rows.back().pruned_hybrid = "-";
-    rows.back().pruned_unstructured = "0";
-  }
-  {
-    FedAvg alg(ctx);
-    rows.push_back(run_one("FedAvg", alg, driver));
-    rows.back().pruned_hybrid = "-";
-    rows.back().pruned_unstructured = "0";
-  }
-  {
-    FedMtl alg(ctx, kFedMtlLambda);
-    rows.push_back(run_one("MTL", alg, driver));
-    rows.back().pruned_hybrid = "-";
-    rows.back().pruned_unstructured = "0";
-  }
-  {
-    FedProx alg(ctx, kFedProxMu);
-    rows.push_back(run_one("FedProx", alg, driver));
-    rows.back().pruned_hybrid = "-";
-    rows.back().pruned_unstructured = "0";
-  }
-  {
-    LgFedAvg alg(ctx);
-    rows.push_back(run_one("LG-FedAvg", alg, driver));
-    rows.back().pruned_hybrid = "-";
-    rows.back().pruned_unstructured = "0";
-  }
-  {
-    // Two-step personalization (global FedAvg, then local fine-tuning at
-    // evaluation) — the approach the paper's §2 argues against; included as
-    // an extra reference row beyond the paper's own baselines.
-    FedAvgFinetune alg(ctx, scale.epochs);
-    rows.push_back(run_one("FedAvg+FT", alg, driver));
+  // The dense baselines, registry name + display name + params. FedAvg+FT is
+  // the two-step personalization §2 argues against, included as an extra
+  // reference row beyond the paper's own baselines.
+  struct Baseline {
+    const char* display;
+    const char* algo;
+    AlgoParams params;
+  };
+  const Baseline baselines[] = {
+      {"Standalone", "standalone", {}},
+      {"FedAvg", "fedavg", {}},
+      {"MTL", "fedmtl", AlgoParams{}.set_double("lambda", kFedMtlLambda)},
+      {"FedProx", "fedprox", AlgoParams{}.set_double("mu", kFedProxMu)},
+      {"LG-FedAvg", "lg_fedavg", {}},
+      {"FedAvg+FT", "fedavg_ft", AlgoParams{}.set_size_t("finetune_epochs", scale.epochs)},
+  };
+  for (const Baseline& baseline : baselines) {
+    auto alg = make_algo(baseline.algo, ctx, baseline.params);
+    rows.push_back(run_one(baseline.display, *alg, driver));
     rows.back().pruned_hybrid = "-";
     rows.back().pruned_unstructured = "0";
   }
 
   for (const double target : {0.3, 0.5, 0.7}) {
-    SubFedAvg alg(ctx, un_config(target, scale));
-    Row row = run_one("Sub-FedAvg (Un) p=" + format_percent(target, 0), alg, driver);
+    auto alg = make_algo("subfedavg_un", ctx, un_params(target, scale));
+    Row row = run_one("Sub-FedAvg (Un) p=" + format_percent(target, 0), *alg, driver);
     row.pruned_hybrid = "-";
-    row.pruned_unstructured = format_percent(alg.average_unstructured_pruned(), 1);
+    row.pruned_unstructured =
+        format_percent(as_subfedavg(*alg).average_unstructured_pruned(), 1);
     rows.push_back(row);
   }
   // Hybrid targets per the paper: overall ~{50,70,90}% parameters pruned,
@@ -94,12 +77,13 @@ void run_dataset(const DatasetSpec& spec, const BenchScale& scale) {
   const std::vector<std::pair<double, double>> hy_targets = {
       {0.45, 0.5}, {0.45, 0.7}, {0.45, 0.9}};
   for (const auto& [channels, weights] : hy_targets) {
-    SubFedAvg alg(ctx, hy_config(channels, weights, scale));
+    auto alg = make_algo("subfedavg_hy", ctx, hy_params(channels, weights, scale));
     Row row =
-        run_one("Sub-FedAvg (Hy) p=" + format_percent(weights, 0), alg, driver);
-    row.pruned_hybrid = format_percent(alg.average_structured_pruned(), 1) + " + " +
-                        format_percent(alg.average_unstructured_pruned(), 1);
-    row.pruned_unstructured = format_percent(alg.average_unstructured_pruned(), 1);
+        run_one("Sub-FedAvg (Hy) p=" + format_percent(weights, 0), *alg, driver);
+    const SubFedAvg& sub = as_subfedavg(*alg);
+    row.pruned_hybrid = format_percent(sub.average_structured_pruned(), 1) + " + " +
+                        format_percent(sub.average_unstructured_pruned(), 1);
+    row.pruned_unstructured = format_percent(sub.average_unstructured_pruned(), 1);
     rows.push_back(row);
   }
 

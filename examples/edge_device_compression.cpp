@@ -11,7 +11,7 @@
 #include "comm/ledger.h"
 #include "comm/serialize.h"
 #include "fl/driver.h"
-#include "fl/fedavg.h"
+#include "fl/registry.h"
 #include "fl/subfedavg.h"
 #include "metrics/flops.h"
 #include "util/logging.h"
@@ -38,13 +38,14 @@ int main(int argc, char** argv) {
   ctx.train = {/*epochs=*/3, /*batch=*/10};
   ctx.seed = 11;
 
-  SubFedAvgConfig config;
-  config.hybrid = true;
-  config.unstructured = {/*acc_threshold=*/0.4, /*target=*/0.7, /*epsilon=*/1e-4,
-                         /*step_rate=*/0.25};
-  config.structured = {/*acc_threshold=*/0.4, /*target=*/0.5, /*epsilon=*/0.02,
-                       /*step_rate=*/0.25};
-  SubFedAvg alg(ctx, config);
+  auto algorithm = registry().create("subfedavg_hy", ctx,
+                                     AlgoParams{}
+                                         .set_double("acc_threshold", 0.4)
+                                         .set_double("target", 0.7)
+                                         .set_double("step", 0.25)
+                                         .set_double("channel_target", 0.5)
+                                         .set_double("channel_epsilon", 0.02));
+  auto& alg = dynamic_cast<SubFedAvg&>(*algorithm);
 
   DriverConfig driver;
   driver.rounds = rounds;

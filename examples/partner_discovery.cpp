@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "fl/driver.h"
+#include "fl/registry.h"
 #include "fl/subfedavg.h"
 #include "metrics/stats.h"
 #include "util/logging.h"
@@ -49,10 +50,12 @@ int main(int argc, char** argv) {
   ctx.train = {/*epochs=*/3, /*batch=*/10};
   ctx.seed = 5;
 
-  SubFedAvgConfig config;
-  config.unstructured = {/*acc_threshold=*/0.4, /*target=*/0.6, /*epsilon=*/1e-4,
-                         /*step_rate=*/0.2};
-  SubFedAvg alg(ctx, config);
+  auto algorithm = registry().create("subfedavg_un", ctx,
+                                     AlgoParams{}
+                                         .set_double("acc_threshold", 0.4)
+                                         .set_double("target", 0.6)
+                                         .set_double("step", 0.2));
+  auto& alg = dynamic_cast<SubFedAvg&>(*algorithm);
 
   DriverConfig driver;
   driver.rounds = rounds;

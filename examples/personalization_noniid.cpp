@@ -12,9 +12,7 @@
 #include <string>
 
 #include "fl/driver.h"
-#include "fl/fedavg.h"
-#include "fl/standalone.h"
-#include "fl/subfedavg.h"
+#include "fl/registry.h"
 #include "metrics/stats.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -63,17 +61,18 @@ int main(int argc, char** argv) {
   std::printf("dataset=%s noise=%.2f clients=12 shard=40 rounds=%zu\n",
               spec.name.c_str(), spec.noise, rounds);
 
-  Standalone standalone(ctx);
-  const double acc_standalone = report("Standalone", standalone);
+  auto standalone = registry().create("standalone", ctx);
+  const double acc_standalone = report("Standalone", *standalone);
 
-  FedAvg fedavg(ctx);
-  const double acc_fedavg = report("FedAvg", fedavg);
+  auto fedavg = registry().create("fedavg", ctx);
+  const double acc_fedavg = report("FedAvg", *fedavg);
 
-  SubFedAvgConfig config;
-  config.unstructured = {/*acc_threshold=*/0.4, /*target=*/0.5, /*epsilon=*/1e-4,
-                         /*step_rate=*/0.2};
-  SubFedAvg subfedavg(ctx, config);
-  const double acc_sub = report("Sub-FedAvg (Un)", subfedavg);
+  auto subfedavg = registry().create("subfedavg_un", ctx,
+                                     AlgoParams{}
+                                         .set_double("acc_threshold", 0.4)
+                                         .set_double("target", 0.5)
+                                         .set_double("step", 0.2));
+  const double acc_sub = report("Sub-FedAvg (Un)", *subfedavg);
 
   std::printf("%s\n", table.to_string().c_str());
   std::printf("federation gain over standalone: %+.2f pp\n",

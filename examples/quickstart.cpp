@@ -1,48 +1,46 @@
 // Quickstart: a minimal Sub-FedAvg (Un) federation on the synthetic MNIST
-// surrogate. Eight non-IID clients, a handful of rounds, then the
-// personalized accuracy and communication footprint.
+// surrogate, configured entirely through an ExperimentSpec. Eight non-IID
+// clients, a handful of rounds, then the personalized accuracy and
+// communication footprint.
 //
 //   ./examples/quickstart [rounds]
 #include <cstdio>
 #include <cstdlib>
 
-#include "data/client_data.h"
-#include "fl/driver.h"
+#include "fl/experiment.h"
 #include "fl/subfedavg.h"
 #include "util/table.h"
 
 using namespace subfed;
 
 int main(int argc, char** argv) {
-  const std::size_t rounds = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  // 1. Describe the experiment: 8 clients with 2 shards of 60 examples each
+  //    (pathological non-IID), Sub-FedAvg (Un) pruning 10% of remaining
+  //    weights per round toward a 50% target.
+  ExperimentSpec spec;
+  spec.dataset = "mnist";
+  spec.algo = "subfedavg_un";
+  spec.clients = 8;
+  spec.shard = 60;
+  spec.test_per_class = 40;
+  spec.rounds = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  spec.sample = 0.5;
+  spec.eval_every = 2;
+  spec.epochs = 5;
+  spec.seed = 7;
+  spec.target = 0.5;
+  spec.step = 0.1;
 
-  // 1. Build a small non-IID federation: 8 clients, 2 shards of 60 each.
-  FederatedDataConfig data_config;
-  data_config.partition = {/*num_clients=*/8, /*shards_per_client=*/2, /*shard_size=*/60};
-  data_config.seed = 7;
-  FederatedData data(DatasetSpec::mnist(), data_config);
-
-  // 2. Configure Sub-FedAvg (Un): prune 10% of remaining weights per round
-  //    toward a 50% target, gated on validation accuracy and mask stability.
-  FlContext ctx;
-  ctx.data = &data;
-  ctx.spec = ModelSpec::cnn5(data.spec().num_classes);
-  ctx.seed = 7;
-
-  SubFedAvgConfig config;
-  config.unstructured = {/*acc_threshold=*/0.5, /*target_rate=*/0.5,
-                         /*epsilon=*/1e-4, /*step_rate=*/0.1};
-  SubFedAvg algorithm(ctx, config);
+  // 2. Materialize the pieces: data, context, algorithm (via the registry).
+  const FederatedData data(spec.dataset_spec(), spec.data_config());
+  const FlContext ctx = spec.make_context(data);
+  auto algorithm = spec.make_algorithm(ctx);
 
   // 3. Run the federation.
-  DriverConfig driver;
-  driver.rounds = rounds;
-  driver.sample_rate = 0.5;
-  driver.eval_every = 2;
-  driver.seed = 7;
-  const RunResult result = run_federation(algorithm, driver);
+  const RunResult result = run_federation(*algorithm, spec.driver_config());
 
   // 4. Report.
+  auto& sub = dynamic_cast<SubFedAvg&>(*algorithm);
   TablePrinter table({"client", "labels", "pruned %", "personalized acc"});
   for (std::size_t k = 0; k < data.num_clients(); ++k) {
     std::string labels;
@@ -51,7 +49,7 @@ int main(int argc, char** argv) {
       labels += std::to_string(label);
     }
     table.add_row({std::to_string(k), labels,
-                   format_percent(algorithm.client(k).unstructured_pruned()),
+                   format_percent(sub.client(k).unstructured_pruned()),
                    format_percent(result.final_per_client[k])});
   }
   std::printf("%s\n", table.to_string().c_str());

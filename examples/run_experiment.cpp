@@ -3,31 +3,19 @@
 //   ./examples/run_experiment --dataset cifar10 --algo subfedavg_hy \
 //       --clients 24 --rounds 20 --sample 0.3 --target 0.7 --seed 3
 //
-// Flags (all optional):
-//   --dataset   mnist | emnist | cifar10 | cifar100        [mnist]
-//   --algo      standalone | fedavg | fedprox | lgfedavg |
-//               mtl | subfedavg_un | subfedavg_hy          [subfedavg_un]
-//   --partition shards | dirichlet                         [shards]
-//   --alpha     Dirichlet concentration                    [0.5]
-//   --clients --shard --rounds --sample --epochs --seed
-//   --target    pruning target (Sub-FedAvg variants)       [0.5]
-//   --step      per-round prune rate (0 = adaptive)        [0]
-//   --dropout   per-round client dropout probability       [0]
-//   --eval-every                                            [0 = final only]
-#include <cmath>
+// Flags map 1:1 onto ExperimentSpec (run with --help for the full reference
+// and the list of registered algorithms). The finished run emits a JSON
+// result file (default run_result.json, --out to change, --out "" to skip)
+// holding the spec, the accuracy curve, and the up/down byte totals, and
+// prints the spec's key=value form so any run can be re-issued exactly.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
 
-#include "fl/driver.h"
-#include "fl/fedavg.h"
-#include "fl/fedmtl.h"
-#include "fl/lg_fedavg.h"
-#include "fl/standalone.h"
+#include "fl/experiment.h"
 #include "fl/subfedavg.h"
 #include "metrics/stats.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/table.h"
 
@@ -35,144 +23,84 @@ using namespace subfed;
 
 namespace {
 
-struct Flags {
-  std::string dataset = "mnist";
-  std::string algo = "subfedavg_un";
-  std::string partition = "shards";
-  double alpha = 0.5;
-  std::size_t clients = 16;
-  std::size_t shard = 40;
-  std::size_t rounds = 12;
-  double sample = 0.4;
-  std::size_t epochs = 3;
-  std::uint64_t seed = 1;
-  double target = 0.5;
-  double step = 0.0;
-  double dropout = 0.0;
-  std::size_t eval_every = 0;
+/// Streams evaluation checkpoints as the run progresses (long sweeps would
+/// otherwise be silent until the end).
+class ProgressObserver final : public RoundObserver {
+ public:
+  explicit ProgressObserver(std::size_t rounds) : rounds_(rounds) {}
+
+  void on_eval(std::size_t round, double avg_accuracy) override {
+    std::printf("round %zu/%zu: avg personalized accuracy %s\n", round, rounds_,
+                format_percent(avg_accuracy).c_str());
+    std::fflush(stdout);
+  }
+
+ private:
+  std::size_t rounds_;
 };
-
-bool parse_flags(int argc, char** argv, Flags& flags) {
-  for (int i = 1; i + 1 < argc; i += 2) {
-    const std::string key = argv[i];
-    const char* value = argv[i + 1];
-    if (key == "--dataset") flags.dataset = value;
-    else if (key == "--algo") flags.algo = value;
-    else if (key == "--partition") flags.partition = value;
-    else if (key == "--alpha") flags.alpha = std::strtod(value, nullptr);
-    else if (key == "--clients") flags.clients = std::strtoul(value, nullptr, 10);
-    else if (key == "--shard") flags.shard = std::strtoul(value, nullptr, 10);
-    else if (key == "--rounds") flags.rounds = std::strtoul(value, nullptr, 10);
-    else if (key == "--sample") flags.sample = std::strtod(value, nullptr);
-    else if (key == "--epochs") flags.epochs = std::strtoul(value, nullptr, 10);
-    else if (key == "--seed") flags.seed = std::strtoul(value, nullptr, 10);
-    else if (key == "--target") flags.target = std::strtod(value, nullptr);
-    else if (key == "--step") flags.step = std::strtod(value, nullptr);
-    else if (key == "--dropout") flags.dropout = std::strtod(value, nullptr);
-    else if (key == "--eval-every") flags.eval_every = std::strtoul(value, nullptr, 10);
-    else {
-      std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
-      return false;
-    }
-  }
-  return true;
-}
-
-double default_step(const Flags& flags) {
-  if (flags.step > 0.0) return flags.step;
-  const double participations =
-      std::max(2.0, static_cast<double>(flags.rounds) * flags.sample * 0.7);
-  return 1.0 - std::pow(1.0 - flags.target, 1.0 / participations);
-}
-
-std::unique_ptr<FederatedAlgorithm> make_algorithm(const Flags& flags,
-                                                   const FlContext& ctx) {
-  if (flags.algo == "standalone") return std::make_unique<Standalone>(ctx);
-  if (flags.algo == "fedavg") return std::make_unique<FedAvg>(ctx);
-  if (flags.algo == "fedprox") return std::make_unique<FedProx>(ctx, 0.1);
-  if (flags.algo == "lgfedavg") return std::make_unique<LgFedAvg>(ctx);
-  if (flags.algo == "mtl") return std::make_unique<FedMtl>(ctx, 0.1);
-  if (flags.algo == "subfedavg_un" || flags.algo == "subfedavg_hy") {
-    SubFedAvgConfig config;
-    config.hybrid = flags.algo == "subfedavg_hy";
-    const double step = default_step(flags);
-    config.unstructured = {0.5, flags.target, 1e-4, step};
-    config.structured = {0.5, std::min(0.5, flags.target), 0.05, step};
-    return std::make_unique<SubFedAvg>(ctx, config);
-  }
-  return nullptr;
-}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
-  Flags flags;
-  if (!parse_flags(argc, argv, flags)) return 1;
 
-  const DatasetSpec spec = DatasetSpec::by_name(flags.dataset);
-  FederatedDataConfig data_config;
-  data_config.partition = {flags.clients, 2, flags.shard,
-                           flags.partition == "dirichlet" ? PartitionKind::kDirichlet
-                                                          : PartitionKind::kShards,
-                           flags.alpha};
-  data_config.test_per_class = 16;
-  data_config.seed = flags.seed;
-  FederatedData data(spec, data_config);
-
-  FlContext ctx;
-  ctx.data = &data;
-  ctx.spec = spec.channels == 3 ? ModelSpec::lenet5(spec.num_classes)
-                                : ModelSpec::cnn5(spec.num_classes);
-  ctx.train = {flags.epochs, 10};
-  ctx.seed = flags.seed;
-
-  std::unique_ptr<FederatedAlgorithm> algorithm = make_algorithm(flags, ctx);
-  if (algorithm == nullptr) {
-    std::fprintf(stderr, "unknown --algo '%s'\n", flags.algo.c_str());
+  ExperimentSpec spec;
+  spec.out = "run_result.json";
+  try {
+    spec.parse_args(argc, argv);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
-
-  DriverConfig driver;
-  driver.rounds = flags.rounds;
-  driver.sample_rate = flags.sample;
-  driver.eval_every = flags.eval_every;
-  driver.seed = flags.seed;
-  driver.dropout_prob = flags.dropout;
-
-  const RunResult result = run_federation(*algorithm, driver);
-  const Summary s = summarize(result.final_per_client);
-
-  std::printf("%s on %s (%s partition): %zu clients, %zu rounds\n",
-              algorithm->name().c_str(), spec.name.c_str(), flags.partition.c_str(),
-              flags.clients, flags.rounds);
-  if (!result.curve.empty() && result.curve.size() > 1) {
-    TablePrinter curve({"round", "avg accuracy"});
-    for (const RoundPoint& p : result.curve) {
-      curve.add_row({std::to_string(p.round), format_percent(p.avg_accuracy)});
-    }
-    std::printf("%s", curve.to_string().c_str());
+  if (spec.help_requested) {
+    std::printf("usage: run_experiment [--key value ...]\n\n%s",
+                ExperimentSpec::help_text().c_str());
+    return 0;
   }
-  std::printf("final: avg %s (min %s, max %s, stddev %.2fpp)\n",
-              format_percent(result.final_avg_accuracy).c_str(),
-              format_percent(s.min).c_str(), format_percent(s.max).c_str(),
-              100.0 * s.stddev);
-  std::printf("communication: %s up, %s down",
-              format_bytes(static_cast<double>(result.up_bytes)).c_str(),
-              format_bytes(static_cast<double>(result.down_bytes)).c_str());
-  if (result.dropped_clients > 0) {
-    std::printf("; %zu client-dropouts, %zu skipped rounds", result.dropped_clients,
-                result.skipped_rounds);
-  }
-  std::printf("\n");
-  if (auto* sub = dynamic_cast<SubFedAvg*>(algorithm.get())) {
-    std::printf("avg pruned: %s unstructured",
-                format_percent(sub->average_unstructured_pruned(), 1).c_str());
-    if (sub->hybrid()) {
-      std::printf(", %s channels",
-                  format_percent(sub->average_structured_pruned(), 1).c_str());
+
+  try {
+    const FederatedData data(spec.dataset_spec(), spec.data_config());
+    const FlContext ctx = spec.make_context(data);
+    std::unique_ptr<FederatedAlgorithm> algorithm = spec.make_algorithm(ctx);
+
+    ProgressObserver progress(spec.rounds);
+    const RunResult result = run_federation(*algorithm, spec.driver_config(), &progress);
+    const Summary s = summarize(result.final_per_client);
+
+    std::printf("%s on %s (%s partition): %zu clients, %zu rounds\n",
+                algorithm->name().c_str(), spec.dataset.c_str(), spec.partition.c_str(),
+                spec.clients, spec.rounds);
+    std::printf("final: avg %s (min %s, max %s, stddev %.2fpp)\n",
+                format_percent(result.final_avg_accuracy).c_str(),
+                format_percent(s.min).c_str(), format_percent(s.max).c_str(),
+                100.0 * s.stddev);
+    std::printf("communication: %s up, %s down",
+                format_bytes(static_cast<double>(result.up_bytes)).c_str(),
+                format_bytes(static_cast<double>(result.down_bytes)).c_str());
+    if (result.dropped_clients > 0) {
+      std::printf("; %zu client-dropouts, %zu skipped rounds", result.dropped_clients,
+                  result.skipped_rounds);
     }
     std::printf("\n");
+    if (auto* sub = dynamic_cast<SubFedAvg*>(algorithm.get())) {
+      std::printf("avg pruned: %s unstructured",
+                  format_percent(sub->average_unstructured_pruned(), 1).c_str());
+      if (sub->hybrid()) {
+        std::printf(", %s channels",
+                    format_percent(sub->average_structured_pruned(), 1).c_str());
+      }
+      std::printf("\n");
+    }
+
+    if (!spec.out.empty()) {
+      write_run_result_json(spec.out, spec, algorithm->name(), result);
+      std::printf("result written to %s\n", spec.out.c_str());
+    }
+    std::printf("\n# reproduce with --key value flags, or keep as a spec file:\n%s",
+                spec.to_kv().c_str());
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
   }
   return 0;
 }

@@ -14,7 +14,29 @@ std::size_t RunResult::rounds_to_reach(double threshold) const noexcept {
   return 0;
 }
 
-RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& config) {
+void ObserverChain::attach(RoundObserver* observer) {
+  SUBFEDAVG_CHECK(observer != nullptr, "null observer");
+  observers_.push_back(observer);
+}
+
+void ObserverChain::on_round_begin(std::size_t round, std::span<const std::size_t> sampled) {
+  for (RoundObserver* o : observers_) o->on_round_begin(round, sampled);
+}
+
+void ObserverChain::on_round_end(const RoundEndInfo& info) {
+  for (RoundObserver* o : observers_) o->on_round_end(info);
+}
+
+void ObserverChain::on_eval(std::size_t round, double avg_accuracy) {
+  for (RoundObserver* o : observers_) o->on_eval(round, avg_accuracy);
+}
+
+void ObserverChain::on_run_end(const RunResult& result) {
+  for (RoundObserver* o : observers_) o->on_run_end(result);
+}
+
+RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& config,
+                         RoundObserver* observer) {
   SUBFEDAVG_CHECK(config.rounds > 0, "need at least one round");
   SUBFEDAVG_CHECK(config.sample_rate > 0.0 && config.sample_rate <= 1.0,
                   "sample rate " << config.sample_rate);
@@ -47,7 +69,18 @@ RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& conf
         continue;
       }
     }
+    if (observer != nullptr) observer->on_round_begin(round + 1, sampled);
+    const std::uint64_t up_before = algorithm.ledger().total_up();
+    const std::uint64_t down_before = algorithm.ledger().total_down();
     algorithm.run_round(round, sampled);
+    if (observer != nullptr) {
+      RoundEndInfo info;
+      info.round = round + 1;
+      info.sampled = sampled;
+      info.round_up_bytes = algorithm.ledger().total_up() - up_before;
+      info.round_down_bytes = algorithm.ledger().total_down() - down_before;
+      observer->on_round_end(info);
+    }
 
     const bool last = (round + 1 == config.rounds);
     const bool checkpoint =
@@ -57,6 +90,7 @@ RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& conf
       result.curve.push_back({round + 1, avg});
       SUBFEDAVG_LOG(kInfo) << algorithm.name() << " round " << (round + 1) << "/"
                            << config.rounds << " avg personalized acc = " << avg;
+      if (observer != nullptr) observer->on_eval(round + 1, avg);
     }
   }
 
@@ -68,6 +102,7 @@ RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& conf
   }
   result.up_bytes = algorithm.ledger().total_up();
   result.down_bytes = algorithm.ledger().total_down();
+  if (observer != nullptr) observer->on_run_end(result);
   return result;
 }
 

@@ -1,9 +1,16 @@
 // Federation driver: the synchronized round loop of §3.4 —
 // sample clients, run the algorithm's round, periodically evaluate the
 // personalized accuracy of every client.
+//
+// Cross-cutting concerns (logging, accuracy traces, comm-cost sampling, and
+// eventually checkpointing — see ROADMAP) attach through RoundObserver hooks
+// instead of forking the loop: the driver calls back at round boundaries and
+// evaluation points, so observers compose without the driver knowing about
+// them.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fl/algorithm.h"
@@ -42,7 +49,56 @@ struct RunResult {
   std::size_t rounds_to_reach(double threshold) const noexcept;
 };
 
-/// Runs `config.rounds` federation rounds of `algorithm`.
-RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& config);
+/// What one completed round exchanged. Bytes are this round's ledger deltas,
+/// so they stay correct even when dropout skips rounds.
+struct RoundEndInfo {
+  std::size_t round = 0;                   ///< 1-based round number
+  std::span<const std::size_t> sampled;    ///< clients that actually ran
+  std::uint64_t round_up_bytes = 0;
+  std::uint64_t round_down_bytes = 0;
+};
+
+/// Driver callbacks. All default to no-ops; rounds where every sampled client
+/// dropped out fire neither begin nor end. The `sampled` spans are only valid
+/// for the duration of the call.
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+
+  /// Before the algorithm's round runs, with the surviving sampled clients.
+  virtual void on_round_begin(std::size_t round, std::span<const std::size_t> sampled) {
+    (void)round;
+    (void)sampled;
+  }
+  /// After the algorithm's round ran.
+  virtual void on_round_end(const RoundEndInfo& info) { (void)info; }
+  /// After each periodic (and the final) full-federation evaluation.
+  virtual void on_eval(std::size_t round, double avg_accuracy) {
+    (void)round;
+    (void)avg_accuracy;
+  }
+  /// Once, with the fully populated result.
+  virtual void on_run_end(const RunResult& result) { (void)result; }
+};
+
+/// Fans every callback out to the attached observers, in attachment order.
+/// Does not own them; attached pointers must outlive the run.
+class ObserverChain final : public RoundObserver {
+ public:
+  void attach(RoundObserver* observer);
+
+  void on_round_begin(std::size_t round, std::span<const std::size_t> sampled) override;
+  void on_round_end(const RoundEndInfo& info) override;
+  void on_eval(std::size_t round, double avg_accuracy) override;
+  void on_run_end(const RunResult& result) override;
+
+ private:
+  std::vector<RoundObserver*> observers_;
+};
+
+/// Runs `config.rounds` federation rounds of `algorithm`, invoking `observer`
+/// (when non-null) at round boundaries and evaluation points.
+RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& config,
+                         RoundObserver* observer = nullptr);
 
 }  // namespace subfed

@@ -1,0 +1,349 @@
+#include "fl/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/parse.h"
+
+namespace subfed {
+
+namespace {
+
+/// One serializable/flag-settable spec field. Getter renders the kv value,
+/// setter parses it (throwing CheckError on bad input).
+struct Field {
+  const char* key;
+  const char* help;
+  std::string (*get)(const ExperimentSpec&);
+  void (*set)(ExperimentSpec&, const std::string&);
+};
+
+#define SUBFED_STRING_FIELD(name, help)                                     \
+  Field{#name, help, [](const ExperimentSpec& s) { return s.name; },        \
+        [](ExperimentSpec& s, const std::string& v) { s.name = v; }}
+#define SUBFED_DOUBLE_FIELD(name, help)                                       \
+  Field{#name, help,                                                          \
+        [](const ExperimentSpec& s) { return format_double_shortest(s.name); }, \
+        [](ExperimentSpec& s, const std::string& v) {                         \
+          s.name = parse_double_strict(#name, v);                             \
+        }}
+#define SUBFED_UINT_FIELD(name, help)                                         \
+  Field{#name, help,                                                          \
+        [](const ExperimentSpec& s) {                                         \
+          return std::to_string(static_cast<std::uint64_t>(s.name));          \
+        },                                                                    \
+        [](ExperimentSpec& s, const std::string& v) {                         \
+          s.name = static_cast<decltype(s.name)>(parse_uint64_strict(#name, v)); \
+        }}
+
+const Field kFields[] = {
+    SUBFED_STRING_FIELD(dataset, "mnist | emnist | cifar10 | cifar100"),
+    SUBFED_STRING_FIELD(partition, "shards | dirichlet"),
+    SUBFED_DOUBLE_FIELD(alpha, "Dirichlet concentration (dirichlet partition)"),
+    SUBFED_UINT_FIELD(clients, "number of clients"),
+    SUBFED_UINT_FIELD(shards_per_client, "shards assigned to each client"),
+    SUBFED_UINT_FIELD(shard, "shard size; 0 = dataset's paper value"),
+    SUBFED_UINT_FIELD(test_per_class, "test pool size per class"),
+    SUBFED_STRING_FIELD(model, "auto | cnn5 | lenet5 | cnn_deep"),
+    SUBFED_UINT_FIELD(epochs, "local epochs per round"),
+    SUBFED_UINT_FIELD(batch, "local batch size"),
+    SUBFED_DOUBLE_FIELD(lr, "SGD learning rate"),
+    SUBFED_DOUBLE_FIELD(momentum, "SGD momentum"),
+    SUBFED_UINT_FIELD(rounds, "communication rounds"),
+    SUBFED_DOUBLE_FIELD(sample, "client sampling rate per round"),
+    SUBFED_UINT_FIELD(eval_every, "evaluate every N rounds; 0 = final only"),
+    SUBFED_DOUBLE_FIELD(dropout, "per-round client dropout probability"),
+    SUBFED_UINT_FIELD(seed, "master seed"),
+    SUBFED_STRING_FIELD(algo, "algorithm name (see list below)"),
+    SUBFED_DOUBLE_FIELD(target, "pruning target (Sub-FedAvg variants)"),
+    SUBFED_DOUBLE_FIELD(step, "per-round prune rate; 0 = adaptive"),
+    SUBFED_STRING_FIELD(out, "JSON result path; empty = no file"),
+};
+
+#undef SUBFED_STRING_FIELD
+#undef SUBFED_DOUBLE_FIELD
+#undef SUBFED_UINT_FIELD
+
+const Field* find_field(const std::string& key) {
+  for (const Field& field : kFields) {
+    if (key == field.key) return &field;
+  }
+  return nullptr;
+}
+
+constexpr char kAlgoParamPrefix[] = "algo.";
+
+std::string flag_name(const std::string& key) {
+  std::string flag = "--" + key;
+  for (char& c : flag) {
+    if (c == '_') c = '-';
+  }
+  return flag;
+}
+
+std::string key_from_flag(const std::string& flag) {
+  std::string key = flag.substr(2);
+  for (char& c : key) {
+    if (c == '-') c = '_';
+  }
+  return key;
+}
+
+void set_algo_param_kv(ExperimentSpec& spec, const std::string& assignment) {
+  const std::size_t eq = assignment.find('=');
+  SUBFEDAVG_CHECK(eq != std::string::npos && eq > 0,
+                  "--algo-param expects key=value, got '" << assignment << "'");
+  spec.algo_params.set(assignment.substr(0, eq), assignment.substr(eq + 1));
+}
+
+void append_json_escaped(std::ostringstream& os, const std::string& value) {
+  os << '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+double adaptive_prune_step(double target, std::size_t rounds, double sample_rate) {
+  if (target <= 0.0) return 0.0;
+  const double participations =
+      std::max(2.0, static_cast<double>(rounds) * sample_rate * 0.7);
+  return 1.0 - std::pow(1.0 - target, 1.0 / participations);
+}
+
+void ExperimentSpec::parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      help_requested = true;
+      continue;
+    }
+    SUBFEDAVG_CHECK(flag.rfind("--", 0) == 0,
+                    "expected a flag, got '" << flag << "' (see --help)");
+    SUBFEDAVG_CHECK(i + 1 < argc, "flag " << flag << " expects a value");
+    const std::string value = argv[++i];
+    if (flag == "--algo-param") {
+      set_algo_param_kv(*this, value);
+      continue;
+    }
+    if (flag == "--spec") {
+      std::ifstream file(value);
+      SUBFEDAVG_CHECK(file.good(), "cannot read spec file '" << value << "'");
+      std::ostringstream text;
+      text << file.rdbuf();
+      apply_kv(text.str());
+      continue;
+    }
+    const Field* field = find_field(key_from_flag(flag));
+    SUBFEDAVG_CHECK(field != nullptr, "unknown flag " << flag << " (see --help)");
+    field->set(*this, value);
+  }
+}
+
+std::string ExperimentSpec::to_kv() const {
+  std::ostringstream os;
+  for (const Field& field : kFields) {
+    os << field.key << '=' << field.get(*this) << '\n';
+  }
+  for (const auto& [key, value] : algo_params.entries()) {
+    os << kAlgoParamPrefix << key << '=' << value << '\n';
+  }
+  return os.str();
+}
+
+void ExperimentSpec::apply_kv(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    std::size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    line = line.substr(start);
+    if (line[0] == '#') continue;
+    const std::size_t eq = line.find('=');
+    SUBFEDAVG_CHECK(eq != std::string::npos && eq > 0,
+                    "expected key=value, got '" << line << "'");
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key.rfind(kAlgoParamPrefix, 0) == 0) {
+      algo_params.set(key.substr(sizeof(kAlgoParamPrefix) - 1), value);
+      continue;
+    }
+    const Field* field = find_field(key);
+    SUBFEDAVG_CHECK(field != nullptr, "unknown spec key '" << key << "'");
+    field->set(*this, value);
+  }
+}
+
+ExperimentSpec ExperimentSpec::from_kv(const std::string& text) {
+  ExperimentSpec spec;
+  spec.apply_kv(text);
+  return spec;
+}
+
+std::string ExperimentSpec::help_text() {
+  const ExperimentSpec defaults;
+  std::ostringstream os;
+  os << "flags (all optional, --key value):\n";
+  for (const Field& field : kFields) {
+    std::string flag = flag_name(field.key);
+    flag.resize(std::max<std::size_t>(flag.size(), 20), ' ');
+    os << "  " << flag << field.help;
+    const std::string fallback = field.get(defaults);
+    os << "  [" << (fallback.empty() ? "unset" : fallback) << "]\n";
+  }
+  os << "  --algo-param k=v    extra algorithm hyper-parameter (repeatable)\n";
+  os << "  --spec path         apply a saved key=value spec file; later flags override\n";
+  os << "  --help              print this reference\n\nalgorithms:\n";
+  for (const std::string& name : list_algorithms()) {
+    std::string padded = name;
+    padded.resize(std::max<std::size_t>(padded.size(), 14), ' ');
+    os << "  " << padded << registry().info(name).description << '\n';
+  }
+  return os.str();
+}
+
+DatasetSpec ExperimentSpec::dataset_spec() const { return DatasetSpec::by_name(dataset); }
+
+FederatedDataConfig ExperimentSpec::data_config() const {
+  SUBFEDAVG_CHECK(partition == "shards" || partition == "dirichlet",
+                  "unknown partition '" << partition << "' (shards | dirichlet)");
+  const PartitionKind kind =
+      partition == "dirichlet" ? PartitionKind::kDirichlet : PartitionKind::kShards;
+  FederatedDataConfig config;
+  config.partition = {clients, shards_per_client, shard, kind, alpha};
+  config.test_per_class = test_per_class;
+  config.seed = seed;
+  return config;
+}
+
+ModelSpec ExperimentSpec::model_spec() const {
+  const DatasetSpec data_spec = dataset_spec();
+  if (model == "auto") {
+    // Paper §4.1: 5-layer CNN for MNIST/EMNIST, LeNet-5 for CIFAR-10/100.
+    return data_spec.channels == 3 ? ModelSpec::lenet5(data_spec.num_classes)
+                                   : ModelSpec::cnn5(data_spec.num_classes);
+  }
+  if (model == "cnn5") return ModelSpec::cnn5(data_spec.num_classes);
+  if (model == "lenet5") return ModelSpec::lenet5(data_spec.num_classes);
+  SUBFEDAVG_CHECK(model == "cnn_deep",
+                  "unknown model '" << model << "' (auto | cnn5 | lenet5 | cnn_deep)");
+  return ModelSpec::cnn_deep(data_spec.num_classes);
+}
+
+FlContext ExperimentSpec::make_context(const FederatedData& data) const {
+  FlContext ctx;
+  ctx.data = &data;
+  ctx.spec = model_spec();
+  ctx.train = {epochs, batch};
+  ctx.sgd = {static_cast<float>(lr), static_cast<float>(momentum), /*weight_decay=*/0.0f};
+  ctx.seed = seed;
+  return ctx;
+}
+
+DriverConfig ExperimentSpec::driver_config() const {
+  DriverConfig config;
+  config.rounds = rounds;
+  config.sample_rate = sample;
+  config.eval_every = eval_every;
+  config.seed = seed;
+  config.dropout_prob = dropout;
+  return config;
+}
+
+AlgoParams ExperimentSpec::resolved_algo_params() const {
+  AlgoParams params = algo_params;
+  if (!params.has("target")) params.set_double("target", target);
+  // Calibrate the adaptive step to the target actually in effect — an
+  // explicit algo_params target overrides the spec field.
+  const double effective_target = params.get_double("target", target);
+  if (!params.has("step")) {
+    params.set_double(
+        "step", step > 0.0 ? step : adaptive_prune_step(effective_target, rounds, sample));
+  }
+  // Hybrid runs prune channels toward min(50%, target) — channel pruning past
+  // ~50% kills personal parameters (paper §4.2.3) — unless overridden.
+  if (!params.has("channel_target") && registry().contains(algo) &&
+      registry().info(algo).name == "subfedavg_hy") {
+    params.set_double("channel_target", std::min(0.5, effective_target));
+  }
+  return params;
+}
+
+std::unique_ptr<FederatedAlgorithm> ExperimentSpec::make_algorithm(const FlContext& ctx) const {
+  return registry().create(algo, ctx, resolved_algo_params());
+}
+
+std::string run_result_json(const ExperimentSpec& spec, const std::string& algorithm_name,
+                            const RunResult& result) {
+  std::ostringstream os;
+  os << "{\n  \"algorithm\": ";
+  append_json_escaped(os, algorithm_name);
+  os << ",\n  \"spec\": {";
+  bool first = true;
+  for (const Field& field : kFields) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n    ";
+    append_json_escaped(os, field.key);
+    os << ": ";
+    append_json_escaped(os, field.get(spec));
+  }
+  for (const auto& [key, value] : spec.algo_params.entries()) {
+    os << ",\n    ";
+    append_json_escaped(os, kAlgoParamPrefix + key);
+    os << ": ";
+    append_json_escaped(os, value);
+  }
+  os << "\n  },\n  \"curve\": [";
+  first = true;
+  for (const RoundPoint& point : result.curve) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n    {\"round\": " << point.round << ", \"avg_accuracy\": " << point.avg_accuracy
+       << "}";
+  }
+  os << (result.curve.empty() ? "]" : "\n  ]") << ",\n  \"final_avg_accuracy\": "
+     << result.final_avg_accuracy << ",\n  \"final_per_client\": [";
+  first = true;
+  for (const double accuracy : result.final_per_client) {
+    os << (first ? "" : ", ") << accuracy;
+    first = false;
+  }
+  os << "],\n  \"up_bytes\": " << result.up_bytes
+     << ",\n  \"down_bytes\": " << result.down_bytes
+     << ",\n  \"total_bytes\": " << result.total_bytes()
+     << ",\n  \"dropped_clients\": " << result.dropped_clients
+     << ",\n  \"skipped_rounds\": " << result.skipped_rounds << "\n}\n";
+  return os.str();
+}
+
+void write_run_result_json(const std::string& path, const ExperimentSpec& spec,
+                           const std::string& algorithm_name, const RunResult& result) {
+  std::ofstream out(path, std::ios::trunc);
+  SUBFEDAVG_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << run_result_json(spec, algorithm_name, result);
+  out.flush();
+  SUBFEDAVG_CHECK(out.good(), "failed writing '" << path << "'");
+}
+
+}  // namespace subfed

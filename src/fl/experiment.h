@@ -1,0 +1,107 @@
+// Declarative experiment description.
+//
+// An ExperimentSpec bundles everything one federation run needs — dataset,
+// partition, model, local-training and driver parameters, and the algorithm
+// name + hyper-parameters — in one value that:
+//   * parses from argv-style flags (`--dataset cifar10 --algo subfedavg_hy`),
+//   * round-trips through a key=value text form (`to_kv` / `from_kv`), so a
+//     finished run's exact configuration is a reproducible artifact,
+//   * builds all the runtime pieces (FederatedData config, FlContext,
+//     DriverConfig, and the algorithm via the registry).
+// The JSON result writer pairs a spec with its RunResult so sweeps emit
+// machine-readable accuracy curves and communication totals.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "data/client_data.h"
+#include "fl/driver.h"
+#include "fl/registry.h"
+
+namespace subfed {
+
+/// Per-round prune step calibrated to the run length: a client participates
+/// in ≈ rounds × sample_rate rounds and must reach `target` within them.
+/// The paper prunes 5-20% of remaining per round over 300-500 rounds; scaled
+/// runs compress that schedule the same way.
+double adaptive_prune_step(double target, std::size_t rounds, double sample_rate);
+
+struct ExperimentSpec {
+  // Data.
+  std::string dataset = "mnist";     ///< mnist | emnist | cifar10 | cifar100
+  std::string partition = "shards";  ///< shards | dirichlet
+  double alpha = 0.5;                ///< Dirichlet concentration
+  std::size_t clients = 16;
+  std::size_t shards_per_client = 2;
+  std::size_t shard = 40;            ///< shard size; 0 → dataset's paper value
+  std::size_t test_per_class = 16;
+  // Model.
+  std::string model = "auto";        ///< auto | cnn5 | lenet5 | cnn_deep
+  // Local training.
+  std::size_t epochs = 3;
+  std::size_t batch = 10;
+  double lr = 0.01;
+  double momentum = 0.5;
+  // Driver.
+  std::size_t rounds = 12;
+  double sample = 0.4;
+  std::size_t eval_every = 0;        ///< 0 → evaluate only after the last round
+  double dropout = 0.0;
+  std::uint64_t seed = 1;
+  // Algorithm.
+  std::string algo = "subfedavg_un"; ///< any registry() name
+  double target = 0.5;               ///< pruning target (Sub-FedAvg variants)
+  double step = 0.0;                 ///< per-round prune rate; 0 → adaptive
+  AlgoParams algo_params;            ///< extra per-algorithm overrides
+  // Output.
+  std::string out;                   ///< JSON result path; empty → no file
+
+  bool help_requested = false;       ///< set by parse_args on --help / -h
+
+  /// Applies `--key value` flags to this spec (so callers can pre-seed
+  /// defaults). Flag names are the kv keys with '_' → '-'; algorithm extras
+  /// pass as repeated `--algo-param key=value`; `--spec path` applies a saved
+  /// kv file (later flags override it). Throws CheckError on unknown flags,
+  /// bad values, and a trailing flag with no value.
+  void parse_args(int argc, char** argv);
+
+  /// One `key=value` per line, in a fixed order; algorithm extras serialize
+  /// as `algo.key=value`.
+  std::string to_kv() const;
+  /// Applies kv lines over the current values. Blank lines and `#` comments
+  /// are skipped; unknown keys throw CheckError.
+  void apply_kv(const std::string& text);
+  /// Defaults + apply_kv — inverse of to_kv.
+  static ExperimentSpec from_kv(const std::string& text);
+
+  /// Flag reference plus the registered algorithm names.
+  static std::string help_text();
+
+  // -- runtime pieces ------------------------------------------------------
+  DatasetSpec dataset_spec() const;
+  FederatedDataConfig data_config() const;
+  /// Resolves "auto" to the paper's architecture for the dataset (LeNet-5
+  /// for 3-channel inputs, CNN-5 otherwise).
+  ModelSpec model_spec() const;
+  FlContext make_context(const FederatedData& data) const;
+  DriverConfig driver_config() const;
+  /// step (adaptive when 0) and target merged over `algo_params`; explicit
+  /// algo_params entries win.
+  AlgoParams resolved_algo_params() const;
+  /// Builds the algorithm through the registry.
+  std::unique_ptr<FederatedAlgorithm> make_algorithm(const FlContext& ctx) const;
+};
+
+/// JSON document pairing the spec with its result: algorithm name, the full
+/// spec, the accuracy curve, per-client accuracies, and up/down byte totals.
+std::string run_result_json(const ExperimentSpec& spec, const std::string& algorithm_name,
+                            const RunResult& result);
+
+/// Writes run_result_json to `path` (overwrites). Throws CheckError on I/O
+/// failure.
+void write_run_result_json(const std::string& path, const ExperimentSpec& spec,
+                           const std::string& algorithm_name, const RunResult& result);
+
+}  // namespace subfed

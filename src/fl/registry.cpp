@@ -1,0 +1,210 @@
+#include "fl/registry.h"
+
+#include <sstream>
+
+#include "fl/fedavg.h"
+#include "fl/fedavg_ft.h"
+#include "fl/fedmtl.h"
+#include "fl/lg_fedavg.h"
+#include "fl/standalone.h"
+#include "fl/subfedavg.h"
+#include "util/check.h"
+#include "util/parse.h"
+
+namespace subfed {
+
+AlgoParams& AlgoParams::set(const std::string& key, std::string value) {
+  entries_[key] = std::move(value);
+  return *this;
+}
+
+AlgoParams& AlgoParams::set_double(const std::string& key, double value) {
+  return set(key, format_double_shortest(value));
+}
+
+AlgoParams& AlgoParams::set_size_t(const std::string& key, std::size_t value) {
+  return set(key, std::to_string(value));
+}
+
+AlgoParams& AlgoParams::set_bool(const std::string& key, bool value) {
+  return set(key, value ? "1" : "0");
+}
+
+std::string AlgoParams::get_string(const std::string& key, const std::string& fallback) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? fallback : it->second;
+}
+
+double AlgoParams::get_double(const std::string& key, double fallback) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? fallback : parse_double_strict(key, it->second);
+}
+
+std::size_t AlgoParams::get_size_t(const std::string& key, std::size_t fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  return static_cast<std::size_t>(parse_uint64_strict(key, it->second));
+}
+
+bool AlgoParams::get_bool(const std::string& key, bool fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "no") return false;
+  SUBFEDAVG_CHECK(false, "algo param '" << key << "': not a boolean: '" << v << "'");
+  return fallback;
+}
+
+void AlgorithmRegistry::add(std::string name, std::string description, AlgoFactory factory) {
+  SUBFEDAVG_CHECK(!name.empty() && factory != nullptr, "invalid registration");
+  SUBFEDAVG_CHECK(algos_.count(name) == 0 && aliases_.count(name) == 0,
+                  "algorithm '" << name << "' registered twice");
+  AlgoInfo info{name, std::move(description), std::move(factory)};
+  algos_.emplace(std::move(name), std::move(info));
+}
+
+void AlgorithmRegistry::alias(std::string alias_name, std::string canonical) {
+  SUBFEDAVG_CHECK(algos_.count(canonical) == 1, "alias target '" << canonical << "' unknown");
+  SUBFEDAVG_CHECK(algos_.count(alias_name) == 0 && aliases_.count(alias_name) == 0,
+                  "alias '" << alias_name << "' registered twice");
+  aliases_.emplace(std::move(alias_name), std::move(canonical));
+}
+
+const AlgoInfo* AlgorithmRegistry::find(const std::string& name) const {
+  auto it = algos_.find(name);
+  if (it != algos_.end()) return &it->second;
+  const auto alias_it = aliases_.find(name);
+  if (alias_it != aliases_.end()) {
+    it = algos_.find(alias_it->second);
+    if (it != algos_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+bool AlgorithmRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+const AlgoInfo& AlgorithmRegistry::info(const std::string& name) const {
+  const AlgoInfo* found = find(name);
+  SUBFEDAVG_CHECK(found != nullptr, "unknown algorithm '" << name << "'");
+  return *found;
+}
+
+std::unique_ptr<FederatedAlgorithm> AlgorithmRegistry::create(const std::string& name,
+                                                              const FlContext& ctx,
+                                                              const AlgoParams& params) const {
+  const AlgoInfo* found = find(name);
+  if (found == nullptr) {
+    std::ostringstream known;
+    for (const std::string& n : names()) known << " " << n;
+    SUBFEDAVG_CHECK(false, "unknown algorithm '" << name << "'; known:" << known.str());
+  }
+  std::unique_ptr<FederatedAlgorithm> algorithm = found->factory(ctx, params);
+  SUBFEDAVG_CHECK(algorithm != nullptr, "factory for '" << name << "' returned null");
+  return algorithm;
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(algos_.size());
+  for (const auto& [name, info] : algos_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+AlgorithmRegistry& registry() {
+  static AlgorithmRegistry instance;
+  return instance;
+}
+
+std::vector<std::string> list_algorithms() { return registry().names(); }
+
+RegisterAlgorithm::RegisterAlgorithm(const char* name, const char* description,
+                                     AlgoFactory factory) {
+  registry().add(name, description, std::move(factory));
+}
+
+// ---------------------------------------------------------------------------
+// Built-in registrations. These live in the same translation unit as
+// `registry()` so linking the library always links the built-ins (static
+// registration objects in other TUs of a static library may be dropped).
+namespace {
+
+/// Sub-FedAvg gate configuration from params; `prefix` distinguishes the
+/// unstructured keys (no prefix) from the structured `channel_*` keys.
+SubFedAvgConfig subfedavg_config(const AlgoParams& p, bool hybrid) {
+  SubFedAvgConfig config;
+  config.hybrid = hybrid;
+  const double target = p.get_double("target", 0.5);
+  const double step = p.get_double("step", 0.1);
+  config.unstructured = {p.get_double("acc_threshold", 0.5), target,
+                         p.get_double("epsilon", 1e-4), step};
+  if (hybrid) {
+    config.structured = {p.get_double("channel_acc_threshold",
+                                      p.get_double("acc_threshold", 0.5)),
+                         p.get_double("channel_target", 0.45),
+                         p.get_double("channel_epsilon", 0.05),
+                         p.get_double("channel_step", step)};
+    config.bn_l1 = static_cast<float>(p.get_double("bn_l1", 1e-4));
+  }
+  return config;
+}
+
+std::unique_ptr<FederatedAlgorithm> make_subfedavg(const FlContext& ctx, const AlgoParams& p,
+                                                   bool hybrid) {
+  auto algorithm = std::make_unique<SubFedAvg>(ctx, subfedavg_config(p, hybrid));
+  algorithm->set_strict_intersection(p.get_bool("strict", false));
+  return algorithm;
+}
+
+const struct RegisterBuiltins {
+  RegisterBuiltins() {
+    AlgorithmRegistry& r = registry();
+    r.add("standalone", "local-only training, no federation",
+          [](const FlContext& ctx, const AlgoParams&) {
+            return std::make_unique<Standalone>(ctx);
+          });
+    r.add("fedavg", "FedAvg global model (McMahan et al. 2017)",
+          [](const FlContext& ctx, const AlgoParams&) {
+            return std::make_unique<FedAvg>(ctx);
+          });
+    r.add("fedprox", "FedAvg + proximal term mu (Li et al. 2018); param: mu [0.1]",
+          [](const FlContext& ctx, const AlgoParams& p) {
+            return std::make_unique<FedProx>(ctx, p.get_double("mu", 0.1));
+          });
+    r.add("lg_fedavg", "local conv layers + federated FC head (Liang et al. 2020)",
+          [](const FlContext& ctx, const AlgoParams&) {
+            return std::make_unique<LgFedAvg>(ctx);
+          });
+    r.add("fedmtl", "federated multi-task learning; param: lambda [0.1]",
+          [](const FlContext& ctx, const AlgoParams& p) {
+            return std::make_unique<FedMtl>(ctx, p.get_double("lambda", 0.1));
+          });
+    r.add("fedavg_ft",
+          "FedAvg + local fine-tuning at evaluation; param: finetune_epochs [local epochs]",
+          [](const FlContext& ctx, const AlgoParams& p) {
+            return std::make_unique<FedAvgFinetune>(
+                ctx, p.get_size_t("finetune_epochs", ctx.train.epochs));
+          });
+    r.add("subfedavg_un",
+          "Sub-FedAvg (Un), Algorithm 1; params: target [0.5], step [0.1], "
+          "acc_threshold [0.5], epsilon [1e-4], strict [0]",
+          [](const FlContext& ctx, const AlgoParams& p) {
+            return make_subfedavg(ctx, p, /*hybrid=*/false);
+          });
+    r.add("subfedavg_hy",
+          "Sub-FedAvg (Hy), Algorithm 2; adds channel_target [0.45], channel_step, "
+          "channel_epsilon [0.05], bn_l1 [1e-4]",
+          [](const FlContext& ctx, const AlgoParams& p) {
+            return make_subfedavg(ctx, p, /*hybrid=*/true);
+          });
+    // Spellings used by earlier revisions of the experiment runner.
+    r.alias("lgfedavg", "lg_fedavg");
+    r.alias("mtl", "fedmtl");
+  }
+} register_builtins;
+
+}  // namespace
+
+}  // namespace subfed

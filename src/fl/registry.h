@@ -1,0 +1,105 @@
+// Algorithm registry: name → factory for every FederatedAlgorithm.
+//
+// Benches, examples and the experiment runner construct algorithms ONLY
+// through this registry, so adding an algorithm (or an out-of-tree variant)
+// is one registration instead of a string if/else ladder per entry point.
+// Factories take the shared FlContext plus loosely-typed AlgoParams; every
+// parameter has a paper-default, so `create("fedavg", ctx, {})` always works.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fl/algorithm.h"
+
+namespace subfed {
+
+/// Loosely-typed algorithm hyper-parameters: string key → string value with
+/// typed accessors. Factories read the keys they understand and fall back to
+/// the paper's defaults; unknown keys are ignored (forward compatibility).
+class AlgoParams {
+ public:
+  AlgoParams() = default;
+  AlgoParams(std::initializer_list<std::pair<const std::string, std::string>> init)
+      : entries_(init) {}
+
+  AlgoParams& set(const std::string& key, std::string value);
+  AlgoParams& set_double(const std::string& key, double value);
+  AlgoParams& set_size_t(const std::string& key, std::size_t value);
+  AlgoParams& set_bool(const std::string& key, bool value);
+
+  bool has(const std::string& key) const { return entries_.count(key) != 0; }
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  /// Throws CheckError when the stored value is not numeric.
+  double get_double(const std::string& key, double fallback) const;
+  std::size_t get_size_t(const std::string& key, std::size_t fallback) const;
+  /// Accepts 1/0/true/false/yes/no.
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& entries() const noexcept { return entries_; }
+  bool operator==(const AlgoParams& other) const { return entries_ == other.entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+using AlgoFactory =
+    std::function<std::unique_ptr<FederatedAlgorithm>(const FlContext&, const AlgoParams&)>;
+
+/// One registered algorithm: canonical name, one-line description (shown by
+/// `run_experiment --help`), and its factory.
+struct AlgoInfo {
+  std::string name;
+  std::string description;
+  AlgoFactory factory;
+};
+
+class AlgorithmRegistry {
+ public:
+  /// Registers a factory under a canonical name. Throws CheckError on
+  /// duplicate names (catches accidental double registration early).
+  void add(std::string name, std::string description, AlgoFactory factory);
+
+  /// Registers an alternate spelling for an existing canonical name.
+  void alias(std::string alias_name, std::string canonical);
+
+  /// True when `name` resolves (canonical or alias).
+  bool contains(const std::string& name) const;
+
+  /// Builds the algorithm, throwing CheckError with the list of known names
+  /// when `name` does not resolve.
+  std::unique_ptr<FederatedAlgorithm> create(const std::string& name, const FlContext& ctx,
+                                             const AlgoParams& params = {}) const;
+
+  /// Metadata for a registered name (resolves aliases). Throws on unknown.
+  const AlgoInfo& info(const std::string& name) const;
+
+  /// Sorted canonical names (aliases excluded).
+  std::vector<std::string> names() const;
+
+ private:
+  const AlgoInfo* find(const std::string& name) const;
+
+  std::map<std::string, AlgoInfo> algos_;
+  std::map<std::string, std::string> aliases_;
+};
+
+/// The process-wide registry. The built-in algorithms (standalone, fedavg,
+/// fedprox, lg_fedavg, fedmtl, fedavg_ft, subfedavg_un, subfedavg_hy)
+/// self-register before main() runs.
+AlgorithmRegistry& registry();
+
+/// Sorted canonical names of every registered algorithm.
+std::vector<std::string> list_algorithms();
+
+/// Static-initialization registration handle:
+///   static RegisterAlgorithm reg("myalgo", "description", factory);
+struct RegisterAlgorithm {
+  RegisterAlgorithm(const char* name, const char* description, AlgoFactory factory);
+};
+
+}  // namespace subfed

@@ -1,0 +1,44 @@
+// Strict string ↔ number conversions shared by the experiment/config layer.
+//
+// Parsers reject trailing garbage and out-of-range values with a CheckError
+// naming the offending key; the formatter emits the shortest representation
+// that parses back to the exact same double, so serialized configs round-trip
+// bit-for-bit.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "util/check.h"
+
+namespace subfed {
+
+inline double parse_double_strict(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  SUBFEDAVG_CHECK(end != value.c_str() && *end == '\0',
+                  "'" << key << "': not a number: '" << value << "'");
+  return parsed;
+}
+
+/// Full-range 64-bit parse (no round-trip through double).
+inline std::uint64_t parse_uint64_strict(const std::string& key, const std::string& value) {
+  std::uint64_t parsed = 0;
+  const char* begin = value.c_str();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  SUBFEDAVG_CHECK(ec == std::errc() && ptr == end && !value.empty(),
+                  "'" << key << "': not a non-negative integer: '" << value << "'");
+  return parsed;
+}
+
+inline std::string format_double_shortest(double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  SUBFEDAVG_CHECK(ec == std::errc(), "cannot format " << value);
+  return std::string(buf, end);
+}
+
+}  // namespace subfed

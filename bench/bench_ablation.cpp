@@ -10,41 +10,82 @@
 //      mask-distance condition of the paper's triple gate.
 //   E. Slimming penalty — hybrid pruning with and without the BN-γ L1 term.
 //
+// Each ablation is a sweep description over `algo.*` hyper-parameter axes
+// (fl/sweep.h), sharded across the bench thread pool; rows print in
+// expansion order with the pruned-percentage metrics the sweep runner
+// collects from the algorithm.
+//
 //   ./bench_ablation [dataset]   (default mnist)
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "comm/serialize.h"
+#include "util/parse.h"
 
 using namespace subfed;
 using namespace subfed::bench;
 
 namespace {
 
-void ablation_aggregation(const FlContext& ctx, const BenchScale& scale) {
-  std::printf("-- A. aggregation rule: counting vs strict intersection --\n");
-  TablePrinter table({"rule", "avg accuracy", "avg pruned %", "comm"});
-  for (const bool strict : {false, true}) {
-    auto alg = make_algo("subfedavg_un", ctx,
-                         un_params(0.5, scale).set_bool("strict", strict));
-    const RunResult result = run_federation(*alg, make_driver(scale));
-    table.add_row({strict ? "strict intersection" : "counting (default)",
-                   format_percent(result.final_avg_accuracy),
-                   format_percent(as_subfedavg(*alg).average_unstructured_pruned(), 1),
-                   format_bytes(static_cast<double>(result.total_bytes()))});
+/// Expands `description`, runs it on the bench pool (per-run JSONs under
+/// <SUBFEDAVG_BENCH_OUT>/<dataset>/<name> so the ablations don't clear each
+/// other's artifacts), and prints one table row per run (expansion order):
+/// label(outcome) + metric columns.
+void run_table(const SweepDescription& description, const std::string& dataset,
+               const std::string& name, TablePrinter& table,
+               const std::function<std::vector<std::string>(const SweepRunOutcome&)>& row) {
+  SweepOptions options = bench_sweep_options(dataset);
+  if (!options.out_dir.empty()) options.out_dir += "/" + name;
+  options.echo_progress = false;
+  const SweepSummary summary = run_sweep(description.expand(), options);
+  for (const SweepRunOutcome& outcome : summary.outcomes) {
+    if (outcome.ok) table.add_row(row(outcome));
   }
+  report_failed_runs(summary);
+}
+
+double metric(const SweepRunOutcome& outcome, const char* name) {
+  const auto it = outcome.metrics.find(name);
+  return it == outcome.metrics.end() ? 0.0 : it->second;
+}
+
+SweepDescription subfedavg_base(const std::string& dataset, const BenchScale& scale,
+                                double target) {
+  SweepDescription description;
+  description.base = make_spec(dataset, scale);
+  description.base.algo = "subfedavg_un";
+  description.base.target = target;
+  return description;
+}
+
+void ablation_aggregation(const std::string& dataset, const BenchScale& scale) {
+  std::printf("-- A. aggregation rule: counting vs strict intersection --\n");
+  SweepDescription description = subfedavg_base(dataset, scale, 0.5);
+  description.add_axis("algo.strict=0,1");
+  TablePrinter table({"rule", "avg accuracy", "avg pruned %", "comm"});
+  run_table(description, dataset, "aggregation", table, [](const SweepRunOutcome& o) {
+    return std::vector<std::string>{
+        o.run.assignment[0].second == "1" ? "strict intersection" : "counting (default)",
+        format_percent(o.result.final_avg_accuracy),
+        format_percent(metric(o, "unstructured_pruned"), 1),
+        format_bytes(static_cast<double>(o.result.total_bytes()))};
+  });
   std::printf("%s\n", table.to_string().c_str());
 }
 
-void ablation_download(const FlContext& ctx, const BenchScale& scale) {
+void ablation_download(const std::string& dataset, const BenchScale& scale) {
   std::printf("-- B. download masking: masked (charged) vs dense downlink --\n");
-  auto alg = make_algo("subfedavg_un", ctx, un_params(0.7, scale));
-  const RunResult result = run_federation(*alg, make_driver(scale));
+  ExperimentSpec spec = make_spec(dataset, scale);
+  spec.algo = "subfedavg_un";
+  spec.target = 0.7;
+  const ExecutedRun run = execute_experiment(spec);
 
   // The masked download is what the ledger charged; a dense downlink would
   // send the full global state to every sampled client each round.
-  Model model = ctx.spec.build();
+  Model model = spec.model_spec().build();
   const std::size_t dense_per_client = payload_bytes(model.state(), nullptr);
   const std::size_t per_round = std::max<std::size_t>(
       1, static_cast<std::size_t>(scale.sample_rate * static_cast<double>(scale.clients)));
@@ -53,74 +94,77 @@ void ablation_download(const FlContext& ctx, const BenchScale& scale) {
 
   TablePrinter table({"downlink policy", "down bytes", "relative"});
   table.add_row({"masked (this repo / paper accounting)",
-                 format_bytes(static_cast<double>(result.down_bytes)), "1.00x"});
+                 format_bytes(static_cast<double>(run.result.down_bytes)), "1.00x"});
   table.add_row({"dense", format_bytes(static_cast<double>(dense_down)),
                  format_float(static_cast<double>(dense_down) /
-                                  static_cast<double>(result.down_bytes),
+                                  static_cast<double>(run.result.down_bytes),
                               2) + "x"});
   std::printf("%s\n", table.to_string().c_str());
 }
 
-void ablation_schedule(const FlContext& ctx, const BenchScale& scale) {
+void ablation_schedule(const std::string& dataset, const BenchScale& scale) {
   std::printf("-- C. prune schedule: fixed steps vs round-budget-adaptive --\n");
+  // step=0 falls back to the round-budget-adaptive schedule, making the
+  // comparison a single four-value axis over the spec field.
+  SweepDescription description = subfedavg_base(dataset, scale, 0.5);
+  description.add_axis("step=0.05,0.1,0.2,0");
   TablePrinter table({"schedule", "achieved pruned %", "avg accuracy"});
-  for (const double step : {0.05, 0.1, 0.2}) {
-    auto alg = make_algo("subfedavg_un", ctx,
-                         un_params(0.5, scale).set_double("step", step));
-    const RunResult result = run_federation(*alg, make_driver(scale));
-    table.add_row({"fixed " + format_percent(step, 0),
-                   format_percent(as_subfedavg(*alg).average_unstructured_pruned(), 1),
-                   format_percent(result.final_avg_accuracy)});
-  }
-  {
-    auto alg = make_algo("subfedavg_un", ctx, un_params(0.5, scale));
-    const RunResult result = run_federation(*alg, make_driver(scale));
-    table.add_row({"adaptive (" + format_percent(adaptive_step(0.5, scale), 1) + ")",
-                   format_percent(as_subfedavg(*alg).average_unstructured_pruned(), 1),
-                   format_percent(result.final_avg_accuracy)});
-  }
+  run_table(description, dataset, "schedule", table, [&](const SweepRunOutcome& o) {
+    const std::string& step = o.run.assignment[0].second;
+    // The adaptive row's label shows the step the run actually resolved
+    // (spec.step=0 → round-budget-adaptive, independent of the env override).
+    const std::string label =
+        step == "0"
+            ? "adaptive (" +
+                  format_percent(
+                      adaptive_prune_step(0.5, scale.rounds, scale.sample_rate), 1) +
+                  ")"
+            : "fixed " + format_percent(parse_double_strict("step", step), 0);
+    return std::vector<std::string>{label,
+                                    format_percent(metric(o, "unstructured_pruned"), 1),
+                                    format_percent(o.result.final_avg_accuracy)};
+  });
   std::printf("%s\n", table.to_string().c_str());
 }
 
-void ablation_gate(const FlContext& ctx, const BenchScale& scale) {
+void ablation_gate(const std::string& dataset, const BenchScale& scale) {
   std::printf("-- D. pruning-gate conditions (paper's triple condition) --\n");
+  // The paper's triple gate, knocked out one condition at a time: the 2×2
+  // cross-product of {Accth, 0} × {eps, 0} covers all four variants.
+  SweepDescription description = subfedavg_base(dataset, scale, 0.5);
+  description.add_axis("algo.acc_threshold=0.5,0");
+  description.add_axis("algo.epsilon=0.0001,0");
   TablePrinter table({"gate", "achieved pruned %", "avg accuracy"});
-  struct Variant {
-    const char* name;
-    double acc_threshold;
-    double epsilon;
-  };
-  for (const Variant v : {Variant{"full gate (Accth=0.5, eps=1e-4)", 0.5, 1e-4},
-                          Variant{"no accuracy condition", 0.0, 1e-4},
-                          Variant{"no distance condition", 0.5, 0.0},
-                          Variant{"neither (always prune)", 0.0, 0.0}}) {
-    auto alg = make_algo("subfedavg_un", ctx,
-                         un_params(0.5, scale)
-                             .set_double("acc_threshold", v.acc_threshold)
-                             .set_double("epsilon", v.epsilon));
-    const RunResult result = run_federation(*alg, make_driver(scale));
-    table.add_row({v.name,
-                   format_percent(as_subfedavg(*alg).average_unstructured_pruned(), 1),
-                   format_percent(result.final_avg_accuracy)});
-  }
+  run_table(description, dataset, "gate", table, [](const SweepRunOutcome& o) {
+    const bool has_acc = o.run.assignment[0].second != "0";
+    const bool has_eps = o.run.assignment[1].second != "0";
+    std::string label = has_acc && has_eps ? "full gate (Accth=0.5, eps=1e-4)"
+                        : has_acc          ? "no distance condition"
+                        : has_eps          ? "no accuracy condition"
+                                           : "neither (always prune)";
+    return std::vector<std::string>{label,
+                                    format_percent(metric(o, "unstructured_pruned"), 1),
+                                    format_percent(o.result.final_avg_accuracy)};
+  });
   std::printf("%s\n", table.to_string().c_str());
 }
 
-void ablation_slimming(const FlContext& ctx, const BenchScale& scale) {
+void ablation_slimming(const std::string& dataset, const BenchScale& scale) {
   std::printf("-- E. BN-gamma L1 (network slimming) in hybrid mode --\n");
+  SweepDescription description;
+  description.base = make_spec(dataset, scale);
+  description.base.algo = "subfedavg_hy";
+  description.base.target = 0.5;
+  description.base.algo_params.set_double("channel_target", 0.45)
+      .set_double("channel_step", adaptive_step(0.45, scale));
+  description.add_axis("algo.bn_l1=0,0.0001,0.001");
   TablePrinter table({"bn L1", "channels pruned %", "params pruned %", "avg accuracy"});
-  for (const float l1 : {0.0f, 1e-4f, 1e-3f}) {
-    auto alg = make_algo("subfedavg_hy", ctx,
-                         hy_params(0.45, 0.5, scale)
-                             .set_double("bn_l1", static_cast<double>(l1)));
-    const RunResult result = run_federation(*alg, make_driver(scale));
-    char label[32];
-    std::snprintf(label, sizeof(label), "%g", static_cast<double>(l1));
-    const SubFedAvg& sub = as_subfedavg(*alg);
-    table.add_row({label, format_percent(sub.average_structured_pruned(), 1),
-                   format_percent(sub.average_unstructured_pruned(), 1),
-                   format_percent(result.final_avg_accuracy)});
-  }
+  run_table(description, dataset, "slimming", table, [](const SweepRunOutcome& o) {
+    return std::vector<std::string>{o.run.assignment[0].second,
+                                    format_percent(metric(o, "structured_pruned"), 1),
+                                    format_percent(metric(o, "unstructured_pruned"), 1),
+                                    format_percent(o.result.final_avg_accuracy)};
+  });
   std::printf("%s\n", table.to_string().c_str());
 }
 
@@ -129,16 +173,13 @@ void ablation_slimming(const FlContext& ctx, const BenchScale& scale) {
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
   const BenchScale scale = BenchScale::from_env(/*default_rounds=*/12);
-  const DatasetSpec spec = DatasetSpec::by_name(argc > 1 ? argv[1] : "mnist");
-  print_header("Ablations", spec, scale);
+  const std::string dataset = argc > 1 ? argv[1] : "mnist";
+  print_header("Ablations", DatasetSpec::by_name(dataset), scale);
 
-  const FederatedData data = make_data(spec, scale);
-  const FlContext ctx = make_ctx(data, scale);
-
-  ablation_aggregation(ctx, scale);
-  ablation_download(ctx, scale);
-  ablation_schedule(ctx, scale);
-  ablation_gate(ctx, scale);
-  ablation_slimming(ctx, scale);
+  ablation_aggregation(dataset, scale);
+  ablation_download(dataset, scale);
+  ablation_schedule(dataset, scale);
+  ablation_gate(dataset, scale);
+  ablation_slimming(dataset, scale);
   return 0;
 }

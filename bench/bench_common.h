@@ -10,6 +10,9 @@
 //   SUBFEDAVG_BENCH_EPOCHS    local epochs                 (default 5, as in the paper)
 //   SUBFEDAVG_BENCH_TPC       test images per class        (default 16)
 //   SUBFEDAVG_BENCH_SEED      master seed                  (default 1)
+//   SUBFEDAVG_BENCH_SEEDS     seeds per configuration      (default 1; >1 = mean±std)
+//   SUBFEDAVG_BENCH_JOBS      sweep worker threads         (default hardware)
+//   SUBFEDAVG_BENCH_OUT       per-run JSON directory       (default none)
 //
 // Algorithms are constructed exclusively through the registry
 // (fl/registry.h); benches pass AlgoParams instead of touching concrete
@@ -30,6 +33,8 @@
 #include "fl/experiment.h"
 #include "fl/registry.h"
 #include "fl/subfedavg.h"
+#include "fl/sweep.h"
+#include "metrics/stats.h"
 #include "util/check.h"
 #include "util/env.h"
 #include "util/logging.h"
@@ -59,6 +64,46 @@ struct BenchScale {
     return s;
   }
 };
+
+/// The BenchScale as an ExperimentSpec base for sweep-driven benches — the
+/// same data/model/driver configuration make_data/make_ctx/make_driver build
+/// by hand, so spec-driven and hand-built runs produce identical numbers.
+inline ExperimentSpec make_spec(const std::string& dataset, const BenchScale& scale) {
+  ExperimentSpec spec;
+  spec.dataset = dataset;
+  spec.clients = scale.clients;
+  spec.shard = scale.shard;
+  spec.test_per_class = scale.test_per_class;
+  spec.epochs = scale.epochs;
+  spec.rounds = scale.rounds;
+  spec.sample = scale.sample_rate;
+  spec.seed = scale.seed;
+  // 0 keeps the round-budget-adaptive schedule; the env override pins it.
+  spec.step = env_double("SUBFEDAVG_BENCH_PRUNE_STEP", 0.0);
+  return spec;
+}
+
+/// Sweep execution knobs shared by the table benches.
+inline SweepOptions bench_sweep_options(const std::string& dataset) {
+  SweepOptions options;
+  options.jobs = static_cast<std::size_t>(env_int("SUBFEDAVG_BENCH_JOBS", 0));
+  const std::string out = env_string("SUBFEDAVG_BENCH_OUT", "");
+  if (!out.empty()) options.out_dir = out + "/" + dataset;
+  return options;
+}
+
+/// Seeds per configuration (SUBFEDAVG_BENCH_SEEDS); >1 turns the table
+/// benches' accuracy cells into mean ± std over a seed replicate axis.
+inline std::size_t bench_seeds() {
+  return static_cast<std::size_t>(env_int("SUBFEDAVG_BENCH_SEEDS", 1));
+}
+
+/// "86.25%" for one seed, "86.25% ± 1.31%" for replicated runs.
+inline std::string format_summary_percent(const Summary& s, int digits = 2) {
+  std::string out = format_percent(s.mean, digits);
+  if (s.count > 1) out += " ± " + format_percent(s.stddev, digits);
+  return out;
+}
 
 inline FederatedData make_data(const DatasetSpec& spec, const BenchScale& scale) {
   FederatedDataConfig config;

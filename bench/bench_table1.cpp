@@ -3,6 +3,12 @@
 //   Standalone, FedAvg, MTL, FedProx, LG-FedAvg,
 //   Sub-FedAvg (Un) @ {30, 50, 70}% and Sub-FedAvg (Hy) @ {50, 70, 90}%.
 //
+// The grid is three sweep descriptions (fl/sweep.h) — the dense baselines as
+// an `algo` axis, each Sub-FedAvg variant as a `target` axis — sharded across
+// a thread pool and aggregated to mean ± std over SUBFEDAVG_BENCH_SEEDS
+// seeds. Set SUBFEDAVG_BENCH_OUT=dir to keep the per-run JSONs; the `sweep`
+// tool's --aggregate mode then reproduces this table from the files alone.
+//
 // Datasets default to all four (mnist, emnist, cifar10, cifar100); pass names
 // as argv to restrict, e.g. `bench_table1 mnist cifar10`.
 #include <cstdio>
@@ -10,92 +16,102 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "util/parse.h"
 
 using namespace subfed;
 using namespace subfed::bench;
 
 namespace {
 
-struct Row {
-  std::string algorithm;
-  double accuracy = 0.0;
-  std::string pruned_hybrid;       // "%filters + %params" column
-  std::string pruned_unstructured; // "% parameters" column
-  std::uint64_t comm_bytes = 0;
-};
-
-Row run_one(const std::string& name, FederatedAlgorithm& alg, const DriverConfig& d) {
-  const RunResult result = run_federation(alg, d);
-  Row row;
-  row.algorithm = name;
-  row.accuracy = result.final_avg_accuracy;
-  row.comm_bytes = result.total_bytes();
-  return row;
+std::string display_name(const std::string& algo, const std::string& target) {
+  if (algo == "standalone") return "Standalone";
+  if (algo == "fedavg") return "FedAvg";
+  if (algo == "fedmtl") return "MTL";
+  if (algo == "fedprox") return "FedProx";
+  if (algo == "lg_fedavg") return "LG-FedAvg";
+  if (algo == "fedavg_ft") return "FedAvg+FT";
+  const std::string rate =
+      format_percent(parse_double_strict("target", target), 0);
+  if (algo == "subfedavg_un") return "Sub-FedAvg (Un) p=" + rate;
+  if (algo == "subfedavg_hy") return "Sub-FedAvg (Hy) p=" + rate;
+  return algo;
 }
 
-void run_dataset(const DatasetSpec& spec, const BenchScale& scale) {
-  print_header("Table 1", spec, scale);
-  const FederatedData data = make_data(spec, scale);
-  const FlContext ctx = make_ctx(data, scale);
-  const DriverConfig driver = make_driver(scale);
+void run_dataset(const std::string& name, const BenchScale& scale) {
+  print_header("Table 1", DatasetSpec::by_name(name), scale);
 
-  std::vector<Row> rows;
+  // The dense baselines as one `algo` axis. Every factory reads only the
+  // algo-params it understands, so the MTL/FedProx/FT hyper-parameters ride
+  // along in the shared base. FedAvg+FT is the two-step personalization §2
+  // argues against, included as an extra reference row.
+  SweepDescription baselines;
+  baselines.base = make_spec(name, scale);
+  baselines.base.algo_params.set_double("lambda", kFedMtlLambda)
+      .set_double("mu", kFedProxMu)
+      .set_size_t("finetune_epochs", scale.epochs);
+  baselines.add_axis("algo=standalone,fedavg,fedmtl,fedprox,lg_fedavg,fedavg_ft");
 
-  // The dense baselines, registry name + display name + params. FedAvg+FT is
-  // the two-step personalization §2 argues against, included as an extra
-  // reference row beyond the paper's own baselines.
-  struct Baseline {
-    const char* display;
-    const char* algo;
-    AlgoParams params;
-  };
-  const Baseline baselines[] = {
-      {"Standalone", "standalone", {}},
-      {"FedAvg", "fedavg", {}},
-      {"MTL", "fedmtl", AlgoParams{}.set_double("lambda", kFedMtlLambda)},
-      {"FedProx", "fedprox", AlgoParams{}.set_double("mu", kFedProxMu)},
-      {"LG-FedAvg", "lg_fedavg", {}},
-      {"FedAvg+FT", "fedavg_ft", AlgoParams{}.set_size_t("finetune_epochs", scale.epochs)},
-  };
-  for (const Baseline& baseline : baselines) {
-    auto alg = make_algo(baseline.algo, ctx, baseline.params);
-    rows.push_back(run_one(baseline.display, *alg, driver));
-    rows.back().pruned_hybrid = "-";
-    rows.back().pruned_unstructured = "0";
-  }
+  SweepDescription unstructured;
+  unstructured.base = make_spec(name, scale);
+  unstructured.base.algo = "subfedavg_un";
+  unstructured.add_axis("target=0.3,0.5,0.7");
 
-  for (const double target : {0.3, 0.5, 0.7}) {
-    auto alg = make_algo("subfedavg_un", ctx, un_params(target, scale));
-    Row row = run_one("Sub-FedAvg (Un) p=" + format_percent(target, 0), *alg, driver);
-    row.pruned_hybrid = "-";
-    row.pruned_unstructured =
-        format_percent(as_subfedavg(*alg).average_unstructured_pruned(), 1);
-    rows.push_back(row);
-  }
   // Hybrid targets per the paper: overall ~{50,70,90}% parameters pruned,
-  // with channels around 40-50%.
-  const std::vector<std::pair<double, double>> hy_targets = {
-      {0.45, 0.5}, {0.45, 0.7}, {0.45, 0.9}};
-  for (const auto& [channels, weights] : hy_targets) {
-    auto alg = make_algo("subfedavg_hy", ctx, hy_params(channels, weights, scale));
-    Row row =
-        run_one("Sub-FedAvg (Hy) p=" + format_percent(weights, 0), *alg, driver);
-    const SubFedAvg& sub = as_subfedavg(*alg);
-    row.pruned_hybrid = format_percent(sub.average_structured_pruned(), 1) + " + " +
-                        format_percent(sub.average_unstructured_pruned(), 1);
-    row.pruned_unstructured = format_percent(sub.average_unstructured_pruned(), 1);
-    rows.push_back(row);
+  // with channels around 40-50% (§4.2.3).
+  SweepDescription hybrid;
+  hybrid.base = make_spec(name, scale);
+  hybrid.base.algo = "subfedavg_hy";
+  hybrid.base.algo_params.set_double("channel_target", 0.45)
+      .set_double("channel_step", adaptive_step(0.45, scale));
+  hybrid.add_axis("target=0.5,0.7,0.9");
+
+  std::vector<SweepRun> runs;
+  for (SweepDescription* description : {&baselines, &unstructured, &hybrid}) {
+    if (bench_seeds() > 1) description->add_replicas(bench_seeds());
+    for (SweepRun& run : description->expand()) {
+      run.index = runs.size();
+      runs.push_back(std::move(run));
+    }
   }
+
+  const SweepSummary summary = run_sweep(runs, bench_sweep_options(name));
+  std::vector<SweepRecord> records;
+  for (const SweepRunOutcome& outcome : summary.outcomes) {
+    if (outcome.ok) records.push_back(record_from_outcome(outcome));
+  }
+
+  AggregateOptions aggregate;
+  aggregate.group_by = {"algo", "target"};
+  aggregate.metrics = {"accuracy", "comm", "unstructured_pruned", "structured_pruned"};
+  const std::vector<AggregateRow> rows = aggregate_records(records, aggregate);
 
   TablePrinter table({"Algorithm", "Accuracy", "Pruned % (filters+params)",
                       "Unstructured % params", "Comm cost"});
-  for (const Row& row : rows) {
-    table.add_row({row.algorithm, format_percent(row.accuracy), row.pruned_hybrid,
-                   row.pruned_unstructured,
-                   row.comm_bytes == 0 ? "0"
-                                       : format_bytes(static_cast<double>(row.comm_bytes))});
+  for (const AggregateRow& row : rows) {
+    const std::string& algo = row.group[0];
+    const bool is_sub = algo.rfind("subfedavg", 0) == 0;
+    const bool is_hybrid = algo == "subfedavg_hy";
+    const auto unstructured_it = row.stats.find("unstructured_pruned");
+    const auto structured_it = row.stats.find("structured_pruned");
+
+    std::string pruned_hybrid = "-";
+    if (is_hybrid && structured_it != row.stats.end() &&
+        unstructured_it != row.stats.end()) {
+      pruned_hybrid = format_percent(structured_it->second.mean, 1) + " + " +
+                      format_percent(unstructured_it->second.mean, 1);
+    }
+    std::string pruned_unstructured = "0";
+    if (is_sub && unstructured_it != row.stats.end()) {
+      pruned_unstructured = format_percent(unstructured_it->second.mean, 1);
+    }
+    const Summary comm = row.stats.at("comm");
+    table.add_row({display_name(algo, row.group[1]),
+                   format_summary_percent(row.stats.at("accuracy")), pruned_hybrid,
+                   pruned_unstructured,
+                   comm.mean == 0.0 ? "0" : format_bytes(comm.mean)});
   }
   std::printf("%s\n", table.to_string().c_str());
+  report_failed_runs(summary);
 }
 
 }  // namespace
@@ -109,7 +125,7 @@ int main(int argc, char** argv) {
   if (names.empty()) names = {"mnist", "emnist", "cifar10", "cifar100"};
 
   for (const std::string& name : names) {
-    run_dataset(DatasetSpec::by_name(name), scale);
+    run_dataset(name, scale);
   }
   return 0;
 }

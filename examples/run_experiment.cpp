@@ -9,11 +9,9 @@
 // holding the spec, the accuracy curve, and the up/down byte totals, and
 // prints the spec's key=value form so any run can be re-issued exactly.
 #include <cstdio>
-#include <memory>
 #include <string>
 
 #include "fl/experiment.h"
-#include "fl/subfedavg.h"
 #include "metrics/stats.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -59,16 +57,13 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const FederatedData data(spec.dataset_spec(), spec.data_config());
-    const FlContext ctx = spec.make_context(data);
-    std::unique_ptr<FederatedAlgorithm> algorithm = spec.make_algorithm(ctx);
-
     ProgressObserver progress(spec.rounds);
-    const RunResult result = run_federation(*algorithm, spec.driver_config(), &progress);
+    const ExecutedRun run = execute_experiment(spec, &progress);
+    const RunResult& result = run.result;
     const Summary s = summarize(result.final_per_client);
 
     std::printf("%s on %s (%s partition): %zu clients, %zu rounds\n",
-                algorithm->name().c_str(), spec.dataset.c_str(), spec.partition.c_str(),
+                run.algorithm_name.c_str(), spec.dataset.c_str(), spec.partition.c_str(),
                 spec.clients, spec.rounds);
     std::printf("final: avg %s (min %s, max %s, stddev %.2fpp)\n",
                 format_percent(result.final_avg_accuracy).c_str(),
@@ -82,18 +77,20 @@ int main(int argc, char** argv) {
                   result.skipped_rounds);
     }
     std::printf("\n");
-    if (auto* sub = dynamic_cast<SubFedAvg*>(algorithm.get())) {
+    if (run.metrics.count("unstructured_pruned") != 0) {
       std::printf("avg pruned: %s unstructured",
-                  format_percent(sub->average_unstructured_pruned(), 1).c_str());
-      if (sub->hybrid()) {
+                  format_percent(run.metrics.at("unstructured_pruned"), 1).c_str());
+      if (run.metrics.count("structured_pruned") != 0) {
         std::printf(", %s channels",
-                    format_percent(sub->average_structured_pruned(), 1).c_str());
+                    format_percent(run.metrics.at("structured_pruned"), 1).c_str());
       }
       std::printf("\n");
     }
-
+    if (spec.checkpoint_every > 0) {
+      std::printf("checkpoints every %zu rounds at %s\n", spec.checkpoint_every,
+                  spec.resolved_checkpoint_path().c_str());
+    }
     if (!spec.out.empty()) {
-      write_run_result_json(spec.out, spec, algorithm->name(), result);
       std::printf("result written to %s\n", spec.out.c_str());
     }
     std::printf("\n# reproduce with --key value flags, or keep as a spec file:\n%s",

@@ -23,6 +23,15 @@ std::vector<double> FederatedAlgorithm::all_test_accuracies() {
   return acc;
 }
 
+std::vector<StateDict> FederatedAlgorithm::checkpoint_state() {
+  SUBFEDAVG_CHECK(false, name() << " does not support checkpointing");
+  return {};
+}
+
+void FederatedAlgorithm::restore_checkpoint_state(std::vector<StateDict> /*sections*/) {
+  SUBFEDAVG_CHECK(false, name() << " does not support checkpointing");
+}
+
 double FederatedAlgorithm::average_test_accuracy() {
   const std::vector<double> acc = all_test_accuracies();
   double sum = 0.0;

@@ -50,6 +50,16 @@ class FederatedAlgorithm {
   /// model(s). Must be safe to call concurrently for distinct k.
   virtual double client_test_accuracy(std::size_t k) = 0;
 
+  /// Named state sections that fully describe this algorithm's mutable state,
+  /// in the order restore_checkpoint_state expects them back. Every built-in
+  /// algorithm overrides this pair so fl/checkpoint.h can snapshot any run;
+  /// the base implementation throws CheckError (out-of-tree algorithms opt in
+  /// by overriding).
+  virtual std::vector<StateDict> checkpoint_state();
+  /// Inverse of checkpoint_state: replaces the algorithm's mutable state.
+  /// Throws CheckError when the sections do not match this federation.
+  virtual void restore_checkpoint_state(std::vector<StateDict> sections);
+
   std::size_t num_clients() const noexcept { return ctx_.data->num_clients(); }
   const FlContext& context() const noexcept { return ctx_; }
   const CommLedger& ledger() const noexcept { return ledger_; }

@@ -1,6 +1,7 @@
 #include "fl/checkpoint.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <vector>
 
 #include "comm/serialize.h"
@@ -10,8 +11,10 @@ namespace subfed {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x53464350;  // "SFCP"
+constexpr std::uint32_t kMagic = 0x53464350;         // "SFCP" (legacy Sub-FedAvg)
 constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kGenericMagic = 0x53464347;  // "SFCG" (generic sections)
+constexpr std::uint32_t kGenericVersion = 1;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -78,7 +81,93 @@ std::vector<std::uint8_t> channel_mask_bytes(const ChannelMask& mask) {
   return out;
 }
 
+void write_file(const std::string& path, const std::vector<std::uint8_t>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  SUBFEDAVG_CHECK(f != nullptr, "cannot open checkpoint for writing: " << path);
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  SUBFEDAVG_CHECK(written == out.size(), "short checkpoint write: " << path);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  // fopen happily opens directories on Linux and ftell then reports LONG_MAX;
+  // reject non-files up front so bad paths throw instead of allocating wild.
+  SUBFEDAVG_CHECK(std::filesystem::is_regular_file(path),
+                  "checkpoint is not a regular file: " << path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  SUBFEDAVG_CHECK(f != nullptr, "cannot open checkpoint: " << path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    SUBFEDAVG_CHECK(false, "cannot size checkpoint: " << path);
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  const std::size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  SUBFEDAVG_CHECK(read == bytes.size(), "short checkpoint read: " << path);
+  return bytes;
+}
+
 }  // namespace
+
+void save_checkpoint(FederatedAlgorithm& algorithm, const std::string& path) {
+  std::vector<StateDict> sections = algorithm.checkpoint_state();
+
+  std::vector<std::uint8_t> out;
+  put_u32(out, kGenericMagic);
+  put_u32(out, kGenericVersion);
+  const std::string name = algorithm.name();
+  put_blob(out, std::vector<std::uint8_t>(name.begin(), name.end()));
+  put_u32(out, static_cast<std::uint32_t>(sections.size()));
+  for (const StateDict& section : sections) {
+    put_blob(out, encode_update(section, nullptr));
+  }
+  write_file(path, out);
+}
+
+void load_checkpoint(FederatedAlgorithm& algorithm, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  Reader reader(bytes);
+  SUBFEDAVG_CHECK(reader.u32() == kGenericMagic, "bad checkpoint magic");
+  SUBFEDAVG_CHECK(reader.u32() == kGenericVersion, "unsupported checkpoint version");
+  const std::vector<std::uint8_t> name_bytes = reader.blob();
+  const std::string name(name_bytes.begin(), name_bytes.end());
+  SUBFEDAVG_CHECK(name == algorithm.name(),
+                  "checkpoint was written by '" << name << "', loading into '"
+                                                << algorithm.name() << "'");
+  const std::uint32_t count = reader.u32();
+  std::vector<StateDict> sections;
+  sections.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    sections.push_back(decode_update(reader.blob()));
+  }
+  SUBFEDAVG_CHECK(reader.done(), "trailing bytes in checkpoint");
+  algorithm.restore_checkpoint_state(std::move(sections));
+}
+
+CheckpointObserver::CheckpointObserver(FederatedAlgorithm& algorithm, std::string path,
+                                       std::size_t every)
+    : algorithm_(algorithm), path_(std::move(path)), every_(every) {
+  SUBFEDAVG_CHECK(!path_.empty(), "checkpoint path is empty");
+}
+
+void CheckpointObserver::on_round_end(const RoundEndInfo& info) {
+  last_round_ = info.round;
+  if (every_ == 0 || info.round % every_ != 0) return;
+  save_checkpoint(algorithm_, path_);
+  last_saved_round_ = info.round;
+  ++snapshots_;
+}
+
+void CheckpointObserver::on_run_end(const RunResult& /*result*/) {
+  // Skip the final save when the last executed round already snapshotted —
+  // at paper scale rewriting an identical multi-hundred-MB state is pure I/O.
+  if (snapshots_ > 0 && last_saved_round_ == last_round_) return;
+  save_checkpoint(algorithm_, path_);
+  ++snapshots_;
+}
 
 void save_subfedavg_checkpoint(SubFedAvg& algorithm, const std::string& path) {
   std::vector<std::uint8_t> out;
@@ -93,24 +182,11 @@ void save_subfedavg_checkpoint(SubFedAvg& algorithm, const std::string& path) {
     put_blob(out, channel_mask_bytes(client.channel_mask()));
   }
 
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  SUBFEDAVG_CHECK(f != nullptr, "cannot open checkpoint for writing: " << path);
-  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
-  std::fclose(f);
-  SUBFEDAVG_CHECK(written == out.size(), "short checkpoint write: " << path);
+  write_file(path, out);
 }
 
 void load_subfedavg_checkpoint(SubFedAvg& algorithm, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  SUBFEDAVG_CHECK(f != nullptr, "cannot open checkpoint: " << path);
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  const std::size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  SUBFEDAVG_CHECK(read == bytes.size(), "short checkpoint read: " << path);
-
+  const std::vector<std::uint8_t> bytes = read_file(path);
   Reader reader(bytes);
   SUBFEDAVG_CHECK(reader.u32() == kMagic, "bad checkpoint magic");
   SUBFEDAVG_CHECK(reader.u32() == kVersion, "unsupported checkpoint version");

@@ -1,25 +1,69 @@
 // Federation checkpointing.
 //
-// Paper-scale runs (100 clients × 300-500 rounds) take hours on CPU; the
-// checkpoint captures everything a Sub-FedAvg federation needs to resume:
-// the server's global state plus every client's personal model, unstructured
-// mask, and channel mask. Pruned fractions are re-derived from the masks on
-// load. The communication ledger is intentionally NOT persisted — resumed
-// runs account their own traffic.
+// Paper-scale runs (100 clients × 300-500 rounds) take hours on CPU; a
+// checkpoint captures everything a federation needs to resume. Two formats
+// share the comm/serialize wire format for tensors:
 //
-// The file reuses the comm/serialize wire format for tensors, wrapped in a
-// small versioned container, so a checkpoint is readable by any build that
-// can decode an update.
+//   * the generic container (save_checkpoint / load_checkpoint) stores the
+//     algorithm's named state sections from
+//     FederatedAlgorithm::checkpoint_state(), so EVERY built-in algorithm —
+//     not just Sub-FedAvg — can snapshot and resume;
+//   * the legacy Sub-FedAvg format (save_subfedavg_checkpoint /
+//     load_subfedavg_checkpoint) is kept for files written by earlier builds.
+//
+// CheckpointObserver wires snapshots into the driver's RoundObserver hooks:
+// attach one and every N-th round (plus the final state) lands on disk
+// without the driver or the algorithm knowing about it. ExperimentSpec's
+// `checkpoint_every=` / `checkpoint_path=` fields reach it through
+// execute_experiment (fl/experiment.h).
+//
+// Pruned fractions are re-derived from the masks on load. The communication
+// ledger is intentionally NOT persisted — resumed runs account their own
+// traffic.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
+#include "fl/driver.h"
 #include "fl/subfedavg.h"
 
 namespace subfed {
 
-/// Writes the federation's full state to `path` (overwrites).
-/// Throws CheckError on I/O failure.
+/// Writes `algorithm`'s full state (name + checkpoint_state sections) to
+/// `path` (overwrites). Throws CheckError on I/O failure or when the
+/// algorithm does not support checkpointing.
+void save_checkpoint(FederatedAlgorithm& algorithm, const std::string& path);
+
+/// Restores state saved by save_checkpoint into an algorithm built with the
+/// SAME data/spec/config. Throws CheckError on algorithm-name mismatch,
+/// section mismatch, or corrupt input.
+void load_checkpoint(FederatedAlgorithm& algorithm, const std::string& path);
+
+/// Snapshots the federation every `every` rounds (and once more at run end)
+/// via save_checkpoint. Attach to run_federation; the observer does not own
+/// the algorithm, which must outlive it.
+class CheckpointObserver final : public RoundObserver {
+ public:
+  /// `every` = 0 disables periodic snapshots (only the final one is written).
+  CheckpointObserver(FederatedAlgorithm& algorithm, std::string path, std::size_t every);
+
+  void on_round_end(const RoundEndInfo& info) override;
+  void on_run_end(const RunResult& result) override;
+
+  std::size_t snapshots_taken() const noexcept { return snapshots_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  FederatedAlgorithm& algorithm_;
+  std::string path_;
+  std::size_t every_;
+  std::size_t snapshots_ = 0;
+  std::size_t last_round_ = 0;        ///< last round that actually ran
+  std::size_t last_saved_round_ = 0;  ///< last round whose end was snapshotted
+};
+
+/// Legacy Sub-FedAvg-only format. Prefer save_checkpoint for new code.
 void save_subfedavg_checkpoint(SubFedAvg& algorithm, const std::string& path);
 
 /// Restores state saved by save_subfedavg_checkpoint into an algorithm built

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
+#include "fl/checkpoint.h"
+#include "fl/fedavg_ft.h"
+#include "fl/subfedavg.h"
 #include "util/check.h"
 #include "util/parse.h"
 
@@ -60,7 +64,10 @@ const Field kFields[] = {
     SUBFED_STRING_FIELD(algo, "algorithm name (see list below)"),
     SUBFED_DOUBLE_FIELD(target, "pruning target (Sub-FedAvg variants)"),
     SUBFED_DOUBLE_FIELD(step, "per-round prune rate; 0 = adaptive"),
+    SUBFED_STRING_FIELD(tag, "free-form run label"),
     SUBFED_STRING_FIELD(out, "JSON result path; empty = no file"),
+    SUBFED_UINT_FIELD(checkpoint_every, "snapshot every N rounds; 0 = off"),
+    SUBFED_STRING_FIELD(checkpoint_path, "snapshot path; empty = derive from out"),
 };
 
 #undef SUBFED_STRING_FIELD
@@ -293,9 +300,61 @@ std::unique_ptr<FederatedAlgorithm> ExperimentSpec::make_algorithm(const FlConte
   return registry().create(algo, ctx, resolved_algo_params());
 }
 
+std::size_t path_extension_dot(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.find_last_of('/');
+  const bool has_ext =
+      dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  return has_ext ? dot : std::string::npos;
+}
+
+std::string ExperimentSpec::resolved_checkpoint_path() const {
+  if (!checkpoint_path.empty()) return checkpoint_path;
+  if (out.empty()) return "checkpoint.ckpt";
+  const std::size_t dot = path_extension_dot(out);
+  return (dot == std::string::npos ? out : out.substr(0, dot)) + ".ckpt";
+}
+
+ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observer) {
+  const FederatedData data(spec.dataset_spec(), spec.data_config());
+  const FlContext ctx = spec.make_context(data);
+  std::unique_ptr<FederatedAlgorithm> algorithm = spec.make_algorithm(ctx);
+
+  ObserverChain chain;
+  std::unique_ptr<CheckpointObserver> checkpointer;
+  if (spec.checkpoint_every > 0) {
+    checkpointer = std::make_unique<CheckpointObserver>(
+        *algorithm, spec.resolved_checkpoint_path(), spec.checkpoint_every);
+    chain.attach(checkpointer.get());
+  }
+  if (observer != nullptr) chain.attach(observer);
+
+  ExecutedRun run;
+  run.result = run_federation(*algorithm, spec.driver_config(),
+                              (checkpointer || observer) ? &chain : nullptr);
+  run.algorithm_name = algorithm->name();
+
+  if (const auto* sub = dynamic_cast<const SubFedAvg*>(algorithm.get())) {
+    run.metrics["unstructured_pruned"] = sub->average_unstructured_pruned();
+    if (sub->hybrid()) run.metrics["structured_pruned"] = sub->average_structured_pruned();
+  }
+  if (const auto* ft = dynamic_cast<const FedAvgFinetune*>(algorithm.get())) {
+    run.metrics["finetune_steps"] = static_cast<double>(ft->extra_finetune_steps());
+  }
+
+  if (!spec.out.empty()) {
+    write_run_result_json(spec.out, spec, run.algorithm_name, run.result, run.metrics);
+  }
+  return run;
+}
+
 std::string run_result_json(const ExperimentSpec& spec, const std::string& algorithm_name,
-                            const RunResult& result) {
+                            const RunResult& result,
+                            const std::map<std::string, double>& metrics) {
   std::ostringstream os;
+  // Round-trip precision: the aggregation layer reloads these numbers and
+  // must reproduce live tables bit-for-bit.
+  os.precision(std::numeric_limits<double>::max_digits10);
   os << "{\n  \"algorithm\": ";
   append_json_escaped(os, algorithm_name);
   os << ",\n  \"spec\": {";
@@ -333,15 +392,26 @@ std::string run_result_json(const ExperimentSpec& spec, const std::string& algor
      << ",\n  \"down_bytes\": " << result.down_bytes
      << ",\n  \"total_bytes\": " << result.total_bytes()
      << ",\n  \"dropped_clients\": " << result.dropped_clients
-     << ",\n  \"skipped_rounds\": " << result.skipped_rounds << "\n}\n";
+     << ",\n  \"skipped_rounds\": " << result.skipped_rounds;
+  os << ",\n  \"metrics\": {";
+  first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n    ";
+    append_json_escaped(os, key);
+    os << ": " << value;
+  }
+  os << (metrics.empty() ? "}" : "\n  }") << "\n}\n";
   return os.str();
 }
 
 void write_run_result_json(const std::string& path, const ExperimentSpec& spec,
-                           const std::string& algorithm_name, const RunResult& result) {
+                           const std::string& algorithm_name, const RunResult& result,
+                           const std::map<std::string, double>& metrics) {
   std::ofstream out(path, std::ios::trunc);
   SUBFEDAVG_CHECK(out.good(), "cannot open '" << path << "' for writing");
-  out << run_result_json(spec, algorithm_name, result);
+  out << run_result_json(spec, algorithm_name, result, metrics);
   out.flush();
   SUBFEDAVG_CHECK(out.good(), "failed writing '" << path << "'");
 }

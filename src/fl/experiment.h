@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -27,6 +28,11 @@ namespace subfed {
 /// The paper prunes 5-20% of remaining per round over 300-500 rounds; scaled
 /// runs compress that schedule the same way.
 double adaptive_prune_step(double target, std::size_t rounds, double sample_rate);
+
+/// Position of the extension dot in `path`'s final component (dots in
+/// directory names don't count), or std::string::npos when it has none.
+/// Shared by checkpoint-path derivation here and in the sweep runner.
+std::size_t path_extension_dot(const std::string& path);
 
 struct ExperimentSpec {
   // Data.
@@ -56,7 +62,11 @@ struct ExperimentSpec {
   double step = 0.0;                 ///< per-round prune rate; 0 → adaptive
   AlgoParams algo_params;            ///< extra per-algorithm overrides
   // Output.
+  std::string tag;                   ///< free-form run label, carried into results
   std::string out;                   ///< JSON result path; empty → no file
+  // Checkpointing (fl/checkpoint.h).
+  std::size_t checkpoint_every = 0;  ///< snapshot every N rounds; 0 → off
+  std::string checkpoint_path;       ///< empty → derived from `out` (.ckpt)
 
   bool help_requested = false;       ///< set by parse_args on --help / -h
 
@@ -92,16 +102,38 @@ struct ExperimentSpec {
   AlgoParams resolved_algo_params() const;
   /// Builds the algorithm through the registry.
   std::unique_ptr<FederatedAlgorithm> make_algorithm(const FlContext& ctx) const;
+  /// checkpoint_path, or when empty a path derived from `out` (extension
+  /// replaced by .ckpt), falling back to "checkpoint.ckpt".
+  std::string resolved_checkpoint_path() const;
 };
 
+/// A completed run: the algorithm's display name, the driver result, and
+/// algorithm-specific scalar metrics (e.g. `unstructured_pruned` /
+/// `structured_pruned` for Sub-FedAvg, `finetune_steps` for FedAvg+FT).
+struct ExecutedRun {
+  std::string algorithm_name;
+  RunResult result;
+  std::map<std::string, double> metrics;
+};
+
+/// One call from spec to finished run: builds the data/context/algorithm,
+/// attaches a CheckpointObserver when `checkpoint_every` > 0 (chained with
+/// `observer` when both are present), runs the federation, collects the
+/// algorithm's extra metrics, and writes the JSON result when `out` is set.
+/// This is the execution path shared by run_experiment and the sweep engine.
+ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observer = nullptr);
+
 /// JSON document pairing the spec with its result: algorithm name, the full
-/// spec, the accuracy curve, per-client accuracies, and up/down byte totals.
+/// spec, the accuracy curve, per-client accuracies, up/down byte totals, and
+/// any extra scalar metrics.
 std::string run_result_json(const ExperimentSpec& spec, const std::string& algorithm_name,
-                            const RunResult& result);
+                            const RunResult& result,
+                            const std::map<std::string, double>& metrics = {});
 
 /// Writes run_result_json to `path` (overwrites). Throws CheckError on I/O
 /// failure.
 void write_run_result_json(const std::string& path, const ExperimentSpec& spec,
-                           const std::string& algorithm_name, const RunResult& result);
+                           const std::string& algorithm_name, const RunResult& result,
+                           const std::map<std::string, double>& metrics = {});
 
 }  // namespace subfed

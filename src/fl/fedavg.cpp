@@ -2,6 +2,7 @@
 
 #include "comm/serialize.h"
 #include "util/thread_pool.h"
+#include "util/check.h"
 
 namespace subfed {
 
@@ -59,6 +60,15 @@ GradHook FedProx::make_grad_hook() {
       p->grad.axpy_(-mu, *g);
     }
   };
+}
+
+
+std::vector<StateDict> FedAvg::checkpoint_state() { return {global_}; }
+
+void FedAvg::restore_checkpoint_state(std::vector<StateDict> sections) {
+  SUBFEDAVG_CHECK(sections.size() == 1,
+                  name() << " checkpoint expects 1 section, got " << sections.size());
+  global_ = std::move(sections.front());
 }
 
 }  // namespace subfed

@@ -17,6 +17,10 @@ class FedAvg : public FederatedAlgorithm {
   void run_round(std::size_t round, std::span<const std::size_t> sampled) override;
   double client_test_accuracy(std::size_t k) override;
 
+  /// Checkpoint layout: one section, the global model.
+  std::vector<StateDict> checkpoint_state() override;
+  void restore_checkpoint_state(std::vector<StateDict> sections) override;
+
   const StateDict& global_state() const noexcept { return global_; }
 
  protected:

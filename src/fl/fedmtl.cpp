@@ -2,6 +2,7 @@
 
 #include "comm/serialize.h"
 #include "util/thread_pool.h"
+#include "util/check.h"
 
 namespace subfed {
 
@@ -68,6 +69,17 @@ double FedMtl::client_test_accuracy(std::size_t k) {
   Model model = ctx_.spec.build();
   model.load_state(personal_[k]);
   return evaluate(model, data.test_images, data.test_labels).accuracy;
+}
+
+
+std::vector<StateDict> FedMtl::checkpoint_state() { return personal_; }
+
+void FedMtl::restore_checkpoint_state(std::vector<StateDict> sections) {
+  SUBFEDAVG_CHECK(sections.size() == personal_.size(),
+                  "MTL checkpoint has " << sections.size() << " sections, federation has "
+                                        << personal_.size() << " clients");
+  personal_ = std::move(sections);
+  recompute_mean();
 }
 
 }  // namespace subfed

@@ -22,6 +22,10 @@ class FedMtl final : public FederatedAlgorithm {
   void run_round(std::size_t round, std::span<const std::size_t> sampled) override;
   double client_test_accuracy(std::size_t k) override;
 
+  /// Checkpoint layout: one section per client; w̄ is recomputed on restore.
+  std::vector<StateDict> checkpoint_state() override;
+  void restore_checkpoint_state(std::vector<StateDict> sections) override;
+
  private:
   void recompute_mean();
 

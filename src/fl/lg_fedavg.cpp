@@ -73,4 +73,20 @@ double LgFedAvg::client_test_accuracy(std::size_t k) {
   return evaluate(model, data.test_images, data.test_labels).accuracy;
 }
 
+
+std::vector<StateDict> LgFedAvg::checkpoint_state() {
+  std::vector<StateDict> sections = personal_;
+  sections.push_back(global_head_);
+  return sections;
+}
+
+void LgFedAvg::restore_checkpoint_state(std::vector<StateDict> sections) {
+  SUBFEDAVG_CHECK(sections.size() == personal_.size() + 1,
+                  "LG-FedAvg checkpoint expects " << personal_.size() + 1 << " sections, got "
+                                                  << sections.size());
+  global_head_ = std::move(sections.back());
+  sections.pop_back();
+  personal_ = std::move(sections);
+}
+
 }  // namespace subfed

@@ -19,6 +19,10 @@ class LgFedAvg final : public FederatedAlgorithm {
   void run_round(std::size_t round, std::span<const std::size_t> sampled) override;
   double client_test_accuracy(std::size_t k) override;
 
+  /// Checkpoint layout: one section per client plus the global FC head.
+  std::vector<StateDict> checkpoint_state() override;
+  void restore_checkpoint_state(std::vector<StateDict> sections) override;
+
   /// Whether a state entry belongs to the globally shared FC head.
   static bool is_global_entry(const std::string& name);
 

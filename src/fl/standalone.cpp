@@ -1,6 +1,7 @@
 #include "fl/standalone.h"
 
 #include "util/thread_pool.h"
+#include "util/check.h"
 
 namespace subfed {
 
@@ -27,6 +28,16 @@ double Standalone::client_test_accuracy(std::size_t k) {
   Model model = ctx_.spec.build();
   model.load_state(personal_[k]);
   return evaluate(model, data.test_images, data.test_labels).accuracy;
+}
+
+
+std::vector<StateDict> Standalone::checkpoint_state() { return personal_; }
+
+void Standalone::restore_checkpoint_state(std::vector<StateDict> sections) {
+  SUBFEDAVG_CHECK(sections.size() == personal_.size(),
+                  "Standalone checkpoint has " << sections.size() << " sections, federation has "
+                                               << personal_.size() << " clients");
+  personal_ = std::move(sections);
 }
 
 }  // namespace subfed

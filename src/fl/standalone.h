@@ -15,6 +15,10 @@ class Standalone final : public FederatedAlgorithm {
   void run_round(std::size_t round, std::span<const std::size_t> sampled) override;
   double client_test_accuracy(std::size_t k) override;
 
+  /// Checkpoint layout: one section per client (its local model).
+  std::vector<StateDict> checkpoint_state() override;
+  void restore_checkpoint_state(std::vector<StateDict> sections) override;
+
  private:
   std::vector<StateDict> personal_;  ///< each client's persistent local model
 };

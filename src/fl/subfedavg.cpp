@@ -76,4 +76,54 @@ ReductionReport SubFedAvg::client_reduction(std::size_t k) {
   return reduction_report(model, channel, &weights);
 }
 
+
+std::vector<StateDict> SubFedAvg::checkpoint_state() {
+  std::vector<StateDict> sections;
+  sections.reserve(1 + 3 * clients_.size());
+  sections.push_back(global_);
+  for (const auto& client : clients_) {
+    sections.push_back(client->personal_state());
+    StateDict weights;
+    for (const auto& [name, tensor] : client->weight_mask()) weights.add(name, tensor);
+    sections.push_back(std::move(weights));
+    StateDict channels;
+    const ChannelMask& cm = client->channel_mask();
+    for (std::size_t b = 0; b < cm.num_blocks(); ++b) {
+      std::vector<float> keep(cm.block(b).begin(), cm.block(b).end());
+      const Shape shape{keep.size()};
+      channels.add("block" + std::to_string(b), Tensor(shape, std::move(keep)));
+    }
+    sections.push_back(std::move(channels));
+  }
+  return sections;
+}
+
+void SubFedAvg::restore_checkpoint_state(std::vector<StateDict> sections) {
+  SUBFEDAVG_CHECK(sections.size() == 1 + 3 * clients_.size(),
+                  name() << " checkpoint expects " << 1 + 3 * clients_.size()
+                         << " sections, got " << sections.size());
+  global_ = std::move(sections[0]);
+  for (std::size_t k = 0; k < clients_.size(); ++k) {
+    StateDict personal = std::move(sections[1 + 3 * k]);
+    ModelMask weight_mask;
+    for (auto& [name, tensor] : sections[2 + 3 * k]) weight_mask.set(name, std::move(tensor));
+    // Start from the client's current mask to get the architecture's block
+    // sizes, then overwrite the keep bits from the section.
+    ChannelMask channel_mask = clients_[k]->channel_mask();
+    const StateDict& channels = sections[3 + 3 * k];
+    SUBFEDAVG_CHECK(channels.size() == channel_mask.num_blocks(),
+                    "channel mask block count");
+    for (std::size_t b = 0; b < channel_mask.num_blocks(); ++b) {
+      const Tensor* keep = channels.find("block" + std::to_string(b));
+      SUBFEDAVG_CHECK(keep != nullptr && keep->numel() == channel_mask.block(b).size(),
+                      "channel mask block size");
+      for (std::size_t c = 0; c < channel_mask.block(b).size(); ++c) {
+        channel_mask.block(b)[c] = (*keep)[c] != 0.0f ? 1 : 0;
+      }
+    }
+    clients_[k]->restore(std::move(personal), std::move(weight_mask),
+                         std::move(channel_mask));
+  }
+}
+
 }  // namespace subfed

@@ -24,6 +24,12 @@ class SubFedAvg final : public FederatedAlgorithm {
   void run_round(std::size_t round, std::span<const std::size_t> sampled) override;
   double client_test_accuracy(std::size_t k) override;
 
+  /// Checkpoint layout: the global state, then per client {personal model,
+  /// weight mask, channel mask} — the same coverage as the legacy
+  /// save_subfedavg_checkpoint format, expressed as generic sections.
+  std::vector<StateDict> checkpoint_state() override;
+  void restore_checkpoint_state(std::vector<StateDict> sections) override;
+
   const StateDict& global_state() const noexcept { return global_; }
   SubFedAvgClient& client(std::size_t k);
 

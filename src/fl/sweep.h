@@ -1,0 +1,186 @@
+// Sharded experiment sweeps.
+//
+// The paper's headline results are grids of runs — algorithm × partition ×
+// pruning-rate × seed. A SweepDescription holds a base ExperimentSpec plus
+// one or more axes over its key=value fields (`algo=subfedavg_un,fedavg ×
+// alpha=0.1,0.5 × seed=1,2,3`, including `algo.*` hyper-parameter keys);
+// expand() takes the cross-product into concrete per-run specs, run_sweep
+// shards them across a fixed-size thread pool (each run's training still
+// parallelizes over clients on the global pool), and the aggregation layer
+// folds the per-run JSON results into paper-style tables — mean ± std over a
+// replicate axis (normally `seed`), grouped by the remaining axes.
+//
+// Failure isolation: one run throwing (bad spec value, unknown algorithm,
+// I/O) records an error outcome and the rest of the sweep proceeds.
+// Determinism: expansion order is the lexicographic cross-product with the
+// LAST axis fastest, every run's seed comes from its spec (so a sweep file is
+// a complete, reproducible artifact), and results land in per-index slots —
+// worker scheduling cannot change any value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fl/experiment.h"
+#include "metrics/stats.h"
+#include "util/table.h"
+
+namespace subfed {
+
+/// One sweep dimension: a spec key (any kv field, including `algo.*`
+/// hyper-parameters) and the values it takes.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Parses "key=v1,v2,v3". Throws CheckError on a missing '=', an empty key,
+/// or an empty value element.
+SweepAxis parse_axis(const std::string& text);
+
+/// One expanded run of a sweep: its position, the `key=value` assignment that
+/// produced it, a stable human-readable name, and the concrete spec.
+struct SweepRun {
+  std::size_t index = 0;
+  std::string name;  ///< "algo=fedavg,seed=2" (or "run" when there are no axes)
+  std::vector<std::pair<std::string, std::string>> assignment;
+  ExperimentSpec spec;
+};
+
+struct SweepDescription {
+  ExperimentSpec base;
+  std::vector<SweepAxis> axes;
+
+  /// parse_axis + duplicate-key check.
+  void add_axis(const std::string& text);
+  /// Appends a deterministic replicate axis: seed = base.seed … base.seed+n-1.
+  /// Throws when a seed axis is already present.
+  void add_replicas(std::size_t n);
+  /// Sweep-file text: one `key=value[,value...]` per line; a multi-value line
+  /// becomes an axis, a single-value line sets the base spec field. Blank
+  /// lines and `#` comments are skipped.
+  void apply_file(const std::string& text);
+
+  /// Cross-product size (1 when there are no axes).
+  std::size_t total_runs() const;
+  /// Expands the cross-product, last axis fastest. Axis keys/values are
+  /// validated by applying them — unknown keys and bad values throw here,
+  /// before any run executes.
+  std::vector<SweepRun> expand() const;
+};
+
+/// `run.name` with ',' → "__" and filesystem-hostile characters replaced,
+/// prefixed by the zero-padded run index: "003-algo=fedavg__seed=2.json".
+std::string sweep_run_file_name(const SweepRun& run);
+
+struct SweepOptions {
+  std::size_t jobs = 0;     ///< worker threads; 0 → hardware concurrency
+  std::string out_dir;      ///< per-run JSON directory; empty → no files
+  bool echo_progress = true;///< per-run completion lines on stderr
+};
+
+/// What happened to one run. `ok == false` outcomes carry the error text and
+/// an empty result; they are excluded from aggregation.
+struct SweepRunOutcome {
+  SweepRun run;
+  bool ok = false;
+  std::string error;
+  std::string algorithm_name;
+  std::string json_path;    ///< written file; empty when out_dir is unset or failed
+  double seconds = 0.0;
+  RunResult result;
+  std::map<std::string, double> metrics;
+};
+
+struct SweepSummary {
+  std::vector<SweepRunOutcome> outcomes;  ///< in expansion order
+  std::size_t workers = 0;                ///< pool size actually used
+  double seconds = 0.0;                   ///< wall-clock for the whole sweep
+
+  std::size_t num_ok() const;
+  std::size_t num_failed() const;
+};
+
+/// One "failed: <run>: <error>" stderr line per failed outcome.
+void report_failed_runs(const SweepSummary& summary);
+
+/// Executes every run on a dedicated `jobs`-wide thread pool (execute_experiment
+/// per run: checkpoint observers, JSON output and metrics collection
+/// included). Creates `out_dir` when set. Never throws on individual run
+/// failure — see SweepRunOutcome.
+SweepSummary run_sweep(const std::vector<SweepRun>& runs, const SweepOptions& options);
+
+// -- aggregation -------------------------------------------------------------
+
+/// One run's result flattened for aggregation: the full spec as key=value
+/// pairs (incl. `algo.*`), the headline scalars, and the extra metrics.
+struct SweepRecord {
+  std::string path;       ///< source file; empty for in-memory records
+  std::string algorithm;  ///< display name, e.g. "Sub-FedAvg (Un)"
+  std::map<std::string, std::string> spec;
+  double final_avg_accuracy = 0.0;
+  std::uint64_t up_bytes = 0;
+  std::uint64_t down_bytes = 0;
+  std::map<std::string, double> metrics;
+
+  std::uint64_t total_bytes() const noexcept { return up_bytes + down_bytes; }
+};
+
+/// Parses one per-run JSON file (the run_result_json format). Throws
+/// CheckError on unreadable or malformed input.
+SweepRecord load_run_record(const std::string& path);
+
+/// Loads every *.json under `dir` (sorted by file name). Throws when the
+/// directory cannot be read; skips nothing — a malformed file throws.
+std::vector<SweepRecord> load_run_records(const std::string& dir);
+
+/// Converts a successful outcome without touching the filesystem. Throws on
+/// failed outcomes.
+SweepRecord record_from_outcome(const SweepRunOutcome& outcome);
+
+struct AggregateOptions {
+  /// Spec keys identifying a table row. Empty → inferred: every spec key
+  /// whose value varies across the records, minus `over` and `out`-like
+  /// bookkeeping keys.
+  std::vector<std::string> group_by;
+  /// Replicate key folded into mean ± std (its values never form rows).
+  std::string over = "seed";
+  /// Metric columns: "accuracy", "comm", or any extra-metrics key
+  /// (e.g. "unstructured_pruned").
+  std::vector<std::string> metrics = {"accuracy", "comm"};
+};
+
+/// One aggregated row: the group's key values (aligned with group_by) and a
+/// Summary per requested metric. `runs` counts the records that landed in the
+/// group; a metric absent from some record is summarized over those that
+/// have it.
+struct AggregateRow {
+  std::vector<std::string> group;
+  std::size_t runs = 0;
+  std::map<std::string, Summary> stats;
+};
+
+/// The group keys actually used: options.group_by when set, otherwise the
+/// inferred varying-key set (sorted). Pass the result back in options so
+/// aggregation_table's headers match.
+std::vector<std::string> resolve_group_by(const std::vector<SweepRecord>& records,
+                                          const AggregateOptions& options);
+
+/// Groups records (first-appearance order) and summarizes each metric.
+std::vector<AggregateRow> aggregate_records(const std::vector<SweepRecord>& records,
+                                            const AggregateOptions& options);
+
+/// Renders rows as a table: one column per group key, `runs`, then
+/// "mean ± std" per metric (accuracy as percent, comm as bytes). Single-run
+/// groups print the plain mean.
+TablePrinter aggregation_table(const std::vector<AggregateRow>& rows,
+                               const AggregateOptions& options);
+
+/// "ascii" (aligned, default), "csv", or "markdown". Throws on other names.
+std::string render_table(const TablePrinter& table, const std::string& format);
+
+}  // namespace subfed

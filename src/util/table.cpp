@@ -68,6 +68,29 @@ std::string TablePrinter::to_csv() const {
   return os.str();
 }
 
+std::string TablePrinter::to_markdown() const {
+  auto escape = [](const std::string& field) {
+    std::string out;
+    for (const char c : field) {
+      if (c == '|') out += "\\|";
+      else out += c;
+    }
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (const std::string& field : row) os << ' ' << escape(field) << " |";
+    os << '\n';
+  };
+  emit(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
 std::string format_float(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, value);

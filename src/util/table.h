@@ -23,6 +23,9 @@ class TablePrinter {
   /// Renders as RFC-4180-ish CSV (fields containing commas/quotes are quoted).
   [[nodiscard]] std::string to_csv() const;
 
+  /// Renders as a GitHub-flavored markdown table (`|` in cells is escaped).
+  [[nodiscard]] std::string to_markdown() const;
+
   std::size_t num_rows() const noexcept { return rows_.size(); }
 
  private:

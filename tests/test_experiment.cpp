@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <string>
 #include <vector>
 
+#include "fl/checkpoint.h"
 #include "fl/experiment.h"
 #include "fl/registry.h"
 #include "fl/subfedavg.h"
@@ -339,6 +341,125 @@ TEST_F(ExperimentApi, ObserverChainFansOutInOrder) {
   const std::vector<std::string> expected{"begin1", "end1", "eval1", "run_end"};
   EXPECT_EQ(first.events, expected);
   EXPECT_EQ(second.events, expected);
+}
+
+// --- checkpointing ----------------------------------------------------------
+
+TEST_F(ExperimentApi, GenericCheckpointRoundTripsEveryBuiltinAlgorithm) {
+  DriverConfig driver;
+  driver.rounds = 2;
+  driver.sample_rate = 0.5;
+  driver.seed = 9;
+
+  for (const std::string& name : list_algorithms()) {
+    auto original = registry().create(name, ctx());
+    run_federation(*original, driver);
+    const std::vector<double> expected = original->all_test_accuracies();
+
+    const std::string path = ::testing::TempDir() + "/subfed_" + name + ".ckpt";
+    save_checkpoint(*original, path);
+
+    auto restored = registry().create(name, ctx());
+    load_checkpoint(*restored, path);
+    const std::vector<double> actual = restored->all_test_accuracies();
+    ASSERT_EQ(actual.size(), expected.size()) << name;
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_NEAR(actual[k], expected[k], 1e-12) << name << " client " << k;
+    }
+  }
+}
+
+TEST_F(ExperimentApi, CheckpointRejectsAlgorithmMismatch) {
+  auto fedavg = registry().create("fedavg", ctx());
+  const std::string path = ::testing::TempDir() + "/subfed_mismatch.ckpt";
+  save_checkpoint(*fedavg, path);
+  auto standalone = registry().create("standalone", ctx());
+  EXPECT_THROW(load_checkpoint(*standalone, path), CheckError);
+}
+
+TEST_F(ExperimentApi, CheckpointObserverSnapshotsEveryNRounds) {
+  auto algorithm = registry().create("subfedavg_un", ctx());
+  const std::string path = ::testing::TempDir() + "/subfed_observer.ckpt";
+  std::filesystem::remove(path);
+
+  CheckpointObserver observer(*algorithm, path, /*every=*/2);
+  DriverConfig driver;
+  driver.rounds = 5;
+  driver.sample_rate = 0.5;
+  driver.seed = 9;
+  run_federation(*algorithm, driver, &observer);
+
+  // Rounds 2 and 4 plus the final on_run_end snapshot.
+  EXPECT_EQ(observer.snapshots_taken(), 3u);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // When the last round is itself a snapshot boundary, on_run_end skips the
+  // redundant re-save of identical state.
+  auto aligned = registry().create("fedavg", ctx());
+  CheckpointObserver aligned_observer(
+      *aligned, ::testing::TempDir() + "/subfed_observer_aligned.ckpt", /*every=*/2);
+  driver.rounds = 4;
+  run_federation(*aligned, driver, &aligned_observer);
+  EXPECT_EQ(aligned_observer.snapshots_taken(), 2u);
+
+  auto restored = registry().create("subfedavg_un", ctx());
+  load_checkpoint(*restored, path);
+  const std::vector<double> expected = algorithm->all_test_accuracies();
+  const std::vector<double> actual = restored->all_test_accuracies();
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_NEAR(actual[k], expected[k], 1e-12);
+  }
+}
+
+TEST_F(ExperimentApi, ExecuteExperimentWiresCheckpointingFromTheSpec) {
+  ExperimentSpec spec;
+  spec.dataset = "mnist";
+  spec.clients = 4;
+  spec.shard = 20;
+  spec.test_per_class = 4;
+  spec.rounds = 2;
+  spec.epochs = 1;
+  spec.sample = 0.5;
+  spec.seed = 9;
+  spec.algo = "fedavg";
+  spec.checkpoint_every = 1;
+  spec.out = ::testing::TempDir() + "/subfed_exec.json";
+  std::filesystem::remove(spec.resolved_checkpoint_path());
+
+  const ExecutedRun run = execute_experiment(spec);
+  EXPECT_EQ(run.algorithm_name, "FedAvg");
+  EXPECT_GT(run.result.final_avg_accuracy, 0.0);
+  EXPECT_TRUE(std::filesystem::exists(spec.out));
+  // checkpoint_path empty → derived from out: .json → .ckpt.
+  EXPECT_EQ(spec.resolved_checkpoint_path(), ::testing::TempDir() + "/subfed_exec.ckpt");
+  EXPECT_TRUE(std::filesystem::exists(spec.resolved_checkpoint_path()));
+
+  // Sub-FedAvg runs surface their pruned fractions as metrics.
+  spec.algo = "subfedavg_un";
+  spec.checkpoint_every = 0;
+  spec.out.clear();
+  const ExecutedRun sub = execute_experiment(spec);
+  EXPECT_EQ(sub.metrics.count("unstructured_pruned"), 1u);
+}
+
+TEST_F(ExperimentApi, SpecTagAndCheckpointFieldsRoundTrip) {
+  ExperimentSpec spec;
+  spec.tag = "paper-table-1";
+  spec.checkpoint_every = 25;
+  spec.checkpoint_path = "snap.ckpt";
+  const ExperimentSpec restored = ExperimentSpec::from_kv(spec.to_kv());
+  EXPECT_EQ(restored.tag, "paper-table-1");
+  EXPECT_EQ(restored.checkpoint_every, 25u);
+  EXPECT_EQ(restored.checkpoint_path, "snap.ckpt");
+
+  EXPECT_EQ(restored.resolved_checkpoint_path(), "snap.ckpt");
+  ExperimentSpec derived;
+  derived.out = "results/run.json";
+  EXPECT_EQ(derived.resolved_checkpoint_path(), "results/run.ckpt");
+  derived.out = "results.v2/run";  // dot in a directory, not an extension
+  EXPECT_EQ(derived.resolved_checkpoint_path(), "results.v2/run.ckpt");
+  derived.out.clear();
+  EXPECT_EQ(derived.resolved_checkpoint_path(), "checkpoint.ckpt");
 }
 
 // --- JSON result writer -----------------------------------------------------

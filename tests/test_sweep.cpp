@@ -1,0 +1,404 @@
+// The sweep engine: axis parsing, cross-product expansion with deterministic
+// seed assignment, thread-pool execution with failure isolation, the per-run
+// JSON round-trip through the aggregation loader, and the mean ± std
+// aggregation math behind the paper tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fl/sweep.h"
+#include "util/check.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace subfed {
+namespace {
+
+class SweepApi : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { set_log_level(LogLevel::kWarn); }
+
+  /// A federation small enough that a run costs milliseconds.
+  static ExperimentSpec tiny_spec() {
+    ExperimentSpec spec;
+    spec.dataset = "mnist";
+    spec.clients = 4;
+    spec.shard = 20;
+    spec.test_per_class = 4;
+    spec.rounds = 1;
+    spec.epochs = 1;
+    spec.sample = 0.5;
+    spec.algo = "fedavg";
+    spec.seed = 9;
+    return spec;
+  }
+};
+
+// --- axis parsing -----------------------------------------------------------
+
+TEST_F(SweepApi, ParseAxisSplitsValues) {
+  const SweepAxis axis = parse_axis("algo=subfedavg_un,fedavg,lotteryfl");
+  EXPECT_EQ(axis.key, "algo");
+  EXPECT_EQ(axis.values, (std::vector<std::string>{"subfedavg_un", "fedavg", "lotteryfl"}));
+}
+
+TEST_F(SweepApi, ParseAxisRejectsMalformedInput) {
+  EXPECT_THROW(parse_axis("no-equals"), CheckError);
+  EXPECT_THROW(parse_axis("=1,2"), CheckError);        // empty key
+  EXPECT_THROW(parse_axis("alpha="), CheckError);      // no values
+  EXPECT_THROW(parse_axis("alpha=0.1,,0.5"), CheckError);  // empty element
+  EXPECT_THROW(parse_axis("alpha=0.1,0.5,"), CheckError);  // trailing comma
+}
+
+TEST_F(SweepApi, AddAxisRejectsDuplicateKeys) {
+  SweepDescription description;
+  description.add_axis("alpha=0.1,0.5");
+  EXPECT_THROW(description.add_axis("alpha=0.9"), CheckError);
+}
+
+// --- expansion --------------------------------------------------------------
+
+TEST_F(SweepApi, ExpandTakesCrossProductLastAxisFastest) {
+  SweepDescription description;
+  description.base = tiny_spec();
+  description.add_axis("algo=fedavg,standalone");
+  description.add_axis("alpha=0.1,0.5,0.9");
+  description.add_axis("seed=1,2");
+  EXPECT_EQ(description.total_runs(), 12u);
+
+  const std::vector<SweepRun> runs = description.expand();
+  ASSERT_EQ(runs.size(), 12u);
+  EXPECT_EQ(runs[0].name, "algo=fedavg,alpha=0.1,seed=1");
+  EXPECT_EQ(runs[1].name, "algo=fedavg,alpha=0.1,seed=2");   // last axis fastest
+  EXPECT_EQ(runs[2].name, "algo=fedavg,alpha=0.5,seed=1");
+  EXPECT_EQ(runs[6].name, "algo=standalone,alpha=0.1,seed=1");
+  EXPECT_EQ(runs[11].name, "algo=standalone,alpha=0.9,seed=2");
+
+  // Axis values land in the specs; untouched fields come from the base.
+  EXPECT_EQ(runs[6].spec.algo, "standalone");
+  EXPECT_DOUBLE_EQ(runs[6].spec.alpha, 0.1);
+  EXPECT_EQ(runs[6].spec.seed, 1u);
+  EXPECT_EQ(runs[6].spec.clients, 4u);
+  EXPECT_EQ(runs[6].index, 6u);
+  ASSERT_EQ(runs[6].assignment.size(), 3u);
+  EXPECT_EQ(runs[6].assignment[0],
+            (std::pair<std::string, std::string>{"algo", "standalone"}));
+
+  // Algorithm hyper-parameter axes route through algo_params.
+  SweepDescription params;
+  params.base = tiny_spec();
+  params.add_axis("algo.strict=0,1");
+  const std::vector<SweepRun> param_runs = params.expand();
+  ASSERT_EQ(param_runs.size(), 2u);
+  EXPECT_EQ(param_runs[1].spec.algo_params.get_string("strict", ""), "1");
+}
+
+TEST_F(SweepApi, ExpandValidatesKeysAndValues) {
+  SweepDescription unknown;
+  unknown.add_axis("not_a_field=1,2");
+  EXPECT_THROW(unknown.expand(), CheckError);
+
+  SweepDescription bad_value;
+  bad_value.add_axis("rounds=4,abc");
+  EXPECT_THROW(bad_value.expand(), CheckError);
+}
+
+TEST_F(SweepApi, ExpandWithoutAxesYieldsTheBaseRun) {
+  SweepDescription description;
+  description.base = tiny_spec();
+  const std::vector<SweepRun> runs = description.expand();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].name, "run");
+  EXPECT_EQ(runs[0].spec.to_kv(), description.base.to_kv());
+}
+
+TEST_F(SweepApi, ReplicasAssignConsecutiveSeedsDeterministically) {
+  SweepDescription description;
+  description.base = tiny_spec();
+  description.base.seed = 5;
+  description.add_replicas(3);
+  const std::vector<SweepRun> runs = description.expand();
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].spec.seed, 5u);
+  EXPECT_EQ(runs[1].spec.seed, 6u);
+  EXPECT_EQ(runs[2].spec.seed, 7u);
+  // Expansion is a pure function of the description.
+  const std::vector<SweepRun> again = description.expand();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].spec.to_kv(), again[i].spec.to_kv());
+  }
+
+  SweepDescription conflicting;
+  conflicting.add_axis("seed=1,2");
+  EXPECT_THROW(conflicting.add_replicas(2), CheckError);
+  EXPECT_THROW(description.add_replicas(0), CheckError);
+}
+
+TEST_F(SweepApi, SweepFileSeparatesAxesFromBaseFields) {
+  SweepDescription description;
+  description.base = tiny_spec();
+  description.apply_file(
+      "# table sweep\n"
+      "rounds=2\n"
+      "algo=fedavg,standalone\n"
+      "\n"
+      "seed=1,2,3\n");
+  EXPECT_EQ(description.base.rounds, 2u);
+  ASSERT_EQ(description.axes.size(), 2u);
+  EXPECT_EQ(description.axes[0].key, "algo");
+  EXPECT_EQ(description.axes[1].values.size(), 3u);
+  EXPECT_EQ(description.total_runs(), 6u);
+}
+
+TEST_F(SweepApi, RunFileNamesAreIndexedAndFilesystemSafe) {
+  SweepDescription description;
+  description.base = tiny_spec();
+  description.add_axis("algo=fedavg,standalone");
+  description.add_axis("seed=1,2");
+  const std::vector<SweepRun> runs = description.expand();
+  EXPECT_EQ(sweep_run_file_name(runs[0]), "00000-algo=fedavg__seed=1.json");
+  EXPECT_EQ(sweep_run_file_name(runs[3]), "00003-algo=standalone__seed=2.json");
+
+  SweepRun hostile;
+  hostile.index = 1000;  // must sort after 999 lexicographically
+  hostile.name = "out=a/b c,alpha=0.5";
+  EXPECT_EQ(sweep_run_file_name(hostile), "01000-out=a_b_c__alpha=0.5.json");
+}
+
+// --- execution --------------------------------------------------------------
+
+TEST_F(SweepApi, RunSweepIsolatesFailuresAndWritesJsonPerRun) {
+  const std::string dir = ::testing::TempDir() + "/subfed_sweep_exec";
+  std::filesystem::remove_all(dir);
+
+  // `lotteryfl` parses as a spec value but no such algorithm is registered,
+  // so that run fails at construction time — after the sweep started.
+  SweepDescription description;
+  description.base = tiny_spec();
+  description.add_axis("algo=fedavg,lotteryfl,standalone");
+
+  SweepOptions options;
+  options.jobs = 2;
+  options.out_dir = dir;
+  options.echo_progress = false;
+  const SweepSummary summary = run_sweep(description.expand(), options);
+
+  ASSERT_EQ(summary.outcomes.size(), 3u);
+  EXPECT_EQ(summary.workers, 2u);
+  EXPECT_EQ(summary.num_ok(), 2u);
+  EXPECT_EQ(summary.num_failed(), 1u);
+
+  EXPECT_TRUE(summary.outcomes[0].ok);
+  EXPECT_FALSE(summary.outcomes[1].ok);
+  EXPECT_TRUE(summary.outcomes[2].ok);  // the sweep survived the failure
+  EXPECT_NE(summary.outcomes[1].error.find("lotteryfl"), std::string::npos);
+  EXPECT_TRUE(summary.outcomes[1].json_path.empty());
+
+  // Successful runs wrote their JSON; the loader finds exactly those.
+  EXPECT_TRUE(std::filesystem::exists(summary.outcomes[0].json_path));
+  EXPECT_TRUE(std::filesystem::exists(summary.outcomes[2].json_path));
+  const std::vector<SweepRecord> records = load_run_records(dir);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].spec.at("algo"), "fedavg");
+  EXPECT_EQ(records[1].spec.at("algo"), "standalone");
+
+  // In-memory records agree with what landed on disk.
+  const SweepRecord memory = record_from_outcome(summary.outcomes[0]);
+  EXPECT_EQ(memory.algorithm, records[0].algorithm);
+  EXPECT_NEAR(memory.final_avg_accuracy, records[0].final_avg_accuracy, 1e-5);
+  EXPECT_EQ(memory.up_bytes, records[0].up_bytes);
+
+  EXPECT_THROW(record_from_outcome(summary.outcomes[1]), CheckError);
+
+  // Re-running a smaller sweep into the same directory clears the stale
+  // per-run JSONs (aggregation never blends two sweeps) but leaves files the
+  // sweep did not create untouched.
+  const std::string foreign = dir + "/unrelated.json";
+  std::ofstream(foreign) << "{}";
+  SweepDescription smaller;
+  smaller.base = tiny_spec();
+  smaller.add_axis("algo=standalone");
+  run_sweep(smaller.expand(), options);
+  EXPECT_TRUE(std::filesystem::exists(foreign));
+  std::filesystem::remove(foreign);
+  EXPECT_EQ(load_run_records(dir).size(), 1u);
+}
+
+TEST_F(SweepApi, RunSweepUniquifiesCheckpointPathsAcrossRuns) {
+  SweepDescription description;
+  description.base = tiny_spec();
+  description.base.checkpoint_every = 1;
+  description.base.checkpoint_path = ::testing::TempDir() + "/subfed_shared.ckpt";
+  description.add_replicas(2);
+
+  SweepOptions options;
+  options.jobs = 2;
+  options.echo_progress = false;
+  const SweepSummary summary = run_sweep(description.expand(), options);
+  ASSERT_EQ(summary.num_ok(), 2u);
+  // Each run snapshotted its own file, not a shared clobbered one.
+  EXPECT_TRUE(std::filesystem::exists(::testing::TempDir() + "/subfed_shared-00000.ckpt"));
+  EXPECT_TRUE(std::filesystem::exists(::testing::TempDir() + "/subfed_shared-00001.ckpt"));
+  EXPECT_FALSE(std::filesystem::exists(::testing::TempDir() + "/subfed_shared.ckpt"));
+}
+
+TEST_F(SweepApi, RunSweepWithIdenticalSpecsIsDeterministic) {
+  SweepDescription description;
+  description.base = tiny_spec();
+  description.add_replicas(2);
+
+  SweepOptions options;
+  options.jobs = 2;
+  options.echo_progress = false;
+  const SweepSummary first = run_sweep(description.expand(), options);
+  options.jobs = 1;
+  const SweepSummary second = run_sweep(description.expand(), options);
+  ASSERT_EQ(first.num_ok(), 2u);
+  ASSERT_EQ(second.num_ok(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(first.outcomes[i].result.final_avg_accuracy,
+                     second.outcomes[i].result.final_avg_accuracy)
+        << "worker count changed a result";
+  }
+}
+
+// --- aggregation ------------------------------------------------------------
+
+SweepRecord make_record(const std::string& algo, const std::string& seed, double accuracy,
+                        std::uint64_t bytes) {
+  SweepRecord record;
+  record.algorithm = algo;
+  record.spec["algo"] = algo;
+  record.spec["seed"] = seed;
+  record.spec["out"] = "runs/" + algo + "-" + seed + ".json";  // bookkeeping noise
+  record.final_avg_accuracy = accuracy;
+  record.up_bytes = bytes;
+  record.metrics["unstructured_pruned"] = 0.5;
+  return record;
+}
+
+TEST_F(SweepApi, AggregateComputesMeanAndSampleStdOverSeeds) {
+  const std::vector<SweepRecord> records = {
+      make_record("fedavg", "1", 0.80, 100),
+      make_record("fedavg", "2", 0.90, 100),
+      make_record("fedavg", "3", 0.70, 100),
+      make_record("standalone", "1", 0.60, 0),
+  };
+  AggregateOptions options;
+  options.group_by = {"algo"};
+  options.metrics = {"accuracy", "comm", "unstructured_pruned", "absent_metric"};
+  const std::vector<AggregateRow> rows = aggregate_records(records, options);
+
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].group, (std::vector<std::string>{"fedavg"}));
+  EXPECT_EQ(rows[0].runs, 3u);
+  const Summary& acc = rows[0].stats.at("accuracy");
+  EXPECT_NEAR(acc.mean, 0.8, 1e-12);
+  EXPECT_NEAR(acc.stddev, 0.1, 1e-12);  // sample stddev of {.8,.9,.7}
+  EXPECT_EQ(acc.count, 3u);
+  EXPECT_NEAR(rows[0].stats.at("comm").mean, 100.0, 1e-12);
+  EXPECT_NEAR(rows[0].stats.at("unstructured_pruned").mean, 0.5, 1e-12);
+  EXPECT_EQ(rows[0].stats.count("absent_metric"), 0u);
+
+  EXPECT_EQ(rows[1].group, (std::vector<std::string>{"standalone"}));
+  EXPECT_EQ(rows[1].runs, 1u);
+  EXPECT_NEAR(rows[1].stats.at("accuracy").stddev, 0.0, 1e-12);
+}
+
+TEST_F(SweepApi, ResolveGroupByInfersVaryingKeysMinusReplicateAxis) {
+  const std::vector<SweepRecord> records = {
+      make_record("fedavg", "1", 0.8, 100),
+      make_record("fedavg", "2", 0.8, 100),
+      make_record("standalone", "1", 0.6, 0),
+  };
+  AggregateOptions options;  // group_by empty, over = "seed"
+  // algo varies → grouped; seed is the replicate axis and `out` is
+  // bookkeeping → excluded despite varying.
+  EXPECT_EQ(resolve_group_by(records, options), (std::vector<std::string>{"algo"}));
+
+  options.group_by = {"seed"};  // explicit keys always win
+  EXPECT_EQ(resolve_group_by(records, options), (std::vector<std::string>{"seed"}));
+}
+
+TEST_F(SweepApi, AggregationTableRendersMeanPlusMinusStd) {
+  const std::vector<SweepRecord> records = {
+      make_record("fedavg", "1", 0.80, 100),
+      make_record("fedavg", "2", 0.90, 100),
+  };
+  AggregateOptions options;
+  options.group_by = {"algo"};
+  options.metrics = {"accuracy"};
+  const TablePrinter table = aggregation_table(aggregate_records(records, options), options);
+
+  const std::string ascii = render_table(table, "ascii");
+  EXPECT_NE(ascii.find("85.00% ± 7.07%"), std::string::npos);
+  EXPECT_NE(ascii.find("algo"), std::string::npos);
+
+  const std::string markdown = render_table(table, "markdown");
+  EXPECT_NE(markdown.find("|---|"), std::string::npos);
+  const std::string csv = render_table(table, "csv");
+  EXPECT_NE(csv.find("algo,runs,accuracy"), std::string::npos);
+  EXPECT_THROW(render_table(table, "latex"), CheckError);
+}
+
+// --- JSON round-trip --------------------------------------------------------
+
+TEST_F(SweepApi, RunRecordRoundTripsThroughJsonFile) {
+  ExperimentSpec spec = tiny_spec();
+  spec.tag = "round \"trip\"";
+  spec.algo_params.set_double("mu", 0.2);
+
+  RunResult result;
+  result.curve = {{1, 0.5}};
+  result.final_avg_accuracy = 0.625;
+  result.final_per_client = {0.5, 0.75};
+  result.up_bytes = 1234;
+  result.down_bytes = 567;
+
+  const std::string path = ::testing::TempDir() + "/subfed_record.json";
+  write_run_result_json(path, spec, "FedAvg", result, {{"unstructured_pruned", 0.25}});
+
+  const SweepRecord record = load_run_record(path);
+  EXPECT_EQ(record.algorithm, "FedAvg");
+  EXPECT_EQ(record.spec.at("dataset"), "mnist");
+  EXPECT_EQ(record.spec.at("tag"), "round \"trip\"");
+  EXPECT_EQ(record.spec.at("algo.mu"), "0.2");
+  EXPECT_NEAR(record.final_avg_accuracy, 0.625, 1e-9);
+  EXPECT_EQ(record.up_bytes, 1234u);
+  EXPECT_EQ(record.down_bytes, 567u);
+  EXPECT_EQ(record.total_bytes(), 1801u);
+  EXPECT_NEAR(record.metrics.at("unstructured_pruned"), 0.25, 1e-9);
+
+  // The spec text round-trips back into an identical ExperimentSpec.
+  std::string kv;
+  for (const auto& [key, value] : record.spec) kv += key + "=" + value + "\n";
+  EXPECT_EQ(ExperimentSpec::from_kv(kv).to_kv(), spec.to_kv());
+
+  EXPECT_THROW(load_run_record("/nonexistent/run.json"), CheckError);
+}
+
+TEST_F(SweepApi, JsonParserHandlesTheWriterGrammar) {
+  const JsonValue doc = parse_json(
+      "{\"a\": [1, 2.5, -3e2], \"s\": \"q\\\"\\n\\u0041\", \"b\": true, "
+      "\"n\": null, \"o\": {\"k\": 1}}");
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.at("a").array.size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("a").array[2].number, -300.0);
+  EXPECT_EQ(doc.at("s").string, "q\"\nA");
+  EXPECT_TRUE(doc.at("b").boolean);
+  EXPECT_EQ(doc.at("n").kind, JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(doc.at("o").number_or("k", 0.0), 1.0);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), CheckError);
+
+  EXPECT_THROW(parse_json("{\"unterminated\": "), CheckError);
+  EXPECT_THROW(parse_json("{} trailing"), CheckError);
+  EXPECT_THROW(parse_json("{bad: 1}"), CheckError);
+}
+
+}  // namespace
+}  // namespace subfed

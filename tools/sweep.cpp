@@ -1,0 +1,174 @@
+// Sharded experiment sweeps from the command line.
+//
+//   # 3-axis grid: 2 algorithms × 2 Dirichlet alphas × 3 seeds = 12 runs
+//   ./sweep --axis algo=subfedavg_un,fedavg --axis alpha=0.1,0.5 \
+//       --axis seed=1,2,3 --partition dirichlet --rounds 12 \
+//       --jobs 4 --out-dir sweep_out
+//
+// Any ExperimentSpec flag (see run_experiment --help) sets the base spec;
+// each --axis key=v1,v2,... (any spec kv key, including algo.* params) adds a
+// sweep dimension, --replicas N is shorthand for a seed axis. Runs shard
+// across --jobs worker threads, each writing a per-run JSON into --out-dir;
+// a failed run is reported and skipped, the sweep continues. Afterwards the
+// per-run JSONs are aggregated into a paper-style table (mean ± std over the
+// --over axis, grouped by the remaining axes).
+//
+//   # aggregate an existing result directory, nothing re-runs
+//   ./sweep --aggregate sweep_out --format markdown
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fl/sweep.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/parse.h"
+
+using namespace subfed;
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string piece = text.substr(start, comma - start);
+    if (!piece.empty()) out.push_back(piece);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+void print_help() {
+  std::printf(
+      "usage: sweep [sweep flags] [base ExperimentSpec flags]\n\n"
+      "sweep flags:\n"
+      "  --axis key=v1,v2,...  add a sweep dimension (repeatable); key is any\n"
+      "                        spec kv key, including algo.* hyper-parameters\n"
+      "  --replicas N          shorthand for --axis seed=<seed>,...,<seed+N-1>\n"
+      "  --sweep-file PATH     key=value lines; multi-value lines become axes\n"
+      "  --jobs N              worker threads [hardware concurrency]\n"
+      "  --out-dir DIR         per-run JSON directory [sweep_out]\n"
+      "  --dry-run 1           print the expanded runs, execute nothing\n"
+      "  --aggregate DIR       aggregate an existing directory, run nothing\n"
+      "  --group-by k1,k2      table row keys [the non-replicate axes]\n"
+      "  --over KEY            replicate axis folded into mean±std [seed]\n"
+      "  --metric m1,m2        metric columns: accuracy, comm, or any extra\n"
+      "                        metric such as unstructured_pruned [accuracy,comm]\n"
+      "  --format FMT          ascii | csv | markdown [ascii]\n"
+      "  --quiet 1             suppress per-run progress lines\n\n"
+      "base spec flags (applied before axes):\n\n%s",
+      ExperimentSpec::help_text().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+
+  SweepDescription description;
+  SweepOptions options;
+  options.out_dir = "sweep_out";
+  AggregateOptions aggregate;
+  std::string aggregate_dir;
+  std::string format = "ascii";
+  std::size_t replicas = 0;
+  bool dry_run = false;
+
+  std::vector<char*> spec_argv = {argv[0]};
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--help" || flag == "-h") {
+        print_help();
+        return 0;
+      }
+      auto value = [&]() -> std::string {
+        SUBFEDAVG_CHECK(i + 1 < argc, "flag " << flag << " expects a value");
+        return argv[++i];
+      };
+      if (flag == "--axis") {
+        description.add_axis(value());
+      } else if (flag == "--replicas") {
+        replicas = static_cast<std::size_t>(parse_uint64_strict("replicas", value()));
+      } else if (flag == "--sweep-file") {
+        const std::string path = value();
+        std::ifstream file(path);
+        SUBFEDAVG_CHECK(file.good(), "cannot read sweep file '" << path << "'");
+        std::ostringstream text;
+        text << file.rdbuf();
+        description.apply_file(text.str());
+      } else if (flag == "--jobs") {
+        options.jobs = static_cast<std::size_t>(parse_uint64_strict("jobs", value()));
+      } else if (flag == "--out-dir") {
+        options.out_dir = value();
+      } else if (flag == "--dry-run") {
+        dry_run = parse_uint64_strict("dry-run", value()) != 0;
+      } else if (flag == "--aggregate") {
+        aggregate_dir = value();
+      } else if (flag == "--group-by") {
+        aggregate.group_by = split_commas(value());
+      } else if (flag == "--over") {
+        aggregate.over = value();
+      } else if (flag == "--metric") {
+        aggregate.metrics = split_commas(value());
+      } else if (flag == "--format") {
+        format = value();
+      } else if (flag == "--quiet") {
+        options.echo_progress = parse_uint64_strict("quiet", value()) == 0;
+      } else {
+        // Base-spec flag: forward to ExperimentSpec::parse_args.
+        spec_argv.push_back(argv[i]);
+        SUBFEDAVG_CHECK(i + 1 < argc, "flag " << flag << " expects a value");
+        spec_argv.push_back(argv[++i]);
+      }
+    }
+    description.base.parse_args(static_cast<int>(spec_argv.size()), spec_argv.data());
+    if (replicas > 0) description.add_replicas(replicas);
+
+    // Aggregate-only mode: load an existing directory and print its table.
+    if (!aggregate_dir.empty()) {
+      const std::vector<SweepRecord> records = load_run_records(aggregate_dir);
+      SUBFEDAVG_CHECK(!records.empty(), "no *.json run results under '" << aggregate_dir << "'");
+      aggregate.group_by = resolve_group_by(records, aggregate);
+      const std::vector<AggregateRow> rows = aggregate_records(records, aggregate);
+      std::printf("%s", render_table(aggregation_table(rows, aggregate), format).c_str());
+      return 0;
+    }
+
+    const std::vector<SweepRun> runs = description.expand();
+    if (dry_run) {
+      std::printf("# %zu runs\n", runs.size());
+      for (const SweepRun& run : runs) {
+        std::printf("%3zu  %s\n", run.index, run.name.c_str());
+      }
+      return 0;
+    }
+
+    const SweepSummary summary = run_sweep(runs, options);
+
+    std::vector<SweepRecord> records;
+    for (const SweepRunOutcome& outcome : summary.outcomes) {
+      if (outcome.ok) records.push_back(record_from_outcome(outcome));
+    }
+    if (!records.empty()) {
+      // Row identity defaults to the same inference --aggregate uses on the
+      // saved JSONs, so re-aggregating the out-dir reproduces this table.
+      aggregate.group_by = resolve_group_by(records, aggregate);
+      const std::vector<AggregateRow> rows = aggregate_records(records, aggregate);
+      std::printf("%s", render_table(aggregation_table(rows, aggregate), format).c_str());
+    }
+    report_failed_runs(summary);
+    return summary.num_failed() == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    // CheckError plus anything the filesystem layer throws (bad --out-dir,
+    // unreadable --aggregate directory): report and exit instead of aborting.
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}

@@ -1,17 +1,36 @@
-// Engineering micro-benchmarks (google-benchmark): GEMM/conv throughput,
-// mask operations, and the two aggregation rules (the DESIGN.md §4.2
+// Engineering micro-benchmarks (google-benchmark): GEMM/conv throughput per
+// math backend (naive vs blocked vs sparse at several mask densities), mask
+// operations, and the two aggregation rules (the DESIGN.md §4.2
 // counting-vs-strict-intersection ablation at the per-op level).
+//
+// The backend GEMM matrix is the perf-trajectory record for the kernel layer;
+// CI runs it as
+//   ./bench_micro --benchmark_filter='GemmBackend|ConvForward' \
+//       --benchmark_out=BENCH_gemm.json --benchmark_out_format=json
+// and uploads BENCH_gemm.json, so regressions show up run over run.
 #include <benchmark/benchmark.h>
 
 #include "core/aggregate.h"
 #include "nn/conv2d.h"
 #include "nn/model_zoo.h"
 #include "pruning/unstructured.h"
-#include "tensor/gemm.h"
+#include "tensor/backend.h"
 #include "util/rng.h"
 
 namespace subfed {
 namespace {
+
+const char* const kBackendNames[] = {"naive", "blocked", "sparse"};
+
+/// A [n×n] matrix with `density_pct`% nonzeros — pruning masks make weights
+/// exact zeros, which is what the sparse backend keys on.
+std::vector<float> masked_matrix(Rng& rng, std::size_t size, int density_pct) {
+  std::vector<float> out(size);
+  for (auto& x : out) {
+    x = rng.bernoulli(density_pct / 100.0) ? static_cast<float>(rng.normal()) : 0.0f;
+  }
+  return out;
+}
 
 void BM_Gemm(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -27,6 +46,38 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
 
+/// args: {size, backend index, weight density %}. items/sec is dense-equiv
+/// FLOPs, so "sparse at 20%" reads directly against "blocked at 100%".
+void BM_GemmBackend(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const MathBackend& backend = math_backend(kBackendNames[state.range(1)]);
+  const int density_pct = static_cast<int>(state.range(2));
+  Rng rng(1);
+  std::vector<float> a = masked_matrix(rng, n * n, density_pct);
+  std::vector<float> b(n * n), c(n * n);
+  for (auto& x : b) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    backend.gemm_nn(a.data(), b.data(), c.data(), n, n, n, /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(std::string(backend.name()) + "/d" + std::to_string(density_pct));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBackend)
+    // Dense: the naive→blocked headline (acceptance: blocked ≥ 3× at 128³).
+    ->Args({128, 0, 100})
+    ->Args({128, 1, 100})
+    ->Args({128, 2, 100})
+    ->Args({256, 0, 100})
+    ->Args({256, 1, 100})
+    // Masked weights: dense blocked vs sparse CSR across the pruning range.
+    ->Args({128, 1, 20})
+    ->Args({128, 2, 20})
+    ->Args({128, 2, 10})
+    ->Args({128, 2, 5})
+    ->Args({256, 1, 10})
+    ->Args({256, 2, 10});
+
 void BM_LeNetForward(benchmark::State& state) {
   Rng rng(2);
   Model model = ModelSpec::lenet5(10).build_init(rng);
@@ -39,6 +90,39 @@ void BM_LeNetForward(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10);
 }
 BENCHMARK(BM_LeNetForward);
+
+/// args: {backend index, weight density %} — whole-model forward through the
+/// batched-im2col conv path on each backend.
+void BM_ConvForwardBackend(benchmark::State& state) {
+  Rng rng(2);
+  ModelSpec spec = ModelSpec::lenet5(10);
+  spec.backend = kBackendNames[state.range(0)];
+  Model model = spec.build_init(rng);
+  const int density_pct = static_cast<int>(state.range(1));
+  if (density_pct < 100) {
+    Rng mask_rng(3);
+    for (Parameter* p : model.parameters()) {
+      if (!p->prunable) continue;
+      for (std::size_t i = 0; i < p->value.numel(); ++i) {
+        if (!mask_rng.bernoulli(density_pct / 100.0)) p->value[i] = 0.0f;
+      }
+    }
+  }
+  Tensor batch({10, 3, 32, 32});
+  batch.fill_normal(rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor out = model.forward(batch, /*train=*/false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(std::string(spec.backend) + "/d" + std::to_string(density_pct));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10);
+}
+BENCHMARK(BM_ConvForwardBackend)
+    ->Args({0, 100})
+    ->Args({1, 100})
+    ->Args({2, 100})
+    ->Args({1, 15})
+    ->Args({2, 15});
 
 void BM_MagnitudeMaskDerivation(benchmark::State& state) {
   Rng rng(3);

@@ -1,5 +1,6 @@
 #include "fl/algorithm.h"
 
+#include "tensor/backend.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -7,9 +8,24 @@ namespace subfed {
 
 FederatedAlgorithm::FederatedAlgorithm(FlContext ctx) : ctx_(ctx) {
   SUBFEDAVG_CHECK(ctx_.data != nullptr, "FlContext.data is null");
+  // The context's compute knobs take effect here, so callers that build an
+  // FlContext directly (benches, tests) get them honored too: an explicit
+  // ctx.backend wins over whatever the model spec carried, and a nonzero
+  // math_threads caps the process-wide GEMM fan-out for this algorithm's
+  // lifetime (the destructor restores the previous cap, so one run's
+  // override never leaks over a SUBFEDAVG_MATH_THREADS setting).
+  if (ctx_.backend != "auto") ctx_.spec.backend = ctx_.backend;
+  if (ctx_.math_threads > 0) {
+    restore_math_threads_ = math_threads();
+    set_math_threads(ctx_.math_threads);
+  }
   Rng init_rng = Rng(ctx_.seed).split("global-init");
   Model initial = ctx_.spec.build_init(init_rng);
   initial_state_ = initial.state();
+}
+
+FederatedAlgorithm::~FederatedAlgorithm() {
+  if (restore_math_threads_) set_math_threads(*restore_math_threads_);
 }
 
 Rng FederatedAlgorithm::client_round_rng(std::size_t client, std::size_t round) const {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,12 +31,29 @@ struct FlContext {
   TrainConfig train{};  ///< 5 local epochs, batch 10 (§4.1)
   SgdConfig sgd{};      ///< lr 0.01, momentum 0.5 (§4.1)
   std::uint64_t seed = 1;
+  /// Math backend name for every model built from `spec` ("auto" = keep the
+  /// spec's choice / process default); applied to `spec` by the
+  /// FederatedAlgorithm constructor.
+  std::string backend = "auto";
+  /// Row-panel cap for a single GEMM, applied process-wide when nonzero by
+  /// the FederatedAlgorithm constructor (0 = inherit). Affects only
+  /// wall-clock time — kernel results are thread-count independent.
+  std::size_t math_threads = 0;
+  /// Robustness fault injection (fl/robust.h), honored by the FedAvg family:
+  /// each upload is replaced by N(0, corrupt_noise) with probability
+  /// corrupt_fraction; when robust_filter > 0 the server drops updates whose
+  /// distance from the previous global exceeds robust_filter × the cohort
+  /// median before aggregating.
+  double corrupt_fraction = 0.0;
+  double corrupt_noise = 1.0;
+  double robust_filter = 0.0;
 };
 
 class FederatedAlgorithm {
  public:
   explicit FederatedAlgorithm(FlContext ctx);
-  virtual ~FederatedAlgorithm() = default;
+  /// Restores the process math-thread cap if this algorithm overrode it.
+  virtual ~FederatedAlgorithm();
 
   FederatedAlgorithm(const FederatedAlgorithm&) = delete;
   FederatedAlgorithm& operator=(const FederatedAlgorithm&) = delete;
@@ -82,6 +100,8 @@ class FederatedAlgorithm {
 
  private:
   StateDict initial_state_;
+  /// Previous process-wide math-thread cap when ctx.math_threads overrode it.
+  std::optional<std::size_t> restore_math_threads_;
 };
 
 }  // namespace subfed

@@ -9,6 +9,7 @@
 #include "fl/checkpoint.h"
 #include "fl/fedavg_ft.h"
 #include "fl/subfedavg.h"
+#include "tensor/backend.h"
 #include "util/check.h"
 #include "util/parse.h"
 
@@ -52,6 +53,8 @@ const Field kFields[] = {
     SUBFED_UINT_FIELD(shard, "shard size; 0 = dataset's paper value"),
     SUBFED_UINT_FIELD(test_per_class, "test pool size per class"),
     SUBFED_STRING_FIELD(model, "auto | cnn5 | lenet5 | cnn_deep"),
+    SUBFED_STRING_FIELD(backend, "math backend: auto | naive | blocked | sparse"),
+    SUBFED_UINT_FIELD(math_threads, "GEMM row-panel cap; 0 = process setting"),
     SUBFED_UINT_FIELD(epochs, "local epochs per round"),
     SUBFED_UINT_FIELD(batch, "local batch size"),
     SUBFED_DOUBLE_FIELD(lr, "SGD learning rate"),
@@ -61,6 +64,9 @@ const Field kFields[] = {
     SUBFED_UINT_FIELD(eval_every, "evaluate every N rounds; 0 = final only"),
     SUBFED_DOUBLE_FIELD(dropout, "per-round client dropout probability"),
     SUBFED_UINT_FIELD(seed, "master seed"),
+    SUBFED_DOUBLE_FIELD(corrupt_fraction, "chance an upload is replaced by noise"),
+    SUBFED_DOUBLE_FIELD(corrupt_noise, "stddev of the corruption noise"),
+    SUBFED_DOUBLE_FIELD(robust_filter, "median-distance filter factor; 0 = off"),
     SUBFED_STRING_FIELD(algo, "algorithm name (see list below)"),
     SUBFED_DOUBLE_FIELD(target, "pruning target (Sub-FedAvg variants)"),
     SUBFED_DOUBLE_FIELD(step, "per-round prune rate; 0 = adaptive"),
@@ -258,12 +264,22 @@ ModelSpec ExperimentSpec::model_spec() const {
 }
 
 FlContext ExperimentSpec::make_context(const FederatedData& data) const {
+  SUBFEDAVG_CHECK(backend == "auto" || has_math_backend(backend),
+                  "unknown backend '" << backend << "' (auto | naive | blocked | sparse)");
+  // "auto" resolves SUBFEDAVG_BACKEND lazily — force it here so a bad env
+  // value fails before training instead of deep inside the first forward.
+  if (backend == "auto") default_math_backend();
   FlContext ctx;
   ctx.data = &data;
   ctx.spec = model_spec();
   ctx.train = {epochs, batch};
   ctx.sgd = {static_cast<float>(lr), static_cast<float>(momentum), /*weight_decay=*/0.0f};
   ctx.seed = seed;
+  ctx.backend = backend;
+  ctx.math_threads = math_threads;
+  ctx.corrupt_fraction = corrupt_fraction;
+  ctx.corrupt_noise = corrupt_noise;
+  ctx.robust_filter = robust_filter;
   return ctx;
 }
 
@@ -315,10 +331,28 @@ std::string ExperimentSpec::resolved_checkpoint_path() const {
   return (dot == std::string::npos ? out : out.substr(0, dot)) + ".ckpt";
 }
 
-ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observer) {
-  const FederatedData data(spec.dataset_spec(), spec.data_config());
-  const FlContext ctx = spec.make_context(data);
+ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observer,
+                               const FederatedData* shared_data) {
+  // math_threads/backend flow through FlContext and take effect in the
+  // FederatedAlgorithm constructor. math_threads is a process-wide knob
+  // (kernel results are thread-count independent, so concurrent sweep runs
+  // racing on it only affect timing); 0 means "inherit" and never overwrites
+  // a SUBFEDAVG_MATH_THREADS cap.
+  std::unique_ptr<const FederatedData> owned_data;
+  if (shared_data == nullptr) {
+    owned_data = std::make_unique<FederatedData>(spec.dataset_spec(), spec.data_config());
+    shared_data = owned_data.get();
+  }
+  const FlContext ctx = spec.make_context(*shared_data);
   std::unique_ptr<FederatedAlgorithm> algorithm = spec.make_algorithm(ctx);
+
+  // Corruption/filtering is implemented by the FedAvg family's aggregation;
+  // silently running another algorithm "under corruption" at its clean
+  // accuracy would poison robustness tables, so reject the combination.
+  SUBFEDAVG_CHECK((spec.corrupt_fraction <= 0.0 && spec.robust_filter <= 0.0) ||
+                      dynamic_cast<const FedAvg*>(algorithm.get()) != nullptr,
+                  "corrupt_fraction/robust_filter are only honored by the FedAvg "
+                  "family; algorithm '" << spec.algo << "' does not support them");
 
   ObserverChain chain;
   std::unique_ptr<CheckpointObserver> checkpointer;
@@ -340,6 +374,11 @@ ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observ
   }
   if (const auto* ft = dynamic_cast<const FedAvgFinetune*>(algorithm.get())) {
     run.metrics["finetune_steps"] = static_cast<double>(ft->extra_finetune_steps());
+  }
+  if (const auto* fa = dynamic_cast<const FedAvg*>(algorithm.get());
+      fa != nullptr && (spec.corrupt_fraction > 0.0 || spec.robust_filter > 0.0)) {
+    run.metrics["corrupted_updates"] = static_cast<double>(fa->corrupted_updates());
+    run.metrics["filtered_updates"] = static_cast<double>(fa->filtered_updates());
   }
 
   if (!spec.out.empty()) {

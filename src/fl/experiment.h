@@ -45,6 +45,9 @@ struct ExperimentSpec {
   std::size_t test_per_class = 16;
   // Model.
   std::string model = "auto";        ///< auto | cnn5 | lenet5 | cnn_deep
+  // Compute (tensor/backend.h).
+  std::string backend = "auto";      ///< auto | naive | blocked | sparse
+  std::size_t math_threads = 0;      ///< GEMM row-panel cap; 0 → process setting
   // Local training.
   std::size_t epochs = 3;
   std::size_t batch = 10;
@@ -56,6 +59,10 @@ struct ExperimentSpec {
   std::size_t eval_every = 0;        ///< 0 → evaluate only after the last round
   double dropout = 0.0;
   std::uint64_t seed = 1;
+  // Robustness (fl/robust.h; honored by the FedAvg family).
+  double corrupt_fraction = 0.0;     ///< chance an upload is replaced by noise
+  double corrupt_noise = 1.0;        ///< stddev of the corruption noise
+  double robust_filter = 0.0;        ///< median-distance filter factor; 0 → off
   // Algorithm.
   std::string algo = "subfedavg_un"; ///< any registry() name
   double target = 0.5;               ///< pruning target (Sub-FedAvg variants)
@@ -121,7 +128,11 @@ struct ExecutedRun {
 /// `observer` when both are present), runs the federation, collects the
 /// algorithm's extra metrics, and writes the JSON result when `out` is set.
 /// This is the execution path shared by run_experiment and the sweep engine.
-ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observer = nullptr);
+/// `shared_data`, when non-null, must have been synthesized from this spec's
+/// dataset_spec()/data_config() — the sweep engine passes a cached federation
+/// so grid points sharing one data configuration synthesize it once.
+ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observer = nullptr,
+                               const FederatedData* shared_data = nullptr);
 
 /// JSON document pairing the spec with its result: algorithm name, the full
 /// spec, the accuracy curve, per-client accuracies, up/down byte totals, and

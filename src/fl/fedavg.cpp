@@ -1,6 +1,7 @@
 #include "fl/fedavg.h"
 
 #include "comm/serialize.h"
+#include "fl/robust.h"
 #include "util/thread_pool.h"
 #include "util/check.h"
 
@@ -34,6 +35,35 @@ void FedAvg::run_round(std::size_t round, std::span<const std::size_t> sampled) 
   for (std::size_t i = 0; i < sampled.size(); ++i) {
     ledger_.record(round, up_bytes[i], down_bytes[i]);
   }
+
+  // Fault injection (§1.1's "corrupted updates"): replace a deterministic
+  // per-round subset of uploads with noise, in sampled order so results do
+  // not depend on worker scheduling.
+  if (ctx_.corrupt_fraction > 0.0) {
+    Rng corrupt_rng = Rng(ctx_.seed).split("corrupt-updates", round);
+    const CorruptionConfig config{1.0, static_cast<float>(ctx_.corrupt_noise)};
+    for (ClientUpdate& update : updates) {
+      if (corrupt_rng.bernoulli(ctx_.corrupt_fraction)) {
+        corrupt_update(update, config, corrupt_rng);
+        ++corrupted_updates_;
+      }
+    }
+  }
+
+  // Server-side defense: drop updates whose distance from the previous global
+  // exceeds robust_filter × the cohort median before aggregating.
+  if (ctx_.robust_filter > 0.0) {
+    const std::vector<std::size_t> passed =
+        filter_updates_by_norm(updates, global_, ctx_.robust_filter);
+    if (!passed.empty() && passed.size() < updates.size()) {
+      filtered_updates_ += updates.size() - passed.size();
+      std::vector<ClientUpdate> kept;
+      kept.reserve(passed.size());
+      for (const std::size_t i : passed) kept.push_back(std::move(updates[i]));
+      updates = std::move(kept);
+    }
+  }
+
   global_ = fedavg_aggregate(updates);
 }
 

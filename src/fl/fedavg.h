@@ -23,11 +23,20 @@ class FedAvg : public FederatedAlgorithm {
 
   const StateDict& global_state() const noexcept { return global_; }
 
+  /// Robustness counters (ctx.corrupt_fraction / ctx.robust_filter): uploads
+  /// replaced by noise, and updates the norm filter discarded, so far.
+  std::size_t corrupted_updates() const noexcept { return corrupted_updates_; }
+  std::size_t filtered_updates() const noexcept { return filtered_updates_; }
+
  protected:
   /// Per-client gradient hook; base FedAvg uses none.
   virtual GradHook make_grad_hook() { return {}; }
 
   StateDict global_;
+
+ private:
+  std::size_t corrupted_updates_ = 0;
+  std::size_t filtered_updates_ = 0;
 };
 
 class FedProx final : public FedAvg {

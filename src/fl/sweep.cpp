@@ -6,6 +6,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <future>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -37,6 +40,82 @@ bool is_sweep_run_file(const std::string& name) {
 double elapsed_seconds(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - since).count();
 }
+
+/// Everything FederatedData synthesis depends on; runs that agree on this key
+/// can share one instance (FederatedData is immutable after construction).
+std::string data_cache_key(const ExperimentSpec& spec) {
+  const FederatedDataConfig config = spec.data_config();
+  std::ostringstream os;
+  // Full double precision: configs differing past the default 6 significant
+  // digits must not collide into one shared dataset.
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << spec.dataset << '|' << static_cast<int>(config.partition.kind) << '|'
+     << config.partition.num_clients << '|' << config.partition.shards_per_client << '|'
+     << config.partition.shard_size << '|' << config.partition.dirichlet_alpha << '|'
+     << config.test_per_class << '|' << config.val_fraction << '|' << config.seed;
+  return os.str();
+}
+
+/// Per-sweep dataset cache: the first run needing a configuration synthesizes
+/// it (outside the lock) and publishes it through a shared_future; later runs
+/// with the same key block on that future instead of re-synthesizing. The
+/// cache is constructed with each key's total use count, and release() drops
+/// an entry once its last run finished — peak residency is bounded by the
+/// datasets of the runs in flight, not the whole grid.
+class FederatedDataCache {
+ public:
+  explicit FederatedDataCache(std::map<std::string, std::size_t> uses)
+      : remaining_(std::move(uses)) {}
+
+  std::shared_ptr<const FederatedData> get(const std::string& key,
+                                           const ExperimentSpec& spec) {
+    std::shared_future<std::shared_ptr<const FederatedData>> future;
+    std::promise<std::shared_ptr<const FederatedData>> promise;
+    bool creator = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto [it, inserted] = entries_.emplace(key, future);
+      if (inserted) {
+        it->second = promise.get_future().share();
+        creator = true;
+        ++synthesized_;
+      }
+      future = it->second;
+    }
+    if (creator) {
+      try {
+        promise.set_value(
+            std::make_shared<const FederatedData>(spec.dataset_spec(), spec.data_config()));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
+    }
+    return future.get();  // rethrows the creator's synthesis error, if any
+  }
+
+  /// One run with this key finished (successfully or not).
+  void release(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = remaining_.find(key);
+    if (it == remaining_.end()) return;
+    if (--it->second == 0) {
+      entries_.erase(key);
+      remaining_.erase(it);
+    }
+  }
+
+  /// Distinct data configurations actually synthesized.
+  std::size_t synthesized() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return synthesized_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::size_t> remaining_;
+  std::map<std::string, std::shared_future<std::shared_ptr<const FederatedData>>> entries_;
+  std::size_t synthesized_ = 0;
+};
 
 }  // namespace
 
@@ -198,6 +277,23 @@ SweepSummary run_sweep(const std::vector<SweepRun>& runs, const SweepOptions& op
 
   ThreadPool pool(options.jobs);
   summary.workers = pool.size();
+
+  // Cache keys are precomputed so the cache knows each configuration's total
+  // use count up front (entries free as their last run completes). A spec
+  // whose data config does not even parse gets no key and fails inside
+  // execute_experiment with its normal error.
+  std::vector<std::string> cache_keys(runs.size());
+  std::vector<bool> has_cache_key(runs.size(), false);
+  std::map<std::string, std::size_t> key_uses;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    try {
+      cache_keys[i] = data_cache_key(runs[i].spec);
+      has_cache_key[i] = true;
+      ++key_uses[cache_keys[i]];
+    } catch (const std::exception&) {
+    }
+  }
+  FederatedDataCache data_cache(std::move(key_uses));
   const auto sweep_start = std::chrono::steady_clock::now();
 
   std::mutex progress_mu;
@@ -235,7 +331,10 @@ SweepSummary run_sweep(const std::vector<SweepRun>& runs, const SweepOptions& op
 
     const auto run_start = std::chrono::steady_clock::now();
     try {
-      ExecutedRun executed = execute_experiment(outcome.run.spec);
+      std::shared_ptr<const FederatedData> data;
+      if (has_cache_key[i]) data = data_cache.get(cache_keys[i], outcome.run.spec);
+      ExecutedRun executed =
+          execute_experiment(outcome.run.spec, /*observer=*/nullptr, data.get());
       outcome.ok = true;
       outcome.algorithm_name = std::move(executed.algorithm_name);
       outcome.result = std::move(executed.result);
@@ -244,6 +343,7 @@ SweepSummary run_sweep(const std::vector<SweepRun>& runs, const SweepOptions& op
     } catch (const std::exception& e) {
       outcome.error = e.what();
     }
+    if (has_cache_key[i]) data_cache.release(cache_keys[i]);
     outcome.seconds = elapsed_seconds(run_start);
 
     {
@@ -264,9 +364,11 @@ SweepSummary run_sweep(const std::vector<SweepRun>& runs, const SweepOptions& op
   });
 
   summary.seconds = elapsed_seconds(sweep_start);
+  summary.unique_datasets = data_cache.synthesized();
   if (options.echo_progress) {
-    std::fprintf(stderr, "sweep: %zu ok, %zu failed in %.1fs\n", summary.num_ok(),
-                 summary.num_failed(), summary.seconds);
+    std::fprintf(stderr, "sweep: %zu ok, %zu failed in %.1fs (%zu dataset%s synthesized)\n",
+                 summary.num_ok(), summary.num_failed(), summary.seconds,
+                 summary.unique_datasets, summary.unique_datasets == 1 ? "" : "s");
   }
   return summary;
 }

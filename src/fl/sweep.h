@@ -100,6 +100,10 @@ struct SweepSummary {
   std::vector<SweepRunOutcome> outcomes;  ///< in expansion order
   std::size_t workers = 0;                ///< pool size actually used
   double seconds = 0.0;                   ///< wall-clock for the whole sweep
+  /// Distinct data configurations synthesized: grid points that share a data
+  /// configuration (dataset/partition/seed) reuse one cached FederatedData
+  /// instead of re-synthesizing per run.
+  std::size_t unique_datasets = 0;
 
   std::size_t num_ok() const;
   std::size_t num_failed() const;

@@ -1,8 +1,9 @@
 #include "nn/conv2d.h"
 
 #include <cmath>
-#include <vector>
+#include <cstring>
 
+#include "tensor/backend.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -27,7 +28,7 @@ void Conv2d::init(Rng& rng) {
   bias_.value.zero();
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
+Tensor Conv2d::forward(const Tensor& input, bool train) {
   SUBFEDAVG_CHECK(input.shape().rank() == 4, "conv input must be NCHW, got "
                                                  << input.shape().to_string());
   const std::size_t batch = input.shape()[0];
@@ -37,22 +38,37 @@ Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
                        kernel_,      stride_,          pad_};
   const std::size_t oh = g.out_h(), ow = g.out_w(), spatial = oh * ow;
 
-  cached_input_ = input;
+  // The cached input exists only for backward; inference skips the deep copy
+  // and clears any stale cache so backward-after-eval fails loudly.
+  cached_input_ = train ? input : Tensor();
   Tensor output({batch, out_channels_, oh, ow});
 
-  std::vector<float> columns(g.patch_size() * spatial);
+  const MathBackend& backend = math();
+  const std::size_t cols = batch * spatial;  // one column per output pixel of the batch
   const std::size_t in_plane = in_channels_ * g.in_h * g.in_w;
+  ws_.columns.resize(g.patch_size() * cols);
+  ws_.gemm_out.resize(out_channels_ * cols);
+
+  // Unroll every sample into one wide patch matrix, then convolve the whole
+  // batch with a single GEMM: out[oc, n·spatial] = W[oc, ckk] · cols[ckk, n·spatial].
   for (std::size_t n = 0; n < batch; ++n) {
-    im2col(input.data() + n * in_plane, g, columns.data());
-    // out[oc, ohw] = W[oc, ckk] · cols[ckk, ohw]
-    gemm(weight_.value.data(), columns.data(), output.data() + n * out_channels_ * spatial,
-         out_channels_, g.patch_size(), spatial);
+    backend.im2col(input.data() + n * in_plane, g, ws_.columns.data(), cols, n * spatial);
+  }
+  backend.gemm_nn(weight_.value.data(), ws_.columns.data(), ws_.gemm_out.data(),
+                  out_channels_, g.patch_size(), cols, /*accumulate=*/false);
+
+  // Regroup [oc, N·spatial] → [N, oc, spatial] and add the bias.
+  for (std::size_t n = 0; n < batch; ++n) {
     float* out_n = output.data() + n * out_channels_ * spatial;
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float* src = ws_.gemm_out.data() + oc * cols + n * spatial;
+      float* dst = out_n + oc * spatial;
       const float b = bias_.value[oc];
-      if (b == 0.0f) continue;
-      float* plane = out_n + oc * spatial;
-      for (std::size_t s = 0; s < spatial; ++s) plane[s] += b;
+      if (b == 0.0f) {
+        std::memcpy(dst, src, spatial * sizeof(float));
+      } else {
+        for (std::size_t s = 0; s < spatial; ++s) dst[s] = src[s] + b;
+      }
     }
   }
   return output;
@@ -69,34 +85,45 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
                   "grad_output shape " << grad_output.shape().to_string());
 
   Tensor grad_input(input.shape());
-  std::vector<float> columns(g.patch_size() * spatial);
-  std::vector<float> grad_columns(g.patch_size() * spatial);
+  const MathBackend& backend = math();
+  const std::size_t cols = batch * spatial;
   const std::size_t in_plane = in_channels_ * g.in_h * g.in_w;
+  ws_.columns.resize(g.patch_size() * cols);
+  ws_.grad_columns.resize(g.patch_size() * cols);
+  ws_.grad_packed.resize(out_channels_ * cols);
 
+  // Regroup dY [N, oc, spatial] → [oc, N·spatial] so both weight and input
+  // gradients are single whole-batch GEMMs. ws_.columns still holds this
+  // batch's patches: only the train-mode forward that set cached_input_
+  // fills them, and eval forwards clear cached_input_ (failing the check
+  // above), so backward never needs to re-unroll.
   for (std::size_t n = 0; n < batch; ++n) {
-    // Recompute the unrolled patches (cheaper than caching them per sample).
-    im2col(input.data() + n * in_plane, g, columns.data());
-    const float* go = grad_output.data() + n * out_channels_ * spatial;
-
-    // dW[oc, ckk] += dOut[oc, ohw] · colsᵀ[ohw, ckk]
-    gemm_a_bt(go, columns.data(), grad_columns.data(), out_channels_, spatial,
-              g.patch_size());
-    for (std::size_t i = 0; i < out_channels_ * g.patch_size(); ++i) {
-      weight_.grad[i] += grad_columns[i];
-    }
-
-    // db[oc] += sum over spatial of dOut
+    const float* go_n = grad_output.data() + n * out_channels_ * spatial;
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      float acc = 0.0f;
-      const float* plane = go + oc * spatial;
-      for (std::size_t s = 0; s < spatial; ++s) acc += plane[s];
-      bias_.grad[oc] += acc;
+      std::memcpy(ws_.grad_packed.data() + oc * cols + n * spatial, go_n + oc * spatial,
+                  spatial * sizeof(float));
     }
+  }
 
-    // dCols[ckk, ohw] = Wᵀ[ckk, oc] · dOut[oc, ohw]; then scatter back.
-    gemm_at_b(weight_.value.data(), go, grad_columns.data(), g.patch_size(), out_channels_,
-              spatial);
-    col2im(grad_columns.data(), g, grad_input.data() + n * in_plane);
+  // dW[oc, ckk] += dY[oc, N·spatial] · colsᵀ — accumulated straight into the
+  // gradient, no per-sample temporary.
+  backend.gemm_nt(ws_.grad_packed.data(), ws_.columns.data(), weight_.grad.data(),
+                  out_channels_, cols, g.patch_size(), /*accumulate=*/true);
+
+  // db[oc] += sum over the batch's spatial positions of dY.
+  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+    float acc = 0.0f;
+    const float* row = ws_.grad_packed.data() + oc * cols;
+    for (std::size_t s = 0; s < cols; ++s) acc += row[s];
+    bias_.grad[oc] += acc;
+  }
+
+  // dCols[ckk, N·spatial] = Wᵀ[ckk, oc] · dY[oc, N·spatial]; scatter per sample.
+  backend.gemm_tn(weight_.value.data(), ws_.grad_packed.data(), ws_.grad_columns.data(),
+                  g.patch_size(), out_channels_, cols, /*accumulate=*/false);
+  for (std::size_t n = 0; n < batch; ++n) {
+    backend.col2im(ws_.grad_columns.data(), g, grad_input.data() + n * in_plane, cols,
+                   n * spatial);
   }
   return grad_input;
 }

@@ -1,5 +1,9 @@
-// 2-D convolution (square kernel) via im2col + GEMM.
+// 2-D convolution (square kernel) via batched im2col + GEMM: the whole batch
+// is unrolled into one [C·K·K, N·outH·outW] patch matrix so each pass is a
+// single large GEMM on the layer's MathBackend instead of a per-sample loop.
 #pragma once
+
+#include <vector>
 
 #include "nn/layer.h"
 #include "tensor/gemm.h"
@@ -32,10 +36,25 @@ class Conv2d final : public Layer {
   Parameter& bias() noexcept { return bias_; }
 
  private:
+  /// Scratch buffers sized on first use and reused across every subsequent
+  /// batch/epoch — resize() only grows capacity, so steady-state training does
+  /// no per-call allocation in the conv hot path.
+  struct Workspace {
+    /// im2col patches [patch × N·spatial]. Invariant: whenever cached_input_
+    /// is non-empty (only train-mode forwards set it, and eval forwards clear
+    /// it), `columns` holds exactly that input's patches — so backward never
+    /// recomputes the im2col.
+    std::vector<float> columns;
+    std::vector<float> gemm_out;      ///< forward GEMM result [oc × N·spatial]
+    std::vector<float> grad_columns;  ///< backward column grads [patch × N·spatial]
+    std::vector<float> grad_packed;   ///< dY regrouped as [oc × N·spatial]
+  };
+
   std::size_t in_channels_, out_channels_, kernel_, stride_, pad_;
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;  // [N, C, H, W] saved by forward for backward
+  Workspace ws_;
 };
 
 }  // namespace subfed

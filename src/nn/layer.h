@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "nn/parameter.h"
+#include "tensor/backend.h"
 #include "tensor/tensor.h"
 
 namespace subfed {
@@ -18,6 +19,15 @@ namespace subfed {
 class Layer {
  public:
   virtual ~Layer() = default;
+
+  /// Selects the kernel set this layer's forward/backward run on; nullptr
+  /// restores the process default. Only GEMM-backed layers (Conv2d, Linear)
+  /// consult it, but it lives on the base so Model::set_backend is uniform.
+  void set_backend(const MathBackend* backend) noexcept { backend_ = backend; }
+  /// The active backend: the explicit one, else default_math_backend().
+  const MathBackend& math() const {
+    return backend_ != nullptr ? *backend_ : default_math_backend();
+  }
 
   /// Computes the layer output. `train` toggles training-time behaviour
   /// (BatchNorm batch statistics). Implementations cache what backward needs.
@@ -36,6 +46,9 @@ class Layer {
 
   /// Human-readable kind, e.g. "Conv2d".
   virtual std::string kind() const = 0;
+
+ private:
+  const MathBackend* backend_ = nullptr;  ///< nullptr → default_math_backend()
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

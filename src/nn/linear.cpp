@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "tensor/gemm.h"
+#include "tensor/backend.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -20,17 +20,19 @@ void Linear::init(Rng& rng) {
   bias_.value.zero();
 }
 
-Tensor Linear::forward(const Tensor& input, bool /*train*/) {
+Tensor Linear::forward(const Tensor& input, bool train) {
   SUBFEDAVG_CHECK(input.shape().rank() == 2 && input.shape()[1] == in_features_,
                   "linear input " << input.shape().to_string() << " expected (N, "
                                   << in_features_ << ")");
   const std::size_t batch = input.shape()[0];
-  cached_input_ = input;
+  // The cached input exists only for backward; inference skips the deep copy
+  // and clears any stale cache so backward-after-eval fails loudly.
+  cached_input_ = train ? input : Tensor();
 
   Tensor output({batch, out_features_});
   // y[N, out] = x[N, in] · Wᵀ
-  gemm_a_bt(input.data(), weight_.value.data(), output.data(), batch, in_features_,
-            out_features_);
+  math().gemm_nt(input.data(), weight_.value.data(), output.data(), batch, in_features_,
+                 out_features_, /*accumulate=*/false);
   for (std::size_t n = 0; n < batch; ++n) {
     float* row = output.data() + n * out_features_;
     for (std::size_t o = 0; o < out_features_; ++o) row[o] += bias_.value[o];
@@ -44,13 +46,10 @@ Tensor Linear::backward(const Tensor& grad_output) {
   SUBFEDAVG_CHECK(grad_output.shape() == Shape({batch, out_features_}),
                   "grad_output shape " << grad_output.shape().to_string());
 
-  // dW[out, in] += dYᵀ[out, N] · x[N, in]
-  {
-    Tensor dw({out_features_, in_features_});
-    gemm_at_b(grad_output.data(), cached_input_.data(), dw.data(), out_features_, batch,
-              in_features_);
-    weight_.grad.add_(dw);
-  }
+  // dW[out, in] += dYᵀ[out, N] · x[N, in], accumulated straight into the
+  // gradient — no per-batch dw temporary.
+  math().gemm_tn(grad_output.data(), cached_input_.data(), weight_.grad.data(),
+                 out_features_, batch, in_features_, /*accumulate=*/true);
 
   // db[out] += column sums of dY
   for (std::size_t n = 0; n < batch; ++n) {
@@ -60,8 +59,8 @@ Tensor Linear::backward(const Tensor& grad_output) {
 
   // dX[N, in] = dY[N, out] · W[out, in]
   Tensor grad_input({batch, in_features_});
-  gemm(grad_output.data(), weight_.value.data(), grad_input.data(), batch, out_features_,
-       in_features_);
+  math().gemm_nn(grad_output.data(), weight_.value.data(), grad_input.data(), batch,
+                 out_features_, in_features_, /*accumulate=*/false);
   return grad_input;
 }
 

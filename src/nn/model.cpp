@@ -80,4 +80,8 @@ void Model::set_bn_l1(float strength) {
   }
 }
 
+void Model::set_backend(const MathBackend* backend) noexcept {
+  for (auto& layer : layers_) layer->set_backend(backend);
+}
+
 }  // namespace subfed

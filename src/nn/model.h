@@ -89,6 +89,10 @@ class Model {
   /// Sets the slimming L1 strength on every BatchNorm layer.
   void set_bn_l1(float strength);
 
+  /// Routes every layer's GEMM/im2col calls through `backend` (nullptr
+  /// restores the process default). See tensor/backend.h.
+  void set_backend(const MathBackend* backend) noexcept;
+
  private:
   std::vector<LayerPtr> layers_;
   ModelTopology topology_;

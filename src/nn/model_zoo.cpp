@@ -117,13 +117,15 @@ Model build_cnn_deep(const ModelSpec& spec) {
 }  // namespace
 
 Model ModelSpec::build() const {
+  Model m;
   switch (arch) {
-    case Arch::kCnn5: return build_cnn5(*this);
-    case Arch::kLeNet5: return build_lenet5(*this);
-    case Arch::kCnnDeep: return build_cnn_deep(*this);
+    case Arch::kCnn5: m = build_cnn5(*this); break;
+    case Arch::kLeNet5: m = build_lenet5(*this); break;
+    case Arch::kCnnDeep: m = build_cnn_deep(*this); break;
+    default: SUBFEDAVG_CHECK(false, "unknown arch");
   }
-  SUBFEDAVG_CHECK(false, "unknown arch");
-  return {};
+  if (backend != "auto") m.set_backend(&math_backend(backend));
+  return m;
 }
 
 Model ModelSpec::build_init(Rng& rng) const {

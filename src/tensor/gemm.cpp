@@ -67,14 +67,22 @@ void gemm_a_bt(const float* a, const float* b, float* c, std::size_t m, std::siz
 }
 
 void im2col(const float* image, const ConvGeometry& g, float* columns) noexcept {
+  im2col_strided(image, g, columns, g.out_h() * g.out_w(), 0);
+}
+
+void col2im(const float* columns, const ConvGeometry& g, float* image) noexcept {
+  col2im_strided(columns, g, image, g.out_h() * g.out_w(), 0);
+}
+
+void im2col_strided(const float* image, const ConvGeometry& g, float* columns,
+                    std::size_t col_stride, std::size_t col_offset) noexcept {
   const std::size_t oh = g.out_h(), ow = g.out_w();
-  const std::size_t spatial = oh * ow;
   std::size_t row = 0;
   for (std::size_t c = 0; c < g.in_channels; ++c) {
     const float* plane = image + c * g.in_h * g.in_w;
     for (std::size_t ky = 0; ky < g.kernel; ++ky) {
       for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
-        float* out = columns + row * spatial;
+        float* out = columns + row * col_stride + col_offset;
         for (std::size_t y = 0; y < oh; ++y) {
           // Input row for this output row; may fall in the padded halo.
           const std::ptrdiff_t iy =
@@ -97,16 +105,16 @@ void im2col(const float* image, const ConvGeometry& g, float* columns) noexcept 
   }
 }
 
-void col2im(const float* columns, const ConvGeometry& g, float* image) noexcept {
+void col2im_strided(const float* columns, const ConvGeometry& g, float* image,
+                    std::size_t col_stride, std::size_t col_offset) noexcept {
   const std::size_t oh = g.out_h(), ow = g.out_w();
-  const std::size_t spatial = oh * ow;
   std::memset(image, 0, g.in_channels * g.in_h * g.in_w * sizeof(float));
   std::size_t row = 0;
   for (std::size_t c = 0; c < g.in_channels; ++c) {
     float* plane = image + c * g.in_h * g.in_w;
     for (std::size_t ky = 0; ky < g.kernel; ++ky) {
       for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
-        const float* in = columns + row * spatial;
+        const float* in = columns + row * col_stride + col_offset;
         for (std::size_t y = 0; y < oh; ++y) {
           const std::ptrdiff_t iy =
               static_cast<std::ptrdiff_t>(y * g.stride + ky) - static_cast<std::ptrdiff_t>(g.pad);

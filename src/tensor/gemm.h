@@ -47,4 +47,16 @@ void im2col(const float* image, const ConvGeometry& g, float* columns) noexcept;
 /// accumulating overlapping patches (the adjoint of im2col).
 void col2im(const float* columns, const ConvGeometry& g, float* image) noexcept;
 
+/// im2col into a wider matrix: row r of the patch lands at
+/// columns + r*col_stride + col_offset. Batched conv packs every sample of a
+/// batch into one [C·K·K, N·outH·outW] matrix this way (sample n at offset
+/// n·outH·outW with stride N·outH·outW), so the whole batch is a single GEMM.
+void im2col_strided(const float* image, const ConvGeometry& g, float* columns,
+                    std::size_t col_stride, std::size_t col_offset) noexcept;
+
+/// Adjoint of im2col_strided: reads row r at columns + r*col_stride +
+/// col_offset and scatter-accumulates into the [C,H,W] image (zeroed first).
+void col2im_strided(const float* columns, const ConvGeometry& g, float* image,
+                    std::size_t col_stride, std::size_t col_offset) noexcept;
+
 }  // namespace subfed

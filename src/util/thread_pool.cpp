@@ -27,7 +27,14 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
+namespace {
+thread_local bool t_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::current_thread_in_pool() noexcept { return t_pool_worker; }
+
 void ThreadPool::worker_loop() {
+  t_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {

@@ -35,6 +35,12 @@ class ThreadPool {
   /// Process-wide pool sized from SUBFEDAVG_THREADS (default: hardware).
   static ThreadPool& global();
 
+  /// True on threads owned by any ThreadPool. Nested fan-out from inside a
+  /// pool task would only queue work the saturated pool cannot pick up (the
+  /// caller drains it all anyway), so nested users — e.g. the GEMM row-panel
+  /// split — check this and stay sequential.
+  static bool current_thread_in_pool() noexcept;
+
  private:
   void worker_loop();
 

@@ -1,0 +1,359 @@
+// MathBackend cross-backend equivalence and determinism.
+//
+// The naive backend (the seed's reference kernels) is the oracle: blocked and
+// sparse must match it on every GEMM variant over odd/rectangular shapes,
+// zero-dimension edges, and pruning-masked (mostly-zero) operands. Backends
+// may differ from the oracle by floating-point contraction only, so
+// comparisons use a tight relative tolerance; a FIXED backend across
+// different math_threads values must be bit-identical — threading never
+// reorders any output element's accumulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/model_zoo.h"
+#include "nn/sgd.h"
+#include "nn/trainer.h"
+#include "tensor/backend.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace subfed {
+namespace {
+
+// The pool must have several workers even on single-core CI runners or the
+// math_threads determinism tests would never actually fan out. Runs before
+// main(), i.e. before anything touches ThreadPool::global().
+const bool kPoolEnvReady = [] {
+  setenv("SUBFEDAVG_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+/// |got - want| within contraction-level error for a length-k reduction.
+void expect_close(const std::vector<float>& want, const std::vector<float>& got,
+                  const std::string& label) {
+  ASSERT_EQ(want.size(), got.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const double tol = 1e-4 * (1.0 + std::abs(static_cast<double>(want[i])));
+    ASSERT_NEAR(want[i], got[i], tol) << label << " at " << i;
+  }
+}
+
+std::vector<float> random_matrix(Rng& rng, std::size_t size, double density = 1.0) {
+  std::vector<float> out(size);
+  for (auto& x : out) {
+    x = rng.bernoulli(density) ? static_cast<float>(rng.normal()) : 0.0f;
+  }
+  return out;
+}
+
+struct GemmCase {
+  std::size_t m, k, n;
+};
+
+const GemmCase kShapes[] = {{1, 1, 1},   {3, 5, 7},    {4, 16, 16},  {5, 17, 33},
+                            {13, 31, 63}, {64, 64, 64}, {10, 400, 120}};
+
+/// Runs one variant on one backend. A/B are sized/laid out per variant:
+/// nn: A[m×k], B[k×n] · tn: A[k×m], B[k×n] · nt: A[m×k], B[n×k].
+std::vector<float> run_variant(const MathBackend& backend, int variant,
+                               const std::vector<float>& a, const std::vector<float>& b,
+                               const GemmCase& shape, bool accumulate) {
+  // Accumulate targets start from a fixed nonzero pattern so C += is exercised.
+  std::vector<float> c(shape.m * shape.n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c[i] = accumulate ? 0.25f * static_cast<float>(i % 7) : -99.0f;
+  }
+  switch (variant) {
+    case 0: backend.gemm_nn(a.data(), b.data(), c.data(), shape.m, shape.k, shape.n,
+                            accumulate); break;
+    case 1: backend.gemm_tn(a.data(), b.data(), c.data(), shape.m, shape.k, shape.n,
+                            accumulate); break;
+    default: backend.gemm_nt(a.data(), b.data(), c.data(), shape.m, shape.k, shape.n,
+                             accumulate); break;
+  }
+  return c;
+}
+
+void compare_backends_over(double density) {
+  const MathBackend& naive = math_backend("naive");
+  Rng rng(density < 1.0 ? 7 : 3);
+  for (const GemmCase& shape : kShapes) {
+    for (int variant = 0; variant < 3; ++variant) {
+      const std::size_t a_size = shape.m * shape.k;  // same numel for tn ([k×m])
+      const std::size_t b_size = variant == 2 ? shape.n * shape.k : shape.k * shape.n;
+      // The weight-side operand carries the mask: A for nn/tn, B for nt.
+      std::vector<float> a = random_matrix(rng, a_size, variant == 2 ? 1.0 : density);
+      std::vector<float> b = random_matrix(rng, b_size, variant == 2 ? density : 1.0);
+      for (const bool accumulate : {false, true}) {
+        const std::vector<float> want = run_variant(naive, variant, a, b, shape, accumulate);
+        for (const char* name : {"blocked", "sparse"}) {
+          const std::vector<float> got =
+              run_variant(math_backend(name), variant, a, b, shape, accumulate);
+          expect_close(want, got,
+                       std::string(name) + " variant " + std::to_string(variant) + " " +
+                           std::to_string(shape.m) + "x" + std::to_string(shape.k) + "x" +
+                           std::to_string(shape.n) + (accumulate ? " acc" : "") +
+                           " density " + std::to_string(density));
+        }
+      }
+    }
+  }
+}
+
+TEST(BackendEquivalence, DenseOddAndRectangularShapes) { compare_backends_over(1.0); }
+
+// 10% density forces the sparse backend through its CSR kernels (threshold
+// 0.25); 30% exercises its dense fallback path.
+TEST(BackendEquivalence, MaskedWeightsSparseAndFallback) {
+  compare_backends_over(0.10);
+  compare_backends_over(0.30);
+}
+
+TEST(BackendEquivalence, SparseWeightOnBSideOfNN) {
+  // Linear::backward's dX = dY·W puts the pruned matrix on the B side of an
+  // nn GEMM; the sparse backend must catch that case too.
+  const MathBackend& naive = math_backend("naive");
+  Rng rng(13);
+  const GemmCase shape{10, 120, 400};
+  const std::vector<float> a = random_matrix(rng, shape.m * shape.k, 1.0);
+  const std::vector<float> b = random_matrix(rng, shape.k * shape.n, 0.1);
+  for (const bool accumulate : {false, true}) {
+    const std::vector<float> want = run_variant(naive, 0, a, b, shape, accumulate);
+    for (const char* name : {"blocked", "sparse"}) {
+      expect_close(want, run_variant(math_backend(name), 0, a, b, shape, accumulate),
+                   std::string(name) + " nn sparse-B" + (accumulate ? " acc" : ""));
+    }
+  }
+}
+
+TEST(BackendEquivalence, ZeroDimensionEdges) {
+  for (const char* name : {"naive", "blocked", "sparse"}) {
+    const MathBackend& backend = math_backend(name);
+    std::vector<float> a(8, 1.0f), b(8, 1.0f);
+    // k == 0: C is zeroed without accumulate, untouched with.
+    std::vector<float> c(6, 5.0f);
+    backend.gemm_nn(a.data(), b.data(), c.data(), 2, 0, 3, /*accumulate=*/false);
+    for (const float x : c) EXPECT_EQ(x, 0.0f) << name;
+    std::fill(c.begin(), c.end(), 5.0f);
+    backend.gemm_tn(a.data(), b.data(), c.data(), 2, 0, 3, /*accumulate=*/true);
+    for (const float x : c) EXPECT_EQ(x, 5.0f) << name;
+    // m == 0 / n == 0: nothing written, nothing crashes.
+    backend.gemm_nn(a.data(), b.data(), c.data(), 0, 4, 2, false);
+    backend.gemm_nt(a.data(), b.data(), c.data(), 2, 4, 0, false);
+  }
+}
+
+TEST(BackendRegistry, NamesResolveAndUnknownThrows) {
+  EXPECT_EQ(math_backend("naive").name(), "naive");
+  EXPECT_EQ(math_backend("blocked").name(), "blocked");
+  EXPECT_EQ(math_backend("sparse").name(), "sparse");
+  EXPECT_TRUE(has_math_backend("blocked"));
+  EXPECT_FALSE(has_math_backend("cublas"));
+  EXPECT_THROW(math_backend("cublas"), CheckError);
+  const std::vector<std::string> names = list_math_backends();
+  EXPECT_EQ(names.size(), 3u);
+  // The process default must be a registered backend (SUBFEDAVG_BACKEND may
+  // legitimately select any of them).
+  EXPECT_TRUE(has_math_backend(default_math_backend().name()));
+}
+
+// --- threading determinism --------------------------------------------------
+
+TEST(BackendDeterminism, MathThreadsNeverChangeGemmBits) {
+  // Big enough to clear the parallel-dispatch threshold (2·m·k·n ≥ 2^21).
+  const GemmCase shape{256, 96, 64};
+  Rng rng(11);
+  for (const char* name : {"blocked", "sparse"}) {
+    const MathBackend& backend = math_backend(name);
+    for (int variant = 0; variant < 3; ++variant) {
+      const std::vector<float> a = random_matrix(rng, shape.m * shape.k, 0.5);
+      const std::vector<float> b =
+          random_matrix(rng, variant == 2 ? shape.n * shape.k : shape.k * shape.n, 0.5);
+      set_math_threads(1);
+      const std::vector<float> single = run_variant(backend, variant, a, b, shape, false);
+      set_math_threads(4);
+      const std::vector<float> pooled = run_variant(backend, variant, a, b, shape, false);
+      set_math_threads(0);
+      for (std::size_t i = 0; i < single.size(); ++i) {
+        ASSERT_EQ(single[i], pooled[i])
+            << name << " variant " << variant << " diverges at " << i;
+      }
+    }
+  }
+}
+
+TEST(BackendDeterminism, MathThreadsNeverChangeTrainingBits) {
+  const auto train_states = [](std::size_t threads) {
+    set_math_threads(threads);
+    ModelSpec spec = ModelSpec::cnn5(10);
+    spec.backend = "blocked";
+    Rng init(21);
+    Model model = spec.build_init(init);
+    Rng data_rng(22);
+    Tensor images({20, 1, 28, 28});
+    images.fill_normal(data_rng, 0.0f, 1.0f);
+    std::vector<std::int32_t> labels(20);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = static_cast<std::int32_t>(data_rng.uniform_index(10));
+    }
+    Sgd optimizer(model.parameters(), {});
+    Rng train_rng(23);
+    train_local(model, optimizer, images, labels, {2, 10}, train_rng);
+    set_math_threads(0);
+    return model.state();
+  };
+  const StateDict one = train_states(1);
+  const StateDict four = train_states(4);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t e = 0; e < one.size(); ++e) {
+    EXPECT_EQ(one[e].first, four[e].first);
+    EXPECT_TRUE(one[e].second == four[e].second)
+        << "tensor '" << one[e].first << "' differs between math_threads=1 and 4";
+  }
+}
+
+// --- layer-level equivalence ------------------------------------------------
+
+/// Forward + backward of one conv configuration on every backend; outputs,
+/// parameter gradients and input gradients must agree with naive.
+void conv_all_backends(std::size_t in_c, std::size_t out_c, std::size_t hw,
+                       std::size_t kernel, std::size_t stride, std::size_t pad,
+                       double weight_density) {
+  struct Pass {
+    Tensor out, grad_in, dw, db;
+  };
+  const auto run = [&](const std::string& backend) {
+    Rng rng(31);
+    Conv2d conv("c", in_c, out_c, kernel, stride, pad);
+    conv.init(rng);
+    if (weight_density < 1.0) {
+      Rng mask_rng(32);
+      for (std::size_t i = 0; i < conv.weight().value.numel(); ++i) {
+        if (!mask_rng.bernoulli(weight_density)) conv.weight().value[i] = 0.0f;
+      }
+    }
+    conv.set_backend(&math_backend(backend));
+    Tensor input({3, in_c, hw, hw});
+    input.fill_normal(rng, 0.0f, 1.0f);
+    Pass pass;
+    pass.out = conv.forward(input, /*train=*/true);
+    Tensor grad(pass.out.shape());
+    grad.fill_normal(rng, 0.0f, 1.0f);
+    pass.grad_in = conv.backward(grad);
+    pass.dw = conv.weight().grad;
+    pass.db = conv.bias().grad;
+    return pass;
+  };
+  const Pass want = run("naive");
+  for (const char* name : {"blocked", "sparse"}) {
+    const Pass got = run(name);
+    const std::string label = std::string("conv ") + name;
+    expect_close({want.out.data(), want.out.data() + want.out.numel()},
+                 {got.out.data(), got.out.data() + got.out.numel()}, label + " out");
+    expect_close({want.grad_in.data(), want.grad_in.data() + want.grad_in.numel()},
+                 {got.grad_in.data(), got.grad_in.data() + got.grad_in.numel()},
+                 label + " grad_in");
+    expect_close({want.dw.data(), want.dw.data() + want.dw.numel()},
+                 {got.dw.data(), got.dw.data() + got.dw.numel()}, label + " dw");
+    expect_close({want.db.data(), want.db.data() + want.db.numel()},
+                 {got.db.data(), got.db.data() + got.db.numel()}, label + " db");
+  }
+}
+
+TEST(BackendLayers, ConvAgreesAcrossBackends) {
+  conv_all_backends(3, 6, 11, 5, 1, 0, 1.0);   // odd spatial, valid conv
+  conv_all_backends(2, 4, 9, 3, 2, 1, 1.0);    // strided + padded
+  conv_all_backends(3, 8, 12, 5, 1, 2, 0.15);  // masked weights → sparse path
+}
+
+TEST(BackendLayers, LinearAgreesAcrossBackends) {
+  struct Pass {
+    Tensor out, grad_in, dw, db;
+  };
+  const auto run = [&](const std::string& backend, double density) {
+    Rng rng(41);
+    Linear fc("f", 37, 23);
+    fc.init(rng);
+    if (density < 1.0) {
+      Rng mask_rng(42);
+      for (std::size_t i = 0; i < fc.weight().value.numel(); ++i) {
+        if (!mask_rng.bernoulli(density)) fc.weight().value[i] = 0.0f;
+      }
+    }
+    fc.set_backend(&math_backend(backend));
+    Tensor input({5, 37});
+    input.fill_normal(rng, 0.0f, 1.0f);
+    Pass pass;
+    pass.out = fc.forward(input, true);
+    Tensor grad(pass.out.shape());
+    grad.fill_normal(rng, 0.0f, 1.0f);
+    pass.grad_in = fc.backward(grad);
+    pass.dw = fc.weight().grad;
+    pass.db = fc.bias().grad;
+    return pass;
+  };
+  for (const double density : {1.0, 0.1}) {
+    const Pass want = run("naive", density);
+    for (const char* name : {"blocked", "sparse"}) {
+      const Pass got = run(name, density);
+      const std::string label = std::string("linear ") + name;
+      expect_close({want.out.data(), want.out.data() + want.out.numel()},
+                   {got.out.data(), got.out.data() + got.out.numel()}, label + " out");
+      expect_close({want.grad_in.data(), want.grad_in.data() + want.grad_in.numel()},
+                   {got.grad_in.data(), got.grad_in.data() + got.grad_in.numel()},
+                   label + " grad_in");
+      expect_close({want.dw.data(), want.dw.data() + want.dw.numel()},
+                   {got.dw.data(), got.dw.data() + got.dw.numel()}, label + " dw");
+      expect_close({want.db.data(), want.db.data() + want.db.numel()},
+                   {got.db.data(), got.db.data() + got.db.numel()}, label + " db");
+    }
+  }
+}
+
+TEST(BackendLayers, BatchedIm2colMatchesPerSample) {
+  const ConvGeometry g{2, 7, 7, 3, 1, 1};
+  const std::size_t spatial = g.out_h() * g.out_w();
+  const std::size_t batch = 3;
+  Rng rng(51);
+  std::vector<float> images(batch * g.in_channels * g.in_h * g.in_w);
+  for (auto& x : images) x = static_cast<float>(rng.normal());
+
+  std::vector<float> batched(g.patch_size() * batch * spatial);
+  for (std::size_t n = 0; n < batch; ++n) {
+    im2col_strided(images.data() + n * g.in_channels * g.in_h * g.in_w, g, batched.data(),
+                   batch * spatial, n * spatial);
+  }
+  std::vector<float> single(g.patch_size() * spatial);
+  for (std::size_t n = 0; n < batch; ++n) {
+    im2col(images.data() + n * g.in_channels * g.in_h * g.in_w, g, single.data());
+    for (std::size_t row = 0; row < g.patch_size(); ++row) {
+      for (std::size_t s = 0; s < spatial; ++s) {
+        ASSERT_EQ(single[row * spatial + s],
+                  batched[row * batch * spatial + n * spatial + s])
+            << "sample " << n << " row " << row << " col " << s;
+      }
+    }
+  }
+}
+
+TEST(BackendPlumbing, ModelSpecBackendSelectionAndValidation) {
+  ModelSpec spec = ModelSpec::lenet5(10);
+  spec.backend = "naive";
+  Rng rng(61);
+  Model model = spec.build_init(rng);  // resolves the name; throws if unknown
+  Tensor batch({2, 3, 32, 32});
+  batch.fill_normal(rng, 0.0f, 1.0f);
+  EXPECT_EQ(model.forward(batch, false).shape(), Shape({2, 10}));
+
+  spec.backend = "no_such_backend";
+  EXPECT_THROW(spec.build(), CheckError);
+}
+
+}  // namespace
+}  // namespace subfed

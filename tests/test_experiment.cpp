@@ -462,6 +462,54 @@ TEST_F(ExperimentApi, SpecTagAndCheckpointFieldsRoundTrip) {
   EXPECT_EQ(derived.resolved_checkpoint_path(), "checkpoint.ckpt");
 }
 
+TEST_F(ExperimentApi, SpecBackendAndRobustFieldsRoundTripAndValidate) {
+  ExperimentSpec spec;
+  spec.backend = "sparse";
+  spec.math_threads = 3;
+  spec.corrupt_fraction = 0.25;
+  spec.corrupt_noise = 2.5;
+  spec.robust_filter = 3.0;
+  const ExperimentSpec restored = ExperimentSpec::from_kv(spec.to_kv());
+  EXPECT_EQ(restored.backend, "sparse");
+  EXPECT_EQ(restored.math_threads, 3u);
+  EXPECT_DOUBLE_EQ(restored.corrupt_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(restored.corrupt_noise, 2.5);
+  EXPECT_DOUBLE_EQ(restored.robust_filter, 3.0);
+
+  // The same fields parse as flags (so they are sweep-axis reachable).
+  ExperimentSpec flagged;
+  std::vector<std::string> args{"--backend",          "naive", "--math-threads", "2",
+                                "--corrupt-fraction", "0.5",   "--robust-filter", "4"};
+  std::vector<char*> argv = argv_of(args);
+  flagged.parse_args(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flagged.backend, "naive");
+  EXPECT_EQ(flagged.math_threads, 2u);
+  EXPECT_DOUBLE_EQ(flagged.corrupt_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(flagged.robust_filter, 4.0);
+
+  // An unknown backend fails fast when the context is built, before training.
+  ExperimentSpec bogus;
+  bogus.backend = "cublas";
+  const FederatedData data(bogus.dataset_spec(), bogus.data_config());
+  EXPECT_THROW(bogus.make_context(data), CheckError);
+
+  // The context carries the knobs through to the algorithm: the constructor
+  // applies ctx.backend to the model spec every built model uses.
+  ExperimentSpec wired;
+  wired.backend = "naive";
+  wired.math_threads = 2;
+  wired.corrupt_fraction = 0.1;
+  wired.robust_filter = 3.0;
+  const FederatedData wired_data(wired.dataset_spec(), wired.data_config());
+  const FlContext ctx = wired.make_context(wired_data);
+  EXPECT_EQ(ctx.backend, "naive");
+  EXPECT_EQ(ctx.math_threads, 2u);
+  EXPECT_DOUBLE_EQ(ctx.corrupt_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(ctx.robust_filter, 3.0);
+  const std::unique_ptr<FederatedAlgorithm> algorithm = wired.make_algorithm(ctx);
+  EXPECT_EQ(algorithm->context().spec.backend, "naive");
+}
+
 // --- JSON result writer -----------------------------------------------------
 
 TEST_F(ExperimentApi, RunResultJsonContainsCurveAndBytes) {

@@ -3,9 +3,11 @@
 
 #include "core/aggregate.h"
 #include "fl/driver.h"
+#include "fl/experiment.h"
 #include "fl/fedavg.h"
 #include "fl/fedavg_ft.h"
 #include "fl/robust.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace subfed {
@@ -137,6 +139,47 @@ TEST(NormFilter, DegenerateMedianKeepsEveryone) {
   for (auto& u : updates) u.state = m.state();
   const auto passed = filter_updates_by_norm(updates, m.state(), 3.0);
   EXPECT_EQ(passed.size(), 4u);
+}
+
+TEST(RobustSpec, CorruptionAndFilterAreSpecReachable) {
+  // End-to-end through ExperimentSpec (the sweep CLI path): heavy corruption
+  // wrecks plain FedAvg; the norm filter screens the corrupted uploads out
+  // and recovers most of the clean accuracy.
+  ExperimentSpec spec;
+  spec.dataset = "mnist";
+  spec.clients = 6;
+  spec.shard = 25;
+  spec.test_per_class = 8;
+  spec.rounds = 4;
+  spec.epochs = 2;
+  spec.sample = 1.0;
+  spec.algo = "fedavg";
+  spec.seed = 41;
+
+  const ExecutedRun clean = execute_experiment(spec);
+  EXPECT_EQ(clean.metrics.count("corrupted_updates"), 0u);  // knobs off → no metric
+
+  spec.corrupt_fraction = 0.34;
+  spec.corrupt_noise = 5.0;
+  const ExecutedRun corrupted = execute_experiment(spec);
+  ASSERT_EQ(corrupted.metrics.count("corrupted_updates"), 1u);
+  EXPECT_GT(corrupted.metrics.at("corrupted_updates"), 0.0);
+  EXPECT_DOUBLE_EQ(corrupted.metrics.at("filtered_updates"), 0.0);
+
+  spec.robust_filter = 3.0;
+  const ExecutedRun defended = execute_experiment(spec);
+  ASSERT_EQ(defended.metrics.count("filtered_updates"), 1u);
+  EXPECT_GT(defended.metrics.at("filtered_updates"), 0.0);
+
+  EXPECT_GT(clean.result.final_avg_accuracy,
+            corrupted.result.final_avg_accuracy + 0.1);
+  EXPECT_GT(defended.result.final_avg_accuracy,
+            corrupted.result.final_avg_accuracy + 0.1);
+
+  // Algorithms outside the FedAvg family cannot inject corruption; running
+  // them "under corruption" at clean accuracy would poison robustness tables.
+  spec.algo = "standalone";
+  EXPECT_THROW(execute_experiment(spec), CheckError);
 }
 
 TEST(NormFilter, FilteredAggregationSurvivesCorruption) {

@@ -228,6 +228,37 @@ TEST_F(SweepApi, RunSweepIsolatesFailuresAndWritesJsonPerRun) {
   EXPECT_EQ(load_run_records(dir).size(), 1u);
 }
 
+TEST_F(SweepApi, RunSweepCachesSharedDataConfigurations) {
+  // Three algorithms share one data configuration → one synthesis; adding a
+  // 2-value seed axis doubles the distinct configurations.
+  SweepDescription description;
+  description.base = tiny_spec();
+  description.add_axis("algo=fedavg,standalone,fedprox");
+
+  SweepOptions options;
+  options.jobs = 2;
+  options.echo_progress = false;
+  const SweepSummary shared = run_sweep(description.expand(), options);
+  EXPECT_EQ(shared.num_ok(), 3u);
+  EXPECT_EQ(shared.unique_datasets, 1u);
+
+  description.add_replicas(2);
+  const SweepSummary split = run_sweep(description.expand(), options);
+  EXPECT_EQ(split.num_ok(), 6u);
+  EXPECT_EQ(split.unique_datasets, 2u);
+
+  // Sharing the dataset must not change results: the cached-data runs match
+  // a direct execute_experiment of the same specs.
+  for (const SweepRunOutcome& outcome : shared.outcomes) {
+    ExperimentSpec spec = outcome.run.spec;
+    spec.out.clear();
+    const ExecutedRun direct = execute_experiment(spec);
+    EXPECT_DOUBLE_EQ(direct.result.final_avg_accuracy,
+                     outcome.result.final_avg_accuracy)
+        << outcome.run.name;
+  }
+}
+
 TEST_F(SweepApi, RunSweepUniquifiesCheckpointPathsAcrossRuns) {
   SweepDescription description;
   description.base = tiny_spec();

@@ -1,120 +1,89 @@
 // Communication wall-clock analysis (extends Table 1 / §4.2.2): the same
-// federations, but accounted in *seconds* under the paper's asymmetric edge
-// links (≈1 MB/s uplink, heterogeneous slow-device tail). Synchronous rounds
-// wait for the slowest sampled client, so smaller pruned updates shorten
-// every straggler round.
+// federations accounted in *seconds* under the paper's asymmetric edge links
+// (≈1 MB/s uplink, heterogeneous slow-device tail) — now measured natively:
+// every run exchanges real messages over the loopback transport, the driver's
+// LinkFleet turns the materialized bytes into synchronous round time, and the
+// codec stack (sparse masks × fp16/int8 quantization) shows how far the wire
+// cost compresses below dense fp32.
 //
-//   ./bench_comm_time [dataset]   (default mnist)
+//   ./bench_comm_time [dataset]            (default mnist)
+//   SUBFEDAVG_BENCH_COMM_JSON=path         also write the grid as JSON
+//                                          (the CI perf-trajectory artifact)
 #include <cstdio>
-#include <functional>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "comm/round_time.h"
-#include "comm/serialize.h"
 
 using namespace subfed;
 using namespace subfed::bench;
 
-namespace {
-
-/// Converts each round's per-client payloads into synchronous-round seconds
-/// under `fleet`. Costing runs on_round_begin — BEFORE the round trains —
-/// because the upload size is determined by the mask the client holds when
-/// the round starts.
-class RoundTimeObserver final : public RoundObserver {
- public:
-  using MakeCosts = std::function<std::vector<ClientRoundCost>(std::span<const std::size_t>)>;
-
-  RoundTimeObserver(const LinkFleet& fleet, MakeCosts make_costs)
-      : fleet_(fleet), make_costs_(std::move(make_costs)) {}
-
-  void on_round_begin(std::size_t, std::span<const std::size_t> sampled) override {
-    total_seconds_ += round_seconds(fleet_, make_costs_(sampled));
-  }
-
-  double total_seconds() const noexcept { return total_seconds_; }
-
- private:
-  const LinkFleet& fleet_;
-  MakeCosts make_costs_;
-  double total_seconds_ = 0.0;
-};
-
-struct TimedRun {
-  RunResult result;
-  double seconds = 0.0;
-};
-
-/// Runs the federation under the driver while the observer accumulates
-/// synchronous wall-clock.
-TimedRun timed_run(FederatedAlgorithm& alg, const BenchScale& scale, const LinkFleet& fleet,
-                   RoundTimeObserver::MakeCosts make_costs) {
-  RoundTimeObserver observer(fleet, std::move(make_costs));
-  TimedRun timed;
-  timed.result = run_federation(alg, make_driver(scale), &observer);
-  timed.seconds = observer.total_seconds();
-  return timed;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
   const BenchScale scale = BenchScale::from_env(/*default_rounds=*/12);
-  const DatasetSpec spec = DatasetSpec::by_name(argc > 1 ? argv[1] : "mnist");
-  print_header("Comm wall-clock", spec, scale);
+  const DatasetSpec dataset = DatasetSpec::by_name(argc > 1 ? argv[1] : "mnist");
+  print_header("Comm wall-clock", dataset, scale);
 
-  const FederatedData data = make_data(spec, scale);
-  const FlContext ctx = make_ctx(data, scale);
-  // Heterogeneous fleet: nominal 1 MB/s up / 8 MB/s down, up to 4× slower.
-  const LinkFleet fleet(scale.clients, LinkModel{}, /*spread=*/4.0,
-                        Rng(scale.seed).split("links"));
-  constexpr double kComputeSeconds = 0.5;  // local-training time per round
+  // Algorithm rows × quantize columns, every cell a real loopback-transport
+  // run: bytes are materialized payloads, seconds come from the driver's
+  // straggler fleet (4× slow tail over 1 MB/s up / 8 MB/s down).
+  ExperimentSpec base = make_spec(dataset.name, scale);
+  base.transport = "loopback";
+  base.link_spread = 4.0;
+  base.target = 0.7;
 
-  Model reference = ctx.spec.build();
-  const std::size_t dense_payload = payload_bytes(reference.state(), nullptr);
+  SweepDescription description;
+  description.base = base;
+  description.add_axis("algo=fedavg,subfedavg_un,subfedavg_hy");
+  description.add_axis("quantize=none,fp16,int8");
 
-  TablePrinter table({"algorithm", "total bytes", "sync wall-clock", "avg accuracy"});
+  SweepOptions options = bench_sweep_options(dataset.name);
+  options.echo_progress = false;
+  const SweepSummary summary = run_sweep(description.expand(), options);
+  report_failed_runs(summary);
 
-  {
-    auto alg = make_algo("fedavg", ctx);
-    auto costs = [&](std::span<const std::size_t> sampled) {
-      std::vector<ClientRoundCost> out;
-      for (const std::size_t k : sampled) {
-        out.push_back({k, dense_payload, dense_payload, kComputeSeconds});
-      }
-      return out;
-    };
-    const TimedRun timed = timed_run(*alg, scale, fleet, costs);
-    table.add_row({"FedAvg", format_bytes(static_cast<double>(timed.result.total_bytes())),
-                   format_float(timed.seconds, 1) + "s",
-                   format_percent(timed.result.final_avg_accuracy)});
+  TablePrinter table({"algorithm", "quantize", "total bytes", "compression",
+                      "sync wall-clock", "avg accuracy"});
+  std::ostringstream json;
+  json.precision(std::numeric_limits<double>::max_digits10);
+  json << "[";
+  bool first = true;
+  for (const SweepRunOutcome& outcome : summary.outcomes) {
+    if (!outcome.ok) continue;
+    const ExperimentSpec& spec = outcome.run.spec;
+    const double ratio = outcome.metrics.count("compression_ratio")
+                             ? outcome.metrics.at("compression_ratio")
+                             : 0.0;
+    table.add_row({outcome.algorithm_name, spec.quantize,
+                   format_bytes(static_cast<double>(outcome.result.total_bytes())),
+                   format_float(ratio, 2) + "x",
+                   format_float(outcome.result.simulated_seconds, 1) + "s",
+                   format_percent(outcome.result.final_avg_accuracy)});
+    json << (first ? "" : ",") << "\n  {\"algorithm\": \"" << spec.algo
+         << "\", \"quantize\": \"" << spec.quantize << "\", \"codec\": \"" << spec.codec
+         << "\", \"up_bytes\": " << outcome.result.up_bytes
+         << ", \"down_bytes\": " << outcome.result.down_bytes
+         << ", \"simulated_seconds\": " << outcome.result.simulated_seconds
+         << ", \"compression_ratio\": " << ratio
+         << ", \"final_avg_accuracy\": " << outcome.result.final_avg_accuracy << "}";
+    first = false;
   }
-
-  for (const double target : {0.5, 0.9}) {
-    auto alg = make_algo("subfedavg_un", ctx, un_params(target, scale));
-    SubFedAvg& sub = as_subfedavg(*alg);
-    auto costs = [&](std::span<const std::size_t> sampled) {
-      std::vector<ClientRoundCost> out;
-      for (const std::size_t k : sampled) {
-        ModelMask mask = sub.client(k).combined_mask();
-        const std::size_t payload = payload_bytes(sub.client(k).personal_state(), &mask);
-        out.push_back({k, payload, payload, kComputeSeconds});
-      }
-      return out;
-    };
-    const TimedRun timed = timed_run(*alg, scale, fleet, costs);
-    table.add_row({"Sub-FedAvg (Un) p=" + format_percent(target, 0),
-                   format_bytes(static_cast<double>(timed.result.total_bytes())),
-                   format_float(timed.seconds, 1) + "s",
-                   format_percent(timed.result.final_avg_accuracy)});
-  }
+  json << "\n]\n";
 
   std::printf("%s\n", table.to_string().c_str());
-  std::printf("synchronous rounds wait for the slowest sampled client; compute "
-              "fixed at %.1fs, links: 1 MB/s up, 8 MB/s down, 4x slow tail\n",
-              kComputeSeconds);
-  return 0;
+  std::printf("synchronous rounds wait for the slowest sampled client; links: "
+              "1 MB/s up, 8 MB/s down, 4x slow tail; compression is dense-fp32 "
+              "bytes / materialized bytes\n");
+
+  const std::string json_path = env_string("SUBFEDAVG_BENCH_COMM_JSON", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    SUBFEDAVG_CHECK(out.good(), "cannot open '" << json_path << "'");
+    out << json.str();
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return summary.num_failed() == 0 ? 0 : 1;
 }

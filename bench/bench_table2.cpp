@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "comm/channel.h"
 #include "metrics/flops.h"
 #include "nn/batchnorm.h"
 #include "pruning/structured.h"
@@ -52,9 +53,25 @@ std::string census(const ExperimentSpec& spec) {
                 dense_parameter_count(model), dense_conv_flops(model));
   out += head;
 
-  TablePrinter table({"Algorithm", "FLOP reduction", "Param reduction", "FLOP speedup"});
+  // The cost column is MEASURED: each design point's masked state is actually
+  // pushed through the channel's payload codec and the encoded size reported
+  // (what one upload of this subnetwork materializes on the wire), not the
+  // closed-form |W|·32bit formula.
+  const StateDict dense_state = model.state();
+  const std::size_t dense_update = encode_payload(dense_state, nullptr,
+                                                  QuantCodec::kNone).size();
+  auto measured_update = [&](const ModelMask& mask) {
+    Model masked = mspec.build();
+    masked.load_state(dense_state);
+    mask.apply_to_weights(masked);
+    return encode_payload(masked.state(), &mask, QuantCodec::kNone).size();
+  };
+
+  TablePrinter table({"Algorithm", "FLOP reduction", "Param reduction", "FLOP speedup",
+                      "update bytes (measured)"});
   for (const char* baseline : {"Standalone", "FedAvg", "MTL", "LG-FedAvg"}) {
-    table.add_row({baseline, "0x", "0x", "1.00x"});
+    table.add_row({baseline, "0x", "0x", "1.00x",
+                   format_bytes(static_cast<double>(dense_update))});
   }
 
   for (const double target : {0.3, 0.5, 0.7}) {
@@ -63,7 +80,8 @@ std::string census(const ExperimentSpec& spec) {
     const ReductionReport r = reduction_report(model, nullptr, &mask);
     table.add_row({"Sub-FedAvg (Un), p=" + format_percent(target, 0), "0x",
                    format_float(r.param_reduction, 2) + "x",
-                   format_float(r.flop_speedup, 2) + "x"});
+                   format_float(r.flop_speedup, 2) + "x",
+                   format_bytes(static_cast<double>(measured_update(mask)))});
   }
 
   // Hybrid: the paper's operating point prunes ~50% of the channels of EVERY
@@ -90,6 +108,7 @@ std::string census(const ExperimentSpec& spec) {
     double lo = 0.0, hi = 0.999;
     ReductionReport best{};
     double best_fc = 0.0;
+    ModelMask best_mask;
     for (int iter = 0; iter < 24; ++iter) {
       const double fc_target = 0.5 * (lo + hi);
       ModelMask fc = ModelMask::ones_like(model, MaskScope::kFcOnly);
@@ -102,13 +121,16 @@ std::string census(const ExperimentSpec& spec) {
       }
       best = r;
       best_fc = fc_target;
+      best_mask = std::move(fc);
     }
+    const ModelMask upload_mask = balanced.to_model_mask(model).intersected(best_mask);
     table.add_row({"Sub-FedAvg (Hy), " + format_percent(balanced.pruned_fraction(), 0) +
                        " ch + " + format_percent(best_fc, 0) + " fc = " +
                        format_percent(best.param_reduction, 0),
                    format_float(best.flop_reduction, 2) + "x",
                    format_float(best.param_reduction, 2) + "x",
-                   format_float(best.flop_speedup, 2) + "x"});
+                   format_float(best.flop_speedup, 2) + "x",
+                   format_bytes(static_cast<double>(measured_update(upload_mask)))});
   }
   out += table.to_string();
   out += '\n';

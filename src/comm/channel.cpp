@@ -1,0 +1,495 @@
+#include "comm/channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "comm/quantize.h"
+#include "comm/serialize.h"
+#include "fl/robust.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace subfed {
+
+namespace {
+
+constexpr std::uint32_t kEnvelopeMagic = 0x53464556;  // "SFEV"
+constexpr std::uint32_t kQuantMagic = 0x53465150;     // "SFQP"
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, 4);
+  put_u32(out, bits);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    SUBFEDAVG_CHECK(pos_ < bytes_.size(), "truncated message");
+    return bytes_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    SUBFEDAVG_CHECK(pos_ + 2 <= bytes_.size(), "truncated message");
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    SUBFEDAVG_CHECK(pos_ + 4 <= bytes_.size(), "truncated message");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = u32();
+    v |= static_cast<std::uint64_t>(u32()) << 32;
+    return v;
+  }
+
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, 4);
+    return v;
+  }
+
+  std::string str(std::size_t n) {
+    SUBFEDAVG_CHECK(pos_ + n <= bytes_.size(), "truncated message");
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    SUBFEDAVG_CHECK(pos_ + n <= bytes_.size(), "truncated message");
+    std::span<const std::uint8_t> s = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  bool done() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes the kept values of one tensor at the codec's precision.
+void put_values(std::vector<std::uint8_t>& out, const Tensor& tensor, const Tensor* mask,
+                QuantCodec quantize) {
+  if (quantize == QuantCodec::kFp16) {
+    for (std::size_t i = 0; i < tensor.numel(); ++i) {
+      if (mask == nullptr || (*mask)[i] != 0.0f) {
+        const std::uint16_t half = fp32_to_fp16(tensor[i]);
+        out.push_back(static_cast<std::uint8_t>(half & 0xFF));
+        out.push_back(static_cast<std::uint8_t>(half >> 8));
+      }
+    }
+    return;
+  }
+  // kInt8: per-tensor affine over the transmitted values, scale first.
+  float peak = 0.0f;
+  for (std::size_t i = 0; i < tensor.numel(); ++i) {
+    if (mask == nullptr || (*mask)[i] != 0.0f) {
+      peak = std::max(peak, std::fabs(tensor[i]));
+    }
+  }
+  const float scale = peak > 0.0f ? peak / 127.0f : 1.0f;
+  put_f32(out, scale);
+  for (std::size_t i = 0; i < tensor.numel(); ++i) {
+    if (mask == nullptr || (*mask)[i] != 0.0f) {
+      const float q = std::round(tensor[i] / scale);
+      const auto clamped = static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+      out.push_back(static_cast<std::uint8_t>(clamped));
+    }
+  }
+}
+
+}  // namespace
+
+QuantCodec parse_quant_codec(const std::string& name) {
+  if (name == "none") return QuantCodec::kNone;
+  if (name == "fp16") return QuantCodec::kFp16;
+  if (name == "int8") return QuantCodec::kInt8;
+  SUBFEDAVG_CHECK(false, "unknown quantize codec '" << name << "' (none | fp16 | int8)");
+  return QuantCodec::kNone;
+}
+
+std::string quant_codec_name(QuantCodec codec) {
+  switch (codec) {
+    case QuantCodec::kNone: return "none";
+    case QuantCodec::kFp16: return "fp16";
+    case QuantCodec::kInt8: return "int8";
+  }
+  return "none";
+}
+
+// ---------------------------------------------------------------------------
+// Envelopes
+
+std::vector<std::uint8_t> encode_envelope(const Envelope& envelope) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kEnvelopeMagic);
+  out.push_back(static_cast<std::uint8_t>(envelope.kind));
+  out.push_back(static_cast<std::uint8_t>(envelope.quantize));
+  out.push_back(envelope.delta ? 1 : 0);
+  out.push_back(0);  // reserved
+  put_u32(out, envelope.round);
+  put_u32(out, envelope.client);
+  put_u64(out, envelope.num_examples);
+  put_u32(out, static_cast<std::uint32_t>(envelope.sections.size()));
+  for (const std::vector<std::uint8_t>& section : envelope.sections) {
+    put_u32(out, static_cast<std::uint32_t>(section.size()));
+    out.insert(out.end(), section.begin(), section.end());
+  }
+  return out;
+}
+
+Envelope decode_envelope(std::span<const std::uint8_t> bytes) {
+  Reader reader(bytes);
+  SUBFEDAVG_CHECK(reader.u32() == kEnvelopeMagic, "bad envelope magic");
+  Envelope envelope;
+  const std::uint8_t kind = reader.u8();
+  SUBFEDAVG_CHECK(kind == static_cast<std::uint8_t>(MessageKind::kBroadcast) ||
+                      kind == static_cast<std::uint8_t>(MessageKind::kClientUpdate),
+                  "bad envelope kind " << int{kind});
+  envelope.kind = static_cast<MessageKind>(kind);
+  const std::uint8_t quant = reader.u8();
+  SUBFEDAVG_CHECK(quant <= static_cast<std::uint8_t>(QuantCodec::kInt8),
+                  "bad envelope quant tag " << int{quant});
+  envelope.quantize = static_cast<QuantCodec>(quant);
+  envelope.delta = reader.u8() != 0;
+  reader.u8();  // reserved
+  envelope.round = reader.u32();
+  envelope.client = reader.u32();
+  envelope.num_examples = reader.u64();
+  const std::uint32_t sections = reader.u32();
+  envelope.sections.reserve(sections);
+  for (std::uint32_t s = 0; s < sections; ++s) {
+    const std::uint32_t size = reader.u32();
+    const std::span<const std::uint8_t> raw = reader.raw(size);
+    envelope.sections.emplace_back(raw.begin(), raw.end());
+  }
+  SUBFEDAVG_CHECK(reader.done(), "trailing bytes in envelope");
+  return envelope;
+}
+
+// ---------------------------------------------------------------------------
+// Payload codec
+
+std::vector<std::uint8_t> encode_payload(const StateDict& state, const ModelMask* mask,
+                                         QuantCodec quantize) {
+  if (quantize == QuantCodec::kNone) return encode_update(state, mask);
+
+  std::vector<std::uint8_t> out;
+  put_u32(out, kQuantMagic);
+  out.push_back(static_cast<std::uint8_t>(quantize));
+  put_u32(out, static_cast<std::uint32_t>(state.size()));
+  for (const auto& [name, tensor] : state) {
+    put_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+    put_u32(out, static_cast<std::uint32_t>(tensor.shape().rank()));
+    for (const std::size_t d : tensor.shape().dims()) {
+      put_u32(out, static_cast<std::uint32_t>(d));
+    }
+    const Tensor* m = mask != nullptr ? mask->find(name) : nullptr;
+    out.push_back(m != nullptr ? 1 : 0);
+    if (m != nullptr) {
+      SUBFEDAVG_CHECK(m->shape() == tensor.shape(), "mask shape for " << name);
+      std::uint8_t byte = 0;
+      int bit = 0;
+      for (std::size_t i = 0; i < tensor.numel(); ++i) {
+        if ((*m)[i] != 0.0f) byte |= static_cast<std::uint8_t>(1 << bit);
+        if (++bit == 8) {
+          out.push_back(byte);
+          byte = 0;
+          bit = 0;
+        }
+      }
+      if (bit != 0) out.push_back(byte);
+    }
+    put_values(out, tensor, m, quantize);
+  }
+  return out;
+}
+
+StateDict decode_payload(std::span<const std::uint8_t> bytes, ModelMask* mask_out) {
+  SUBFEDAVG_CHECK(bytes.size() >= 4, "truncated payload");
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) magic |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  if (magic != kQuantMagic) return decode_update(bytes, mask_out);
+
+  Reader reader(bytes);
+  reader.u32();  // magic
+  const std::uint8_t quant_tag = reader.u8();
+  SUBFEDAVG_CHECK(quant_tag == static_cast<std::uint8_t>(QuantCodec::kFp16) ||
+                      quant_tag == static_cast<std::uint8_t>(QuantCodec::kInt8),
+                  "bad payload quant tag " << int{quant_tag});
+  const QuantCodec quantize = static_cast<QuantCodec>(quant_tag);
+  const std::uint32_t entries = reader.u32();
+
+  StateDict state;
+  for (std::uint32_t e = 0; e < entries; ++e) {
+    const std::uint32_t name_len = reader.u32();
+    std::string name = reader.str(name_len);
+    const std::uint32_t rank = reader.u32();
+    std::vector<std::size_t> dims(rank);
+    for (auto& d : dims) d = reader.u32();
+    Tensor tensor{Shape(dims)};
+
+    const bool masked = reader.u8() != 0;
+    std::vector<bool> keep;
+    if (masked) {
+      keep.assign(tensor.numel(), false);
+      for (std::size_t i = 0; i < tensor.numel(); i += 8) {
+        const std::uint8_t byte = reader.u8();
+        for (int b = 0; b < 8 && i + b < tensor.numel(); ++b) {
+          keep[i + b] = (byte >> b) & 1;
+        }
+      }
+    }
+    const float scale = quantize == QuantCodec::kInt8 ? reader.f32() : 1.0f;
+    for (std::size_t i = 0; i < tensor.numel(); ++i) {
+      if (masked && !keep[i]) continue;
+      if (quantize == QuantCodec::kFp16) {
+        tensor[i] = fp16_to_fp32(reader.u16());
+      } else {
+        tensor[i] = static_cast<float>(static_cast<std::int8_t>(reader.u8())) * scale;
+      }
+    }
+    if (masked && mask_out != nullptr) {
+      Tensor bits{tensor.shape()};
+      for (std::size_t i = 0; i < bits.numel(); ++i) bits[i] = keep[i] ? 1.0f : 0.0f;
+      mask_out->set(name, std::move(bits));
+    }
+    state.add(std::move(name), std::move(tensor));
+  }
+  SUBFEDAVG_CHECK(reader.done(), "trailing bytes in payload");
+  return state;
+}
+
+namespace {
+
+void combine_reference(StateDict& state, const ModelMask* mask, const StateDict& reference,
+                       float sign) {
+  for (auto& [name, tensor] : state) {
+    const Tensor* ref = reference.find(name);
+    if (ref == nullptr) continue;
+    SUBFEDAVG_CHECK(ref->numel() == tensor.numel(), "delta reference shape for " << name);
+    const Tensor* m = mask != nullptr ? mask->find(name) : nullptr;
+    for (std::size_t i = 0; i < tensor.numel(); ++i) {
+      if (m == nullptr || (*m)[i] != 0.0f) tensor[i] += sign * (*ref)[i];
+    }
+  }
+}
+
+}  // namespace
+
+void subtract_reference(StateDict& state, const ModelMask* mask, const StateDict& reference) {
+  combine_reference(state, mask, reference, -1.0f);
+}
+
+void apply_reference(StateDict& state, const ModelMask* mask, const StateDict& reference) {
+  combine_reference(state, mask, reference, 1.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Channel
+
+bool has_channel_transport(const std::string& name) {
+  return name == "memory" || has_transport(name);
+}
+
+Channel::Channel(ChannelConfig config, CommLedger* ledger)
+    : config_(std::move(config)), ledger_(ledger) {
+  SUBFEDAVG_CHECK(ledger_ != nullptr, "channel needs a ledger");
+  SUBFEDAVG_CHECK(has_channel_transport(config_.transport),
+                  "unknown transport '" << config_.transport
+                                        << "' (memory | loopback | subprocess)");
+  if (config_.transport == "memory") {
+    // The fast path never materializes payloads, so codecs that change the
+    // bytes (or the values) cannot be honored there.
+    SUBFEDAVG_CHECK(config_.quantize == QuantCodec::kNone && !config_.delta,
+                    "codec=" << (config_.delta ? "delta" : "sparse") << " quantize="
+                             << quant_codec_name(config_.quantize)
+                             << " require transport=loopback or subprocess");
+  } else {
+    transport_ = make_transport(config_.transport, config_.workers);
+  }
+}
+
+Channel::~Channel() = default;
+
+double Channel::compression_ratio() const noexcept {
+  if (charged_bytes_ == 0) return 0.0;
+  return static_cast<double>(dense_reference_bytes_) / static_cast<double>(charged_bytes_);
+}
+
+std::vector<Exchange> Channel::run_round(std::size_t round, std::span<const ClientJob> jobs,
+                                         const ClientFn& client_fn) {
+  for (const ClientJob& job : jobs) {
+    SUBFEDAVG_CHECK(job.broadcast != nullptr, "client job needs a broadcast state");
+  }
+  return transport_ == nullptr ? run_in_memory(round, jobs, client_fn)
+                               : run_materialized(round, jobs, client_fn);
+}
+
+std::vector<Exchange> Channel::run_in_memory(std::size_t round,
+                                             std::span<const ClientJob> jobs,
+                                             const ClientFn& client_fn) {
+  std::vector<Exchange> exchanges(jobs.size());
+  std::vector<std::size_t> up_bytes(jobs.size(), 0), down_bytes(jobs.size(), 0);
+  std::vector<std::size_t> dense_scalars(jobs.size(), 0);
+
+  ThreadPool::global().parallel_for(jobs.size(), [&](std::size_t i) {
+    const ClientJob& job = jobs[i];
+    down_bytes[i] = job.payload_copies * payload_bytes(*job.broadcast, job.mask);
+    ClientResult result = client_fn(job, *job.broadcast, /*detached=*/false);
+    const ModelMask* mask = result.update.mask.empty() ? nullptr : &result.update.mask;
+    up_bytes[i] = result.payload_copies * payload_bytes(result.update.state, mask);
+    dense_scalars[i] = job.payload_copies * job.broadcast->numel() +
+                       result.payload_copies * result.update.state.numel();
+    exchanges[i].client = job.client;
+    exchanges[i].update = std::move(result.update);
+    exchanges[i].state = std::move(result.state);
+  });
+
+  finish_round(round, jobs, exchanges, up_bytes, down_bytes, dense_scalars);
+  return exchanges;
+}
+
+std::vector<Exchange> Channel::run_materialized(std::size_t round,
+                                                std::span<const ClientJob> jobs,
+                                                const ClientFn& client_fn) {
+  // Server side, downlink: one Broadcast envelope per sampled client. With
+  // the delta codec the server also keeps its own decode of each payload —
+  // the broadcast AS RECEIVED — so the uplink pass can add the reference back
+  // without re-decoding the request envelope.
+  std::vector<std::vector<std::uint8_t>> requests(jobs.size());
+  std::vector<std::size_t> down_bytes(jobs.size(), 0);
+  std::vector<StateDict> as_received(config_.delta ? jobs.size() : 0);
+  ThreadPool::global().parallel_for(jobs.size(), [&](std::size_t i) {
+    Envelope broadcast;
+    broadcast.kind = MessageKind::kBroadcast;
+    broadcast.round = static_cast<std::uint32_t>(round);
+    broadcast.client = static_cast<std::uint32_t>(jobs[i].client);
+    broadcast.quantize = config_.quantize;
+    broadcast.delta = config_.delta;
+    broadcast.sections.push_back(
+        encode_payload(*jobs[i].broadcast, jobs[i].mask, config_.quantize));
+    down_bytes[i] = broadcast.sections[0].size();
+    if (config_.delta) as_received[i] = decode_payload(broadcast.sections[0]);
+    requests[i] = encode_envelope(broadcast);
+  });
+
+  // Client side (possibly in a forked worker): decode the broadcast, compute,
+  // encode the update through the same codec stack.
+  const bool detached = transport_->detached();
+  const TransportHandler handler = [&](std::span<const std::uint8_t> request_bytes,
+                                       std::size_t i) {
+    const Envelope request = decode_envelope(request_bytes);
+    SUBFEDAVG_CHECK(request.kind == MessageKind::kBroadcast && !request.sections.empty(),
+                    "client expected a broadcast envelope");
+    const StateDict received = decode_payload(request.sections[0]);
+    ClientResult result = client_fn(jobs[i], received, detached);
+
+    Envelope reply;
+    reply.kind = MessageKind::kClientUpdate;
+    reply.round = request.round;
+    reply.client = request.client;
+    reply.num_examples = result.update.num_examples;
+    reply.quantize = config_.quantize;
+    reply.delta = config_.delta;
+    const ModelMask* mask = result.update.mask.empty() ? nullptr : &result.update.mask;
+    StateDict upload = std::move(result.update.state);
+    if (config_.delta) subtract_reference(upload, mask, received);
+    reply.sections.push_back(encode_payload(upload, mask, config_.quantize));
+    for (const StateDict& section : result.state) {
+      reply.sections.push_back(encode_update(section, nullptr));
+    }
+    return encode_envelope(reply);
+  };
+
+  const std::vector<std::vector<std::uint8_t>> responses =
+      transport_->round_trip(requests, handler);
+
+  // Server side, uplink: decode every reply; the delta codec adds back the
+  // broadcast as the client received it (both ends derived that view from the
+  // identical request bytes).
+  std::vector<Exchange> exchanges(jobs.size());
+  std::vector<std::size_t> up_bytes(jobs.size(), 0);
+  std::vector<std::size_t> dense_scalars(jobs.size(), 0);
+  ThreadPool::global().parallel_for(jobs.size(), [&](std::size_t i) {
+    const Envelope reply = decode_envelope(responses[i]);
+    SUBFEDAVG_CHECK(reply.kind == MessageKind::kClientUpdate && !reply.sections.empty(),
+                    "server expected a client-update envelope");
+    SUBFEDAVG_CHECK(reply.client == jobs[i].client,
+                    "update for client " << reply.client << " on client " << jobs[i].client
+                                         << "'s exchange");
+    Exchange& exchange = exchanges[i];
+    exchange.client = jobs[i].client;
+    up_bytes[i] = reply.sections[0].size();
+    exchange.update.num_examples = static_cast<std::size_t>(reply.num_examples);
+    exchange.update.state = decode_payload(reply.sections[0], &exchange.update.mask);
+    if (config_.delta) {
+      const ModelMask* mask = exchange.update.mask.empty() ? nullptr : &exchange.update.mask;
+      apply_reference(exchange.update.state, mask, as_received[i]);
+    }
+    for (std::size_t s = 1; s < reply.sections.size(); ++s) {
+      exchange.state.push_back(decode_update(reply.sections[s]));
+    }
+    dense_scalars[i] = jobs[i].broadcast->numel() + exchange.update.state.numel();
+  });
+
+  finish_round(round, jobs, exchanges, up_bytes, down_bytes, dense_scalars);
+  return exchanges;
+}
+
+void Channel::finish_round(std::size_t round, std::span<const ClientJob> jobs,
+                           std::vector<Exchange>& exchanges,
+                           std::span<const std::size_t> up_bytes,
+                           std::span<const std::size_t> down_bytes,
+                           std::span<const std::size_t> dense_scalars) {
+  last_round_costs_.clear();
+  last_round_costs_.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ledger_->record(round, up_bytes[i], down_bytes[i]);
+    charged_bytes_ += up_bytes[i] + down_bytes[i];
+    dense_reference_bytes_ += 4 * dense_scalars[i];
+    last_round_costs_.push_back({jobs[i].client, up_bytes[i], down_bytes[i], 0.0});
+  }
+
+  // Corruption is injected here — after the server decoded the upload, in
+  // sampled order, from a per-round stream — so every transport and codec
+  // yields the same corrupted cohort as the legacy in-memory path.
+  if (config_.corrupt_fraction > 0.0) {
+    Rng corrupt_rng = Rng(config_.seed).split("corrupt-updates", round);
+    const CorruptionConfig corruption{1.0, static_cast<float>(config_.corrupt_noise)};
+    for (Exchange& exchange : exchanges) {
+      if (corrupt_rng.bernoulli(config_.corrupt_fraction)) {
+        corrupt_update(exchange.update, corruption, corrupt_rng);
+        exchange.corrupted = true;
+        ++corrupted_updates_;
+      }
+    }
+  }
+}
+
+}  // namespace subfed

@@ -1,0 +1,216 @@
+// Typed client↔server message channel with a composable codec stack.
+//
+// Every exchange the federation makes is a real message: a Broadcast carries
+// the (optionally masked) server state down, a ClientUpdate carries the
+// client's (masked state, mask, example count) back up. Payloads pass through
+// a codec stack before they count against the byte ledger:
+//
+//   sparse   — mask-aware bitmap + kept values (comm/serialize.h; always on)
+//   delta    — uplink values sent relative to the broadcast the client
+//              received this round (codec=delta); near-zero residuals are
+//              what make the quantizers bite
+//   quantize — fp16 / int8 kept-value precision (comm/quantize.h's scalar
+//              codecs, applied mask-aware)
+//
+// Transports (comm/transport.h) decide where the client half runs:
+//
+//   memory     — the legacy fast path: no bytes are materialized, the ledger
+//                charges comm/serialize.h's payload model (no headers), and
+//                lossy codecs are rejected. Bit-identical to the pre-channel
+//                in-memory implementation.
+//   loopback   — every payload genuinely round-trips encode → decode in
+//                process; the ledger charges the materialized message bytes.
+//   subprocess — like loopback, but the client half runs in forked workers
+//                speaking length-prefixed envelopes over pipes (crash
+//                isolation; client-state mutations return as side-band
+//                sections that are never charged).
+//
+// Corruption (FlContext's corrupt_fraction/corrupt_noise) is injected after
+// the server decodes an upload — post-codec, so a corrupted update is exactly
+// what a byzantine sender could have put on the wire — with the same RNG
+// stream for every transport, keeping runs comparable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/ledger.h"
+#include "comm/round_time.h"
+#include "comm/transport.h"
+#include "core/aggregate.h"
+#include "nn/parameter.h"
+#include "pruning/mask.h"
+
+namespace subfed {
+
+// ---------------------------------------------------------------------------
+// Codec configuration
+
+enum class QuantCodec : std::uint8_t { kNone = 0, kFp16 = 1, kInt8 = 2 };
+
+/// Parses "none" | "fp16" | "int8" (throws CheckError otherwise).
+QuantCodec parse_quant_codec(const std::string& name);
+std::string quant_codec_name(QuantCodec codec);
+
+struct ChannelConfig {
+  std::string transport = "memory";  ///< memory | loopback | subprocess
+  bool delta = false;                ///< uplink delta vs the received broadcast
+  QuantCodec quantize = QuantCodec::kNone;
+  std::size_t workers = 0;           ///< subprocess fan-out; 0 → hardware
+  double corrupt_fraction = 0.0;     ///< post-decode upload corruption
+  double corrupt_noise = 1.0;
+  std::uint64_t seed = 1;            ///< corruption stream seed
+};
+
+// ---------------------------------------------------------------------------
+// Envelopes
+
+enum class MessageKind : std::uint8_t { kBroadcast = 1, kClientUpdate = 2 };
+
+/// One message: a fixed header plus length-prefixed payload sections.
+/// Section 0 is the codec-encoded logical payload (the bytes the ledger
+/// charges); further sections are uncharged side-band state (subprocess
+/// client mirrors).
+struct Envelope {
+  MessageKind kind = MessageKind::kBroadcast;
+  std::uint32_t round = 0;
+  std::uint32_t client = 0;
+  std::uint64_t num_examples = 0;  ///< ClientUpdate only
+  QuantCodec quantize = QuantCodec::kNone;
+  bool delta = false;
+  std::vector<std::vector<std::uint8_t>> sections;
+};
+
+std::vector<std::uint8_t> encode_envelope(const Envelope& envelope);
+Envelope decode_envelope(std::span<const std::uint8_t> bytes);
+
+// ---------------------------------------------------------------------------
+// Payload codec (sparse × quantize)
+
+/// Encodes `state` (mask-aware) at the codec's precision. kNone produces
+/// exactly comm/serialize.h's wire format (bit-exact round-trip); fp16/int8
+/// write the same structure with reduced-precision kept values.
+std::vector<std::uint8_t> encode_payload(const StateDict& state, const ModelMask* mask,
+                                         QuantCodec quantize);
+
+/// Inverse of encode_payload (dispatches on the format magic). Masked-out
+/// positions decode as exact zeros; `mask_out`, when non-null, receives the
+/// reconstructed keep bitmaps of covered entries.
+StateDict decode_payload(std::span<const std::uint8_t> bytes, ModelMask* mask_out = nullptr);
+
+/// Subtracts `reference` from `state` in place — kept positions of covered
+/// entries, every position of uncovered ones. Entries absent from `reference`
+/// are left untouched. apply_delta adds it back: the uplink delta codec.
+void subtract_reference(StateDict& state, const ModelMask* mask, const StateDict& reference);
+void apply_reference(StateDict& state, const ModelMask* mask, const StateDict& reference);
+
+// ---------------------------------------------------------------------------
+// Channel
+
+/// One sampled client's work order, built by the algorithm.
+struct ClientJob {
+  std::size_t client = 0;
+  const StateDict* broadcast = nullptr;  ///< server payload down (required)
+  const ModelMask* mask = nullptr;       ///< limits the broadcast to kept entries
+  /// Memory-path byte multiplier for protocols whose wire payload is N
+  /// identical model-sized sections (MTL's dual state): the fast path charges
+  /// N × payload_bytes without building the copies. Materializing transports
+  /// ignore it — hand them a broadcast that already contains the copies.
+  std::size_t payload_copies = 1;
+};
+
+/// What the client-side computation returns.
+struct ClientResult {
+  ClientUpdate update;            ///< uplink payload (mask optional)
+  std::vector<StateDict> state;   ///< side-band client-state mirror; fill only
+                                  ///< when the job says `detached`
+  std::size_t payload_copies = 1; ///< uplink twin of ClientJob::payload_copies
+};
+
+/// The server-side view of one completed exchange, in sampled order.
+struct Exchange {
+  std::size_t client = 0;
+  ClientUpdate update;            ///< as decoded by the server (post-codec,
+                                  ///< post-corruption)
+  std::vector<StateDict> state;   ///< side-band mirror (subprocess only)
+  bool corrupted = false;
+};
+
+/// Client-side computation: receives its job, the broadcast AS RECEIVED
+/// (post-codec — lossy codecs affect training exactly as deployed), and
+/// whether it runs detached from the server's address space (fill
+/// ClientResult::state iff true). Must be safe to call concurrently for
+/// distinct jobs.
+using ClientFn =
+    std::function<ClientResult(const ClientJob& job, const StateDict& received, bool detached)>;
+
+class Channel {
+ public:
+  /// Validates the configuration (lossy codecs need a materializing
+  /// transport) and constructs the transport backend. `ledger` must outlive
+  /// the channel.
+  Channel(ChannelConfig config, CommLedger* ledger);
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  const ChannelConfig& config() const noexcept { return config_; }
+
+  /// Runs one synchronous round of exchanges: broadcast down, client compute,
+  /// update up — through the configured transport and codec stack. Records
+  /// per-client bytes in the ledger (sampled order) and retains them for the
+  /// driver's round-time model. Throws CheckError when a transport worker
+  /// dies.
+  std::vector<Exchange> run_round(std::size_t round, std::span<const ClientJob> jobs,
+                                  const ClientFn& client_fn);
+
+  /// Per-client costs of the most recent round (for comm/round_time.h).
+  const std::vector<ClientRoundCost>& last_round_costs() const noexcept {
+    return last_round_costs_;
+  }
+
+  /// Uploads replaced by noise so far (corrupt_fraction injection).
+  std::size_t corrupted_updates() const noexcept { return corrupted_updates_; }
+
+  /// What the same exchanges would have cost as dense fp32 (4 bytes/scalar,
+  /// no masks, no codecs) — the compression baseline.
+  std::uint64_t dense_reference_bytes() const noexcept { return dense_reference_bytes_; }
+  /// Bytes actually charged to the ledger by this channel.
+  std::uint64_t charged_bytes() const noexcept { return charged_bytes_; }
+  /// dense_reference_bytes / charged_bytes (0 when nothing was exchanged).
+  double compression_ratio() const noexcept;
+
+ private:
+  struct Slot;  // per-job scratch shared between the transport lambda and the
+                // post-processing pass
+
+  std::vector<Exchange> run_in_memory(std::size_t round, std::span<const ClientJob> jobs,
+                                      const ClientFn& client_fn);
+  std::vector<Exchange> run_materialized(std::size_t round, std::span<const ClientJob> jobs,
+                                         const ClientFn& client_fn);
+  /// `dense_scalars[i]` is exchange i's logical fp32-dense scalar count (down
+  /// + up, payload copies included) — the compression baseline.
+  void finish_round(std::size_t round, std::span<const ClientJob> jobs,
+                    std::vector<Exchange>& exchanges,
+                    std::span<const std::size_t> up_bytes,
+                    std::span<const std::size_t> down_bytes,
+                    std::span<const std::size_t> dense_scalars);
+
+  ChannelConfig config_;
+  CommLedger* ledger_;
+  std::unique_ptr<Transport> transport_;  ///< null for the memory fast path
+  std::vector<ClientRoundCost> last_round_costs_;
+  std::size_t corrupted_updates_ = 0;
+  std::uint64_t dense_reference_bytes_ = 0;
+  std::uint64_t charged_bytes_ = 0;
+};
+
+/// Names Channel accepts for ChannelConfig::transport.
+bool has_channel_transport(const std::string& name);
+
+}  // namespace subfed

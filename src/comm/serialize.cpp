@@ -99,7 +99,7 @@ std::vector<std::uint8_t> encode_update(const StateDict& state, const ModelMask*
   return out;
 }
 
-StateDict decode_update(std::span<const std::uint8_t> bytes) {
+StateDict decode_update(std::span<const std::uint8_t> bytes, ModelMask* mask_out) {
   Reader reader(bytes);
   SUBFEDAVG_CHECK(reader.u32() == kMagic, "bad update magic");
   const std::uint32_t entries = reader.u32();
@@ -127,11 +127,26 @@ StateDict decode_update(std::span<const std::uint8_t> bytes) {
       for (std::size_t i = 0; i < tensor.numel(); ++i) {
         if (keep[i]) tensor[i] = reader.f32();
       }
+      if (mask_out != nullptr) {
+        Tensor bits{tensor.shape()};
+        for (std::size_t i = 0; i < bits.numel(); ++i) bits[i] = keep[i] ? 1.0f : 0.0f;
+        mask_out->set(name, std::move(bits));
+      }
     }
     state.add(std::move(name), std::move(tensor));
   }
   SUBFEDAVG_CHECK(reader.done(), "trailing bytes in update");
   return state;
+}
+
+std::size_t encoded_header_bytes(const StateDict& state) {
+  std::size_t bytes = 8;  // magic + entry count
+  for (const auto& [name, tensor] : state) {
+    bytes += 4 + name.size();                       // name length + name
+    bytes += 4 + 4 * tensor.shape().rank();         // rank + dims
+    bytes += 1;                                     // coverage flag
+  }
+  return bytes;
 }
 
 std::size_t payload_bytes(const StateDict& state, const ModelMask* mask) {

@@ -23,10 +23,19 @@ namespace subfed {
 std::vector<std::uint8_t> encode_update(const StateDict& state, const ModelMask* mask);
 
 /// Inverse of encode_update. Masked-out positions decode as exact zeros.
-StateDict decode_update(std::span<const std::uint8_t> bytes);
+/// When `mask_out` is non-null, the per-entry keep bitmaps are reconstructed
+/// into it (covered entries only) — the wire format carries the mask, so a
+/// receiver that never saw the sender's ModelMask recovers it exactly.
+StateDict decode_update(std::span<const std::uint8_t> bytes, ModelMask* mask_out = nullptr);
 
 /// Payload bytes the paper's cost model would charge for this update:
 /// kept·4 + ⌈covered/8⌉ (mask bitmap) + uncovered·4. No header overhead.
 std::size_t payload_bytes(const StateDict& state, const ModelMask* mask);
+
+/// Self-describing header bytes encode_update spends on top of payload_bytes:
+/// magic + entry count, and per entry its name, shape, and coverage flag.
+/// Invariant (tested): encode_update(s, m).size() ==
+///     payload_bytes(s, m) + encoded_header_bytes(s).
+std::size_t encoded_header_bytes(const StateDict& state);
 
 }  // namespace subfed

@@ -1,0 +1,235 @@
+#include "comm/transport.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace subfed {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// loopback
+
+class LoopbackTransport final : public Transport {
+ public:
+  std::string name() const override { return "loopback"; }
+  bool detached() const noexcept override { return false; }
+
+  std::vector<std::vector<std::uint8_t>> round_trip(
+      std::span<const std::vector<std::uint8_t>> requests,
+      const TransportHandler& handler) override {
+    std::vector<std::vector<std::uint8_t>> responses(requests.size());
+    ThreadPool::global().parallel_for(requests.size(), [&](std::size_t i) {
+      responses[i] = handler(requests[i], i);
+    });
+    return responses;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// subprocess
+
+/// Length-prefixed pipe framing: u32 little-endian byte count, then the bytes.
+bool write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t got = ::read(fd, p, n);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return false;  // EOF (dead peer) or error
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_frame(int fd, std::span<const std::uint8_t> bytes) {
+  const std::uint32_t size = static_cast<std::uint32_t>(bytes.size());
+  return write_all(fd, &size, 4) && write_all(fd, bytes.data(), bytes.size());
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>* out) {
+  std::uint32_t size = 0;
+  if (!read_all(fd, &size, 4)) return false;
+  out->resize(size);
+  return read_all(fd, out->data(), size);
+}
+
+class SubprocessTransport final : public Transport {
+ public:
+  explicit SubprocessTransport(std::size_t workers)
+      : workers_(workers != 0 ? workers
+                              : std::max<std::size_t>(
+                                    1, std::thread::hardware_concurrency())) {}
+
+  std::string name() const override { return "subprocess"; }
+  bool detached() const noexcept override { return true; }
+
+  std::vector<std::vector<std::uint8_t>> round_trip(
+      std::span<const std::vector<std::uint8_t>> requests,
+      const TransportHandler& handler) override {
+    std::vector<std::vector<std::uint8_t>> responses(requests.size());
+    // Waves of at most `workers_` concurrent children. Every child in a wave
+    // is forked first (each blocks reading its request pipe), then the parent
+    // streams the requests — children start computing as soon as their frame
+    // lands — and finally collects the responses in order. A child that dies
+    // before replying (crash, kill, handler _exit) produces a short read and
+    // fails only this batch's run.
+    for (std::size_t base = 0; base < requests.size(); base += workers_) {
+      const std::size_t wave = std::min(workers_, requests.size() - base);
+      run_wave(requests.subspan(base, wave), base, handler,
+               {responses.data() + base, wave});
+    }
+    return responses;
+  }
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int request_fd = -1;   // parent writes
+    int response_fd = -1;  // parent reads
+  };
+
+  static void close_fd(int& fd) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+
+  void run_wave(std::span<const std::vector<std::uint8_t>> requests, std::size_t base,
+                const TransportHandler& handler,
+                std::span<std::vector<std::uint8_t>> responses) {
+    // Writing to a worker that already died must surface as an error frame,
+    // not kill the parent with SIGPIPE.
+    static std::once_flag sigpipe_once;
+    std::call_once(sigpipe_once, [] { ::signal(SIGPIPE, SIG_IGN); });
+
+    std::vector<Worker> workers(requests.size());
+    std::string error;
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      int request_pipe[2] = {-1, -1};
+      int response_pipe[2] = {-1, -1};
+      if (::pipe(request_pipe) != 0 || ::pipe(response_pipe) != 0) {
+        close_fd(request_pipe[0]);
+        close_fd(request_pipe[1]);
+        error = "transport: pipe() failed";
+        break;
+      }
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        for (int fd : {request_pipe[0], request_pipe[1], response_pipe[0],
+                       response_pipe[1]}) {
+          ::close(fd);
+        }
+        error = "transport: fork() failed";
+        break;
+      }
+      if (pid == 0) {
+        // Worker: single-threaded from here on (fork keeps only this thread);
+        // route any nested parallel_for inline instead of at the parent's
+        // pool, whose worker threads do not exist in this process.
+        ThreadPool::enter_forked_child();
+        ::close(request_pipe[1]);
+        ::close(response_pipe[0]);
+        std::vector<std::uint8_t> request;
+        int status = 0;
+        if (read_frame(request_pipe[0], &request)) {
+          try {
+            const std::vector<std::uint8_t> response = handler(request, base + i);
+            if (!write_frame(response_pipe[1], response)) status = 1;
+          } catch (...) {
+            status = 1;  // parent reports the short read as a worker death
+          }
+        } else {
+          status = 1;
+        }
+        ::close(request_pipe[0]);
+        ::close(response_pipe[1]);
+        ::_exit(status);  // skip atexit/static destructors shared with parent
+      }
+      workers[i].pid = pid;
+      workers[i].request_fd = request_pipe[1];
+      workers[i].response_fd = response_pipe[0];
+      ::close(request_pipe[0]);
+      ::close(response_pipe[1]);
+    }
+
+    if (error.empty()) {
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (!write_frame(workers[i].request_fd, requests[i])) {
+          error = "transport: worker " + std::to_string(base + i) +
+                  " died before receiving its request";
+        }
+        close_fd(workers[i].request_fd);  // EOF tells the child no more frames
+        if (!error.empty()) break;
+      }
+    }
+    if (error.empty()) {
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (!read_frame(workers[i].response_fd, &responses[i])) {
+          error = "transport: worker " + std::to_string(base + i) +
+                  " died before replying (crash or kill in client-side work)";
+          break;
+        }
+      }
+    }
+
+    // Close every pipe before reaping: a straggler blocked writing its
+    // response sees EPIPE and exits instead of deadlocking the waitpid.
+    for (Worker& worker : workers) {
+      close_fd(worker.request_fd);
+      close_fd(worker.response_fd);
+    }
+    for (Worker& worker : workers) {
+      if (worker.pid > 0) {
+        int status = 0;
+        ::waitpid(worker.pid, &status, 0);
+      }
+    }
+    SUBFEDAVG_CHECK(error.empty(), error);
+  }
+
+  std::size_t workers_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_transport(const std::string& name, std::size_t workers) {
+  if (name == "loopback") return std::make_unique<LoopbackTransport>();
+  if (name == "subprocess") return std::make_unique<SubprocessTransport>(workers);
+  SUBFEDAVG_CHECK(false, "unknown transport '" << name << "' (loopback | subprocess)");
+  return nullptr;
+}
+
+bool has_transport(const std::string& name) {
+  return name == "loopback" || name == "subprocess";
+}
+
+}  // namespace subfed

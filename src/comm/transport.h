@@ -1,0 +1,61 @@
+// Pluggable byte transports for the client↔server channel.
+//
+// A Transport moves one encoded request (server → client) and one encoded
+// response (client → server) per exchange; it knows nothing about envelopes
+// or codecs — comm/channel.h owns those. Two backends:
+//
+//   loopback    — in-process: the handler runs on the calling process's
+//                 thread pool, but every request/response is a real byte
+//                 buffer the handler must decode, so measured traffic is
+//                 materialized, not estimated.
+//   subprocess  — fork-per-round worker pool: each exchange runs in a forked
+//                 child speaking length-prefixed envelopes over pipes. The
+//                 child inherits the federation state copy-on-write, computes
+//                 the client's round, replies, and exits. A crashed or killed
+//                 worker fails only the exchange (and hence the run) it was
+//                 serving — the sweep engine's failure isolation contains it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace subfed {
+
+/// Client-side half of an exchange: request bytes in, response bytes out.
+/// `index` identifies the exchange within the batch (for per-slot state).
+/// Must be safe to call concurrently for distinct indices.
+using TransportHandler =
+    std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>, std::size_t index)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True when the handler runs outside the caller's address space (so any
+  /// client-side state mutation must be shipped back inside the response).
+  virtual bool detached() const noexcept = 0;
+
+  /// Round-trips every request through the handler, returning the responses
+  /// in request order. Implementations may run handlers concurrently; a
+  /// handler that throws (or a worker that dies) surfaces as CheckError here.
+  virtual std::vector<std::vector<std::uint8_t>> round_trip(
+      std::span<const std::vector<std::uint8_t>> requests,
+      const TransportHandler& handler) = 0;
+};
+
+/// Builds a transport by name ("loopback" | "subprocess"). `workers` caps the
+/// subprocess fan-out per batch (0 → hardware concurrency); loopback ignores
+/// it. Throws CheckError on unknown names ("memory" is not a Transport — the
+/// channel short-circuits it without materializing bytes).
+std::unique_ptr<Transport> make_transport(const std::string& name, std::size_t workers = 0);
+
+/// True for names make_transport accepts.
+bool has_transport(const std::string& name);
+
+}  // namespace subfed

@@ -22,6 +22,18 @@ FederatedAlgorithm::FederatedAlgorithm(FlContext ctx) : ctx_(ctx) {
   Rng init_rng = Rng(ctx_.seed).split("global-init");
   Model initial = ctx_.spec.build_init(init_rng);
   initial_state_ = initial.state();
+
+  SUBFEDAVG_CHECK(ctx_.codec == "sparse" || ctx_.codec == "delta",
+                  "unknown codec '" << ctx_.codec << "' (sparse | delta)");
+  ChannelConfig channel_config;
+  channel_config.transport = ctx_.transport;
+  channel_config.delta = ctx_.codec == "delta";
+  channel_config.quantize = parse_quant_codec(ctx_.quantize);
+  channel_config.workers = ctx_.channel_workers;
+  channel_config.corrupt_fraction = ctx_.corrupt_fraction;
+  channel_config.corrupt_noise = ctx_.corrupt_noise;
+  channel_config.seed = ctx_.seed;
+  channel_ = std::make_unique<Channel>(std::move(channel_config), &ledger_);
 }
 
 FederatedAlgorithm::~FederatedAlgorithm() {

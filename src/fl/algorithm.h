@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/channel.h"
 #include "comm/ledger.h"
 #include "data/client_data.h"
 #include "nn/model_zoo.h"
@@ -39,14 +40,23 @@ struct FlContext {
   /// the FederatedAlgorithm constructor (0 = inherit). Affects only
   /// wall-clock time — kernel results are thread-count independent.
   std::size_t math_threads = 0;
-  /// Robustness fault injection (fl/robust.h), honored by the FedAvg family:
-  /// each upload is replaced by N(0, corrupt_noise) with probability
-  /// corrupt_fraction; when robust_filter > 0 the server drops updates whose
-  /// distance from the previous global exceeds robust_filter × the cohort
-  /// median before aggregating.
+  /// Robustness fault injection: each upload is replaced by N(0,
+  /// corrupt_noise) with probability corrupt_fraction — injected by the
+  /// channel after the server decodes the payload, so it composes with every
+  /// transport and codec. When robust_filter > 0 the FedAvg family and
+  /// Sub-FedAvg drop updates whose (mask-aware) distance from the previous
+  /// global exceeds robust_filter × the cohort median before aggregating.
   double corrupt_fraction = 0.0;
   double corrupt_noise = 1.0;
   double robust_filter = 0.0;
+  /// Client↔server channel (comm/channel.h): where uploads/downloads run and
+  /// which codecs they pass through. transport: memory | loopback |
+  /// subprocess; codec: sparse | delta; quantize: none | fp16 | int8.
+  std::string transport = "memory";
+  std::string codec = "sparse";
+  std::string quantize = "none";
+  /// Subprocess-transport fan-out per round (0 → hardware concurrency).
+  std::size_t channel_workers = 0;
 };
 
 class FederatedAlgorithm {
@@ -81,6 +91,13 @@ class FederatedAlgorithm {
   std::size_t num_clients() const noexcept { return ctx_.data->num_clients(); }
   const FlContext& context() const noexcept { return ctx_; }
   const CommLedger& ledger() const noexcept { return ledger_; }
+  /// The message channel every built-in algorithm exchanges through.
+  const Channel& channel() const noexcept { return *channel_; }
+  /// Per-client byte costs of the most recent round, for the driver's
+  /// synchronous round-time model (empty before the first round).
+  const std::vector<ClientRoundCost>& last_round_costs() const noexcept {
+    return channel_->last_round_costs();
+  }
 
   /// Mean personalized accuracy over ALL clients (evaluated in parallel).
   double average_test_accuracy();
@@ -97,6 +114,9 @@ class FederatedAlgorithm {
 
   FlContext ctx_;
   CommLedger ledger_;
+  /// Built from ctx_'s transport/codec/quantize/corruption fields; records
+  /// into ledger_. Subclasses route every upload/download through it.
+  std::unique_ptr<Channel> channel_;
 
  private:
   StateDict initial_state_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "comm/round_time.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -40,6 +41,7 @@ RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& conf
   SUBFEDAVG_CHECK(config.rounds > 0, "need at least one round");
   SUBFEDAVG_CHECK(config.sample_rate > 0.0 && config.sample_rate <= 1.0,
                   "sample rate " << config.sample_rate);
+  SUBFEDAVG_CHECK(config.link_spread >= 1.0, "link spread " << config.link_spread);
 
   const std::size_t n = algorithm.num_clients();
   const std::size_t per_round = std::max<std::size_t>(
@@ -47,6 +49,8 @@ RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& conf
 
   Rng sample_rng = Rng(config.seed).split("client-sampling");
   Rng dropout_rng = Rng(config.seed).split("client-dropout");
+  const LinkFleet fleet(n, LinkModel{}, config.link_spread,
+                        Rng(config.seed).split("link-fleet"));
   RunResult result;
 
   for (std::size_t round = 0; round < config.rounds; ++round) {
@@ -73,12 +77,15 @@ RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& conf
     const std::uint64_t up_before = algorithm.ledger().total_up();
     const std::uint64_t down_before = algorithm.ledger().total_down();
     algorithm.run_round(round, sampled);
+    const double simulated = round_seconds(fleet, algorithm.last_round_costs());
+    result.simulated_seconds += simulated;
     if (observer != nullptr) {
       RoundEndInfo info;
       info.round = round + 1;
       info.sampled = sampled;
       info.round_up_bytes = algorithm.ledger().total_up() - up_before;
       info.round_down_bytes = algorithm.ledger().total_down() - down_before;
+      info.round_seconds = simulated;
       observer->on_round_end(info);
     }
 

@@ -27,6 +27,13 @@ struct DriverConfig {
   /// practical FL issue): each sampled client independently drops out of the
   /// round with this probability. A round where everyone drops is skipped.
   double dropout_prob = 0.0;
+  /// Heterogeneous-link straggler model (comm/round_time.h): every client
+  /// draws a log-uniform slowdown in [1/spread, 1] of the nominal edge link
+  /// (1 MB/s up, 8 MB/s down) once per run. 1 = homogeneous fleet; must be
+  /// ≥ 1. A synchronous round lasts as long as its slowest sampled client's
+  /// transfers, so RunResult::simulated_seconds turns the byte ledger into
+  /// wall-clock the paper's uplink-bottleneck argument is about.
+  double link_spread = 1.0;
 };
 
 struct RoundPoint {
@@ -42,6 +49,10 @@ struct RunResult {
   std::uint64_t down_bytes = 0;
   std::size_t dropped_clients = 0;          ///< fault-injection casualties
   std::size_t skipped_rounds = 0;           ///< rounds where everyone dropped
+  /// Sum over rounds of the synchronous round time (slowest sampled client's
+  /// transfers under the link fleet). Deterministic — derived from the
+  /// ledger's bytes, not from host wall-clock.
+  double simulated_seconds = 0.0;
 
   std::uint64_t total_bytes() const noexcept { return up_bytes + down_bytes; }
   /// First evaluated round whose average accuracy reaches `threshold`;
@@ -56,6 +67,7 @@ struct RoundEndInfo {
   std::span<const std::size_t> sampled;    ///< clients that actually ran
   std::uint64_t round_up_bytes = 0;
   std::uint64_t round_down_bytes = 0;
+  double round_seconds = 0.0;              ///< simulated synchronous duration
 };
 
 /// Driver callbacks. All default to no-ops; rounds where every sampled client

@@ -55,6 +55,11 @@ const Field kFields[] = {
     SUBFED_STRING_FIELD(model, "auto | cnn5 | lenet5 | cnn_deep"),
     SUBFED_STRING_FIELD(backend, "math backend: auto | naive | blocked | sparse"),
     SUBFED_UINT_FIELD(math_threads, "GEMM row-panel cap; 0 = process setting"),
+    SUBFED_STRING_FIELD(transport, "channel transport: memory | loopback | subprocess"),
+    SUBFED_STRING_FIELD(codec, "uplink codec: sparse | delta"),
+    SUBFED_STRING_FIELD(quantize, "payload precision: none | fp16 | int8"),
+    SUBFED_UINT_FIELD(channel_workers, "subprocess fan-out; 0 = hardware"),
+    SUBFED_DOUBLE_FIELD(link_spread, "straggler tail; slowest link = 1/spread"),
     SUBFED_UINT_FIELD(epochs, "local epochs per round"),
     SUBFED_UINT_FIELD(batch, "local batch size"),
     SUBFED_DOUBLE_FIELD(lr, "SGD learning rate"),
@@ -280,6 +285,21 @@ FlContext ExperimentSpec::make_context(const FederatedData& data) const {
   ctx.corrupt_fraction = corrupt_fraction;
   ctx.corrupt_noise = corrupt_noise;
   ctx.robust_filter = robust_filter;
+  // Channel misconfigurations (unknown transport, lossy codec over the
+  // memory fast path) are caught here, before data synthesis and training.
+  SUBFEDAVG_CHECK(has_channel_transport(transport),
+                  "unknown transport '" << transport
+                                        << "' (memory | loopback | subprocess)");
+  SUBFEDAVG_CHECK(codec == "sparse" || codec == "delta",
+                  "unknown codec '" << codec << "' (sparse | delta)");
+  parse_quant_codec(quantize);
+  SUBFEDAVG_CHECK(transport != "memory" || (codec == "sparse" && quantize == "none"),
+                  "codec=" << codec << " quantize=" << quantize
+                           << " require transport=loopback or subprocess");
+  ctx.transport = transport;
+  ctx.codec = codec;
+  ctx.quantize = quantize;
+  ctx.channel_workers = channel_workers;
   return ctx;
 }
 
@@ -290,6 +310,7 @@ DriverConfig ExperimentSpec::driver_config() const {
   config.eval_every = eval_every;
   config.seed = seed;
   config.dropout_prob = dropout;
+  config.link_spread = link_spread;
   return config;
 }
 
@@ -346,13 +367,17 @@ ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observ
   const FlContext ctx = spec.make_context(*shared_data);
   std::unique_ptr<FederatedAlgorithm> algorithm = spec.make_algorithm(ctx);
 
-  // Corruption/filtering is implemented by the FedAvg family's aggregation;
-  // silently running another algorithm "under corruption" at its clean
-  // accuracy would poison robustness tables, so reject the combination.
+  // Corruption is injected by the channel, but the norm-filter defense (and
+  // the corrupted/filtered accounting) lives in the FedAvg-family and
+  // Sub-FedAvg aggregation paths; silently running another algorithm "under
+  // corruption" at its clean accuracy would poison robustness tables, so
+  // reject the combination.
   SUBFEDAVG_CHECK((spec.corrupt_fraction <= 0.0 && spec.robust_filter <= 0.0) ||
-                      dynamic_cast<const FedAvg*>(algorithm.get()) != nullptr,
+                      dynamic_cast<const FedAvg*>(algorithm.get()) != nullptr ||
+                      dynamic_cast<const SubFedAvg*>(algorithm.get()) != nullptr,
                   "corrupt_fraction/robust_filter are only honored by the FedAvg "
-                  "family; algorithm '" << spec.algo << "' does not support them");
+                  "family and Sub-FedAvg; algorithm '"
+                      << spec.algo << "' does not support them");
 
   ObserverChain chain;
   std::unique_ptr<CheckpointObserver> checkpointer;
@@ -375,10 +400,19 @@ ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observ
   if (const auto* ft = dynamic_cast<const FedAvgFinetune*>(algorithm.get())) {
     run.metrics["finetune_steps"] = static_cast<double>(ft->extra_finetune_steps());
   }
-  if (const auto* fa = dynamic_cast<const FedAvg*>(algorithm.get());
-      fa != nullptr && (spec.corrupt_fraction > 0.0 || spec.robust_filter > 0.0)) {
-    run.metrics["corrupted_updates"] = static_cast<double>(fa->corrupted_updates());
-    run.metrics["filtered_updates"] = static_cast<double>(fa->filtered_updates());
+  if (spec.corrupt_fraction > 0.0 || spec.robust_filter > 0.0) {
+    if (const auto* fa = dynamic_cast<const FedAvg*>(algorithm.get())) {
+      run.metrics["corrupted_updates"] = static_cast<double>(fa->corrupted_updates());
+      run.metrics["filtered_updates"] = static_cast<double>(fa->filtered_updates());
+    } else if (const auto* sub = dynamic_cast<const SubFedAvg*>(algorithm.get())) {
+      run.metrics["corrupted_updates"] = static_cast<double>(sub->corrupted_updates());
+      run.metrics["filtered_updates"] = static_cast<double>(sub->filtered_updates());
+    }
+  }
+  // Channel economics: how far the codec stack compressed the dense-fp32
+  // traffic the same exchanges would have cost.
+  if (algorithm->channel().charged_bytes() > 0) {
+    run.metrics["compression_ratio"] = algorithm->channel().compression_ratio();
   }
 
   if (!spec.out.empty()) {
@@ -430,6 +464,7 @@ std::string run_result_json(const ExperimentSpec& spec, const std::string& algor
   os << "],\n  \"up_bytes\": " << result.up_bytes
      << ",\n  \"down_bytes\": " << result.down_bytes
      << ",\n  \"total_bytes\": " << result.total_bytes()
+     << ",\n  \"simulated_seconds\": " << result.simulated_seconds
      << ",\n  \"dropped_clients\": " << result.dropped_clients
      << ",\n  \"skipped_rounds\": " << result.skipped_rounds;
   os << ",\n  \"metrics\": {";

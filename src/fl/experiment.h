@@ -48,6 +48,12 @@ struct ExperimentSpec {
   // Compute (tensor/backend.h).
   std::string backend = "auto";      ///< auto | naive | blocked | sparse
   std::size_t math_threads = 0;      ///< GEMM row-panel cap; 0 → process setting
+  // Communication (comm/channel.h, comm/transport.h, comm/round_time.h).
+  std::string transport = "memory";  ///< memory | loopback | subprocess
+  std::string codec = "sparse";      ///< sparse | delta (uplink vs broadcast)
+  std::string quantize = "none";     ///< none | fp16 | int8 kept-value precision
+  std::size_t channel_workers = 0;   ///< subprocess fan-out; 0 → hardware
+  double link_spread = 1.0;          ///< straggler tail: slowest link = 1/spread
   // Local training.
   std::size_t epochs = 3;
   std::size_t batch = 10;

@@ -1,8 +1,6 @@
 #include "fl/fedavg.h"
 
-#include "comm/serialize.h"
 #include "fl/robust.h"
-#include "util/thread_pool.h"
 #include "util/check.h"
 
 namespace subfed {
@@ -12,43 +10,32 @@ FedAvg::FedAvg(FlContext ctx) : FederatedAlgorithm(std::move(ctx)) {
 }
 
 void FedAvg::run_round(std::size_t round, std::span<const std::size_t> sampled) {
-  std::vector<ClientUpdate> updates(sampled.size());
-  std::vector<std::size_t> up_bytes(sampled.size()), down_bytes(sampled.size());
-
-  ThreadPool::global().parallel_for(sampled.size(), [&](std::size_t i) {
-    const std::size_t k = sampled[i];
-    const ClientData& data = ctx_.data->client(k);
-    Model model = ctx_.spec.build();
-    model.load_state(global_);
-    down_bytes[i] = payload_bytes(global_, nullptr);
-
-    Sgd optimizer(model.parameters(), ctx_.sgd);
-    Rng rng = client_round_rng(k, round);
-    train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng,
-                {}, make_grad_hook());
-
-    updates[i].state = model.state();
-    updates[i].num_examples = data.train_labels.size();
-    up_bytes[i] = payload_bytes(updates[i].state, nullptr);
-  });
-
+  std::vector<ClientJob> jobs(sampled.size());
   for (std::size_t i = 0; i < sampled.size(); ++i) {
-    ledger_.record(round, up_bytes[i], down_bytes[i]);
+    jobs[i] = {sampled[i], &global_, nullptr};
   }
 
-  // Fault injection (§1.1's "corrupted updates"): replace a deterministic
-  // per-round subset of uploads with noise, in sampled order so results do
-  // not depend on worker scheduling.
-  if (ctx_.corrupt_fraction > 0.0) {
-    Rng corrupt_rng = Rng(ctx_.seed).split("corrupt-updates", round);
-    const CorruptionConfig config{1.0, static_cast<float>(ctx_.corrupt_noise)};
-    for (ClientUpdate& update : updates) {
-      if (corrupt_rng.bernoulli(ctx_.corrupt_fraction)) {
-        corrupt_update(update, config, corrupt_rng);
-        ++corrupted_updates_;
-      }
-    }
-  }
+  std::vector<Exchange> exchanges = channel_->run_round(
+      round, jobs, [&](const ClientJob& job, const StateDict& received, bool detached) {
+        (void)detached;  // stateless client: the upload carries everything
+        const ClientData& data = ctx_.data->client(job.client);
+        Model model = ctx_.spec.build();
+        model.load_state(received);
+
+        Sgd optimizer(model.parameters(), ctx_.sgd);
+        Rng rng = client_round_rng(job.client, round);
+        train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng,
+                    {}, make_grad_hook(received));
+
+        ClientResult result;
+        result.update.state = model.state();
+        result.update.num_examples = data.train_labels.size();
+        return result;
+      });
+
+  std::vector<ClientUpdate> updates;
+  updates.reserve(exchanges.size());
+  for (Exchange& exchange : exchanges) updates.push_back(std::move(exchange.update));
 
   // Server-side defense: drop updates whose distance from the previous global
   // exceeds robust_filter × the cohort median before aggregating.
@@ -76,11 +63,12 @@ double FedAvg::client_test_accuracy(std::size_t k) {
 
 FedProx::FedProx(FlContext ctx, double mu) : FedAvg(std::move(ctx)), mu_(mu) {}
 
-GradHook FedProx::make_grad_hook() {
-  // Capture the round's global snapshot by value so the hook stays valid
-  // while global_ is being replaced by aggregation.
+GradHook FedProx::make_grad_hook(const StateDict& received) {
+  // Anchor the proximal term on the broadcast the client received: what a
+  // deployed client would actually hold (and a by-value copy, so the hook
+  // stays valid while global_ is being replaced by aggregation).
   const float mu = static_cast<float>(mu_);
-  StateDict anchor = global_;
+  StateDict anchor = received;
   return [mu, anchor = std::move(anchor)](Model& model) {
     for (Parameter* p : model.parameters()) {
       const Tensor* g = anchor.find(p->name);

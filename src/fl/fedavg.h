@@ -1,7 +1,9 @@
 // FedAvg (McMahan et al. 2017) and FedProx (Li et al. 2018) baselines.
 //
 // FedProx is FedAvg plus a proximal pull μ(w − w_global) added to every
-// gradient step, implemented through the trainer's grad hook.
+// gradient step, implemented through the trainer's grad hook. Both exchange
+// dense global states through the message channel: broadcast down, trained
+// state up, aggregation example-count weighted.
 #pragma once
 
 #include "core/aggregate.h"
@@ -24,18 +26,22 @@ class FedAvg : public FederatedAlgorithm {
   const StateDict& global_state() const noexcept { return global_; }
 
   /// Robustness counters (ctx.corrupt_fraction / ctx.robust_filter): uploads
-  /// replaced by noise, and updates the norm filter discarded, so far.
-  std::size_t corrupted_updates() const noexcept { return corrupted_updates_; }
+  /// the channel replaced by noise, and updates the norm filter discarded.
+  std::size_t corrupted_updates() const noexcept { return channel_->corrupted_updates(); }
   std::size_t filtered_updates() const noexcept { return filtered_updates_; }
 
  protected:
-  /// Per-client gradient hook; base FedAvg uses none.
-  virtual GradHook make_grad_hook() { return {}; }
+  /// Per-client gradient hook, anchored on the broadcast the client received
+  /// (identical to the true global under lossless codecs); base FedAvg uses
+  /// none.
+  virtual GradHook make_grad_hook(const StateDict& received) {
+    (void)received;
+    return {};
+  }
 
   StateDict global_;
 
  private:
-  std::size_t corrupted_updates_ = 0;
   std::size_t filtered_updates_ = 0;
 };
 
@@ -46,7 +52,7 @@ class FedProx final : public FedAvg {
   std::string name() const override { return "FedProx"; }
 
  protected:
-  GradHook make_grad_hook() override;
+  GradHook make_grad_hook(const StateDict& received) override;
 
  private:
   double mu_;

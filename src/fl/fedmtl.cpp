@@ -1,10 +1,24 @@
 #include "fl/fedmtl.h"
 
-#include "comm/serialize.h"
-#include "util/thread_pool.h"
 #include "util/check.h"
 
 namespace subfed {
+
+namespace {
+
+/// MTL exchanges the model plus same-sized dual/relationship state each
+/// direction. The wire payload carries both halves explicitly ("dual."-
+/// prefixed entries), so the ledger's 2×-model cost is materialized, not
+/// modeled — and the grad hook's anchor lookup by parameter name simply never
+/// matches the dual entries.
+StateDict with_dual_state(const StateDict& model_state) {
+  StateDict doubled;
+  for (const auto& [name, tensor] : model_state) doubled.add(name, tensor);
+  for (const auto& [name, tensor] : model_state) doubled.add("dual." + name, tensor);
+  return doubled;
+}
+
+}  // namespace
 
 FedMtl::FedMtl(FlContext ctx, double lambda)
     : FederatedAlgorithm(std::move(ctx)), lambda_(lambda) {
@@ -25,41 +39,54 @@ void FedMtl::recompute_mean() {
 }
 
 void FedMtl::run_round(std::size_t round, std::span<const std::size_t> sampled) {
-  std::vector<std::size_t> up_bytes(sampled.size()), down_bytes(sampled.size());
   const float lambda = static_cast<float>(lambda_);
 
   // Snapshot the mean so all sampled clients this round see the same anchor.
-  const StateDict anchor = mean_;
+  // Materializing transports carry the dual state as real payload entries;
+  // the memory fast path charges the same 2× bytes through payload_copies
+  // without ever building the copies.
+  const bool materialized = channel_->config().transport != "memory";
+  const std::size_t copies = materialized ? 1 : 2;
+  const StateDict broadcast = materialized ? with_dual_state(mean_) : mean_;
 
-  ThreadPool::global().parallel_for(sampled.size(), [&](std::size_t i) {
-    const std::size_t k = sampled[i];
-    const ClientData& data = ctx_.data->client(k);
-    Model model = ctx_.spec.build();
-    model.load_state(personal_[k]);
-
-    // Task-relationship pull toward the federation mean.
-    auto hook = [lambda, &anchor](Model& m) {
-      for (Parameter* p : m.parameters()) {
-        const Tensor* g = anchor.find(p->name);
-        if (g == nullptr) continue;
-        p->grad.axpy_(lambda, p->value);
-        p->grad.axpy_(-lambda, *g);
-      }
-    };
-
-    Sgd optimizer(model.parameters(), ctx_.sgd);
-    Rng rng = client_round_rng(k, round);
-    train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng,
-                {}, hook);
-    personal_[k] = model.state();
-
-    // Model + dual/relationship state in each direction (2× a dense model).
-    up_bytes[i] = 2 * payload_bytes(personal_[k], nullptr);
-    down_bytes[i] = 2 * payload_bytes(anchor, nullptr);
-  });
-
+  std::vector<ClientJob> jobs(sampled.size());
   for (std::size_t i = 0; i < sampled.size(); ++i) {
-    ledger_.record(round, up_bytes[i], down_bytes[i]);
+    jobs[i] = {sampled[i], &broadcast, nullptr, copies};
+  }
+
+  std::vector<Exchange> exchanges = channel_->run_round(
+      round, jobs, [&](const ClientJob& job, const StateDict& received, bool detached) {
+        const std::size_t k = job.client;
+        const ClientData& data = ctx_.data->client(k);
+        Model model = ctx_.spec.build();
+        model.load_state(personal_[k]);
+
+        // Task-relationship pull toward the federation mean as received.
+        auto hook = [lambda, &received](Model& m) {
+          for (Parameter* p : m.parameters()) {
+            const Tensor* g = received.find(p->name);
+            if (g == nullptr) continue;
+            p->grad.axpy_(lambda, p->value);
+            p->grad.axpy_(-lambda, *g);
+          }
+        };
+
+        Sgd optimizer(model.parameters(), ctx_.sgd);
+        Rng rng = client_round_rng(k, round);
+        train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng,
+                    {}, hook);
+        personal_[k] = model.state();
+
+        ClientResult result;
+        result.update.state = materialized ? with_dual_state(personal_[k]) : personal_[k];
+        result.update.num_examples = data.train_labels.size();
+        result.payload_copies = copies;
+        if (detached) result.state.push_back(personal_[k]);
+        return result;
+      });
+
+  for (Exchange& exchange : exchanges) {
+    if (!exchange.state.empty()) personal_[exchange.client] = std::move(exchange.state[0]);
   }
   recompute_mean();
 }

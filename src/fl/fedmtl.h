@@ -5,9 +5,9 @@
 // work): each client k keeps a personal model w_k and every local gradient
 // step is pulled toward the federation mean w̄ by a task-relationship term
 // λ(w_k − w̄). Clients additionally exchange dual/relationship state, which
-// is what makes MTL the most communication-hungry row of Table 1 — modeled
-// here as one extra model-sized payload per direction per round.
-// (Substitution documented in DESIGN.md §1.)
+// is what makes MTL the most communication-hungry row of Table 1 — carried
+// on the wire as one extra model-sized payload section per direction per
+// round. (Substitution documented in DESIGN.md §1.)
 #pragma once
 
 #include "fl/algorithm.h"

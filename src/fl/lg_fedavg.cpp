@@ -1,8 +1,6 @@
 #include "fl/lg_fedavg.h"
 
-#include "comm/serialize.h"
 #include "util/check.h"
-#include "util/thread_pool.h"
 
 namespace subfed {
 
@@ -35,31 +33,43 @@ void LgFedAvg::merge_head(StateDict& state) const {
 }
 
 void LgFedAvg::run_round(std::size_t round, std::span<const std::size_t> sampled) {
-  std::vector<ClientUpdate> updates(sampled.size());
-  std::vector<std::size_t> up_bytes(sampled.size()), down_bytes(sampled.size());
-
-  ThreadPool::global().parallel_for(sampled.size(), [&](std::size_t i) {
-    const std::size_t k = sampled[i];
-    const ClientData& data = ctx_.data->client(k);
-
-    StateDict start = personal_[k];
-    merge_head(start);
-    down_bytes[i] = payload_bytes(global_head_, nullptr);
-
-    Model model = ctx_.spec.build();
-    model.load_state(start);
-    Sgd optimizer(model.parameters(), ctx_.sgd);
-    Rng rng = client_round_rng(k, round);
-    train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng);
-
-    personal_[k] = model.state();
-    updates[i].state = extract_head(personal_[k]);
-    updates[i].num_examples = data.train_labels.size();
-    up_bytes[i] = payload_bytes(updates[i].state, nullptr);
-  });
-
+  // Only the FC head crosses the channel; the convolutional representation
+  // stays client-local (it rides back as an uncharged side-band mirror when
+  // the round ran in a detached worker).
+  std::vector<ClientJob> jobs(sampled.size());
   for (std::size_t i = 0; i < sampled.size(); ++i) {
-    ledger_.record(round, up_bytes[i], down_bytes[i]);
+    jobs[i] = {sampled[i], &global_head_, nullptr};
+  }
+
+  std::vector<Exchange> exchanges = channel_->run_round(
+      round, jobs, [&](const ClientJob& job, const StateDict& received, bool detached) {
+        const std::size_t k = job.client;
+        const ClientData& data = ctx_.data->client(k);
+
+        StateDict start = personal_[k];
+        for (auto& [name, tensor] : start) {
+          if (const Tensor* g = received.find(name)) tensor = *g;
+        }
+
+        Model model = ctx_.spec.build();
+        model.load_state(start);
+        Sgd optimizer(model.parameters(), ctx_.sgd);
+        Rng rng = client_round_rng(k, round);
+        train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng);
+
+        personal_[k] = model.state();
+        ClientResult result;
+        result.update.state = extract_head(personal_[k]);
+        result.update.num_examples = data.train_labels.size();
+        if (detached) result.state.push_back(personal_[k]);
+        return result;
+      });
+
+  std::vector<ClientUpdate> updates;
+  updates.reserve(exchanges.size());
+  for (Exchange& exchange : exchanges) {
+    if (!exchange.state.empty()) personal_[exchange.client] = std::move(exchange.state[0]);
+    updates.push_back(std::move(exchange.update));
   }
   global_head_ = fedavg_aggregate(updates);
 }

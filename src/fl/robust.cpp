@@ -17,10 +17,12 @@ double update_distance(const ClientUpdate& update, const StateDict& reference) {
   SUBFEDAVG_CHECK(update.state.size() == reference.size(), "state arity mismatch");
   double total = 0.0;
   for (std::size_t e = 0; e < reference.size(); ++e) {
-    const Tensor& a = update.state[e].second;
+    const auto& [name, a] = update.state[e];
     const Tensor& b = reference[e].second;
     SUBFEDAVG_CHECK(a.numel() == b.numel(), "entry size mismatch at " << e);
+    const Tensor* m = update.mask.empty() ? nullptr : update.mask.find(name);
     for (std::size_t i = 0; i < a.numel(); ++i) {
+      if (m != nullptr && (*m)[i] == 0.0f) continue;  // never uploaded
       const double d = static_cast<double>(a[i]) - b[i];
       total += d * d;
     }

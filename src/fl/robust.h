@@ -28,7 +28,11 @@ struct CorruptionConfig {
 /// metadata).
 void corrupt_update(ClientUpdate& update, const CorruptionConfig& config, Rng& rng);
 
-/// L2 distance between an update's state and a reference state.
+/// L2 distance between an update's state and a reference state. Mask-aware:
+/// for entries the update's mask covers, only positions the client actually
+/// uploaded (mask == 1) contribute — a heavily-pruned honest Sub-FedAvg
+/// client is not penalized for the reference values it never sent. Updates
+/// with an empty mask (the dense FedAvg family) compare every position.
 double update_distance(const ClientUpdate& update, const StateDict& reference);
 
 /// Returns the indices of updates that PASS the median-distance filter:

@@ -1,6 +1,5 @@
 #include "fl/standalone.h"
 
-#include "util/thread_pool.h"
 #include "util/check.h"
 
 namespace subfed {
@@ -10,17 +9,36 @@ Standalone::Standalone(FlContext ctx) : FederatedAlgorithm(std::move(ctx)) {
 }
 
 void Standalone::run_round(std::size_t round, std::span<const std::size_t> sampled) {
-  ThreadPool::global().parallel_for(sampled.size(), [&](std::size_t i) {
-    const std::size_t k = sampled[i];
-    const ClientData& data = ctx_.data->client(k);
-    Model model = ctx_.spec.build();
-    model.load_state(personal_[k]);
-    Sgd optimizer(model.parameters(), ctx_.sgd);
-    Rng rng = client_round_rng(k, round);
-    train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng);
-    personal_[k] = model.state();
-  });
-  // No traffic: standalone never talks to a server.
+  // No model traffic: the channel carries empty coordinator pings (zero
+  // payload-model bytes in memory mode, a few header bytes when
+  // materialized), which still buys standalone the transports' crash
+  // isolation and a slot in the round-time model.
+  static const StateDict kEmptyPayload;
+  std::vector<ClientJob> jobs(sampled.size());
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    jobs[i] = {sampled[i], &kEmptyPayload, nullptr};
+  }
+
+  std::vector<Exchange> exchanges = channel_->run_round(
+      round, jobs, [&](const ClientJob& job, const StateDict& received, bool detached) {
+        (void)received;
+        const std::size_t k = job.client;
+        const ClientData& data = ctx_.data->client(k);
+        Model model = ctx_.spec.build();
+        model.load_state(personal_[k]);
+        Sgd optimizer(model.parameters(), ctx_.sgd);
+        Rng rng = client_round_rng(k, round);
+        train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng);
+        personal_[k] = model.state();
+
+        ClientResult result;
+        if (detached) result.state.push_back(personal_[k]);
+        return result;
+      });
+
+  for (Exchange& exchange : exchanges) {
+    if (!exchange.state.empty()) personal_[exchange.client] = std::move(exchange.state[0]);
+  }
 }
 
 double Standalone::client_test_accuracy(std::size_t k) {

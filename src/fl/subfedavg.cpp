@@ -1,8 +1,7 @@
 #include "fl/subfedavg.h"
 
-#include "comm/serialize.h"
+#include "fl/robust.h"
 #include "util/check.h"
-#include "util/thread_pool.h"
 
 namespace subfed {
 
@@ -31,22 +30,50 @@ SubFedAvgClient& SubFedAvg::client(std::size_t k) {
 }
 
 void SubFedAvg::run_round(std::size_t round, std::span<const std::size_t> sampled) {
-  std::vector<ClientUpdate> updates(sampled.size());
-  std::vector<std::size_t> up_bytes(sampled.size()), down_bytes(sampled.size());
-
-  ThreadPool::global().parallel_for(sampled.size(), [&](std::size_t i) {
-    const std::size_t k = sampled[i];
-    // Download: the client needs only the entries its pre-round mask keeps.
-    ModelMask pre_mask = clients_[k]->combined_mask();
-    down_bytes[i] = payload_bytes(global_, &pre_mask);
-
-    updates[i] = clients_[k]->run_round(global_, round);
-    up_bytes[i] = payload_bytes(updates[i].state, &updates[i].mask);
-  });
-
+  // Download: each client needs only the entries its pre-round mask keeps
+  // (the client re-applies θ_g ⊙ m_k on arrival, so the masked broadcast is
+  // exactly what it would have computed from the full global).
+  std::vector<ModelMask> pre_masks(sampled.size());
+  std::vector<ClientJob> jobs(sampled.size());
   for (std::size_t i = 0; i < sampled.size(); ++i) {
-    ledger_.record(round, up_bytes[i], down_bytes[i]);
+    pre_masks[i] = clients_[sampled[i]]->combined_mask();
+    jobs[i] = {sampled[i], &global_, &pre_masks[i]};
   }
+
+  std::vector<Exchange> exchanges = channel_->run_round(
+      round, jobs, [&](const ClientJob& job, const StateDict& received, bool detached) {
+        ClientResult result;
+        result.update = clients_[job.client]->run_round(received, round);
+        if (detached) result.state = client_sections(job.client);
+        return result;
+      });
+
+  std::vector<ClientUpdate> updates;
+  updates.reserve(exchanges.size());
+  for (Exchange& exchange : exchanges) {
+    // A detached round mutated a worker-process copy of the client; its
+    // side-band sections bring this process's mirror up to date.
+    if (!exchange.state.empty()) {
+      restore_client_sections(exchange.client, exchange.state);
+    }
+    updates.push_back(std::move(exchange.update));
+  }
+
+  // Mask-aware server defense: distances count only entries each update
+  // actually uploaded, so honest heavily-pruned clients are not mistaken for
+  // outliers (ROADMAP robustness knob, extended to the masked path).
+  if (ctx_.robust_filter > 0.0) {
+    const std::vector<std::size_t> passed =
+        filter_updates_by_norm(updates, global_, ctx_.robust_filter);
+    if (!passed.empty() && passed.size() < updates.size()) {
+      filtered_updates_ += updates.size() - passed.size();
+      std::vector<ClientUpdate> kept;
+      kept.reserve(passed.size());
+      for (const std::size_t i : passed) kept.push_back(std::move(updates[i]));
+      updates = std::move(kept);
+    }
+  }
+
   global_ = strict_ ? sub_fedavg_aggregate_strict(updates, global_)
                     : sub_fedavg_aggregate(updates, global_);
 }
@@ -77,23 +104,55 @@ ReductionReport SubFedAvg::client_reduction(std::size_t k) {
 }
 
 
+std::vector<StateDict> SubFedAvg::client_sections(std::size_t k) const {
+  const SubFedAvgClient& client = *clients_[k];
+  std::vector<StateDict> sections;
+  sections.reserve(3);
+  sections.push_back(client.personal_state());
+  StateDict weights;
+  for (const auto& [name, tensor] : client.weight_mask()) weights.add(name, tensor);
+  sections.push_back(std::move(weights));
+  StateDict channels;
+  const ChannelMask& cm = client.channel_mask();
+  for (std::size_t b = 0; b < cm.num_blocks(); ++b) {
+    std::vector<float> keep(cm.block(b).begin(), cm.block(b).end());
+    const Shape shape{keep.size()};
+    channels.add("block" + std::to_string(b), Tensor(shape, std::move(keep)));
+  }
+  sections.push_back(std::move(channels));
+  return sections;
+}
+
+void SubFedAvg::restore_client_sections(std::size_t k, std::span<StateDict> sections) {
+  SUBFEDAVG_CHECK(sections.size() == 3, "client " << k << " state expects 3 sections, got "
+                                                  << sections.size());
+  StateDict personal = std::move(sections[0]);
+  ModelMask weight_mask;
+  for (auto& [name, tensor] : sections[1]) weight_mask.set(name, std::move(tensor));
+  // Start from the client's current mask to get the architecture's block
+  // sizes, then overwrite the keep bits from the section.
+  ChannelMask channel_mask = clients_[k]->channel_mask();
+  const StateDict& channels = sections[2];
+  SUBFEDAVG_CHECK(channels.size() == channel_mask.num_blocks(), "channel mask block count");
+  for (std::size_t b = 0; b < channel_mask.num_blocks(); ++b) {
+    const Tensor* keep = channels.find("block" + std::to_string(b));
+    SUBFEDAVG_CHECK(keep != nullptr && keep->numel() == channel_mask.block(b).size(),
+                    "channel mask block size");
+    for (std::size_t c = 0; c < channel_mask.block(b).size(); ++c) {
+      channel_mask.block(b)[c] = (*keep)[c] != 0.0f ? 1 : 0;
+    }
+  }
+  clients_[k]->restore(std::move(personal), std::move(weight_mask),
+                       std::move(channel_mask));
+}
+
 std::vector<StateDict> SubFedAvg::checkpoint_state() {
   std::vector<StateDict> sections;
   sections.reserve(1 + 3 * clients_.size());
   sections.push_back(global_);
-  for (const auto& client : clients_) {
-    sections.push_back(client->personal_state());
-    StateDict weights;
-    for (const auto& [name, tensor] : client->weight_mask()) weights.add(name, tensor);
-    sections.push_back(std::move(weights));
-    StateDict channels;
-    const ChannelMask& cm = client->channel_mask();
-    for (std::size_t b = 0; b < cm.num_blocks(); ++b) {
-      std::vector<float> keep(cm.block(b).begin(), cm.block(b).end());
-      const Shape shape{keep.size()};
-      channels.add("block" + std::to_string(b), Tensor(shape, std::move(keep)));
-    }
-    sections.push_back(std::move(channels));
+  for (std::size_t k = 0; k < clients_.size(); ++k) {
+    std::vector<StateDict> client = client_sections(k);
+    for (StateDict& section : client) sections.push_back(std::move(section));
   }
   return sections;
 }
@@ -104,25 +163,7 @@ void SubFedAvg::restore_checkpoint_state(std::vector<StateDict> sections) {
                          << " sections, got " << sections.size());
   global_ = std::move(sections[0]);
   for (std::size_t k = 0; k < clients_.size(); ++k) {
-    StateDict personal = std::move(sections[1 + 3 * k]);
-    ModelMask weight_mask;
-    for (auto& [name, tensor] : sections[2 + 3 * k]) weight_mask.set(name, std::move(tensor));
-    // Start from the client's current mask to get the architecture's block
-    // sizes, then overwrite the keep bits from the section.
-    ChannelMask channel_mask = clients_[k]->channel_mask();
-    const StateDict& channels = sections[3 + 3 * k];
-    SUBFEDAVG_CHECK(channels.size() == channel_mask.num_blocks(),
-                    "channel mask block count");
-    for (std::size_t b = 0; b < channel_mask.num_blocks(); ++b) {
-      const Tensor* keep = channels.find("block" + std::to_string(b));
-      SUBFEDAVG_CHECK(keep != nullptr && keep->numel() == channel_mask.block(b).size(),
-                      "channel mask block size");
-      for (std::size_t c = 0; c < channel_mask.block(b).size(); ++c) {
-        channel_mask.block(b)[c] = (*keep)[c] != 0.0f ? 1 : 0;
-      }
-    }
-    clients_[k]->restore(std::move(personal), std::move(weight_mask),
-                         std::move(channel_mask));
+    restore_client_sections(k, {sections.data() + 1 + 3 * k, 3});
   }
 }
 

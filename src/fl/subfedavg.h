@@ -48,11 +48,23 @@ class SubFedAvg final : public FederatedAlgorithm {
 
   bool hybrid() const noexcept { return config_.hybrid; }
 
+  /// Robustness counters, mirroring the FedAvg family: uploads the channel
+  /// replaced by noise, and updates the mask-aware norm filter discarded.
+  std::size_t corrupted_updates() const noexcept { return channel_->corrupted_updates(); }
+  std::size_t filtered_updates() const noexcept { return filtered_updates_; }
+
  private:
+  /// {personal model, weight mask, channel mask} of client k — the same
+  /// 3-section layout checkpoint_state uses per client, reused as the
+  /// side-band mirror a detached (subprocess) round ships back.
+  std::vector<StateDict> client_sections(std::size_t k) const;
+  void restore_client_sections(std::size_t k, std::span<StateDict> sections);
+
   SubFedAvgConfig config_;
   StateDict global_;
   std::vector<std::unique_ptr<SubFedAvgClient>> clients_;
   bool strict_ = false;
+  std::size_t filtered_updates_ = 0;
 };
 
 }  // namespace subfed

@@ -399,6 +399,10 @@ bool metric_value(const SweepRecord& record, const std::string& metric, double* 
     *value = static_cast<double>(record.total_bytes());
     return true;
   }
+  if (metric == "round_time") {
+    *value = record.simulated_seconds;
+    return true;
+  }
   const auto it = record.metrics.find(metric);
   if (it == record.metrics.end()) return false;
   *value = it->second;
@@ -413,6 +417,9 @@ std::string format_mean_std(const std::string& metric, const Summary& s) {
   } else if (metric == "comm") {
     mean = format_bytes(s.mean);
     std_part = format_bytes(s.stddev);
+  } else if (metric == "round_time") {
+    mean = format_float(s.mean, 1) + "s";
+    std_part = format_float(s.stddev, 1) + "s";
   } else {
     mean = format_float(s.mean, 4);
     std_part = format_float(s.stddev, 4);
@@ -442,6 +449,7 @@ SweepRecord load_run_record(const std::string& path) {
   record.final_avg_accuracy = doc.number_or("final_avg_accuracy", 0.0);
   record.up_bytes = static_cast<std::uint64_t>(doc.number_or("up_bytes", 0.0));
   record.down_bytes = static_cast<std::uint64_t>(doc.number_or("down_bytes", 0.0));
+  record.simulated_seconds = doc.number_or("simulated_seconds", 0.0);
   if (const JsonValue* metrics = doc.find("metrics"); metrics != nullptr) {
     for (const auto& [key, value] : metrics->object) {
       if (value.is_number()) record.metrics[key] = value.number;
@@ -475,6 +483,7 @@ SweepRecord record_from_outcome(const SweepRunOutcome& outcome) {
   record.final_avg_accuracy = outcome.result.final_avg_accuracy;
   record.up_bytes = outcome.result.up_bytes;
   record.down_bytes = outcome.result.down_bytes;
+  record.simulated_seconds = outcome.result.simulated_seconds;
   record.metrics = outcome.metrics;
   return record;
 }

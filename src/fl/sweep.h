@@ -129,6 +129,7 @@ struct SweepRecord {
   double final_avg_accuracy = 0.0;
   std::uint64_t up_bytes = 0;
   std::uint64_t down_bytes = 0;
+  double simulated_seconds = 0.0;  ///< driver's synchronous round-time total
   std::map<std::string, double> metrics;
 
   std::uint64_t total_bytes() const noexcept { return up_bytes + down_bytes; }
@@ -153,8 +154,9 @@ struct AggregateOptions {
   std::vector<std::string> group_by;
   /// Replicate key folded into mean ± std (its values never form rows).
   std::string over = "seed";
-  /// Metric columns: "accuracy", "comm", or any extra-metrics key
-  /// (e.g. "unstructured_pruned").
+  /// Metric columns: "accuracy", "comm", "round_time" (the driver's
+  /// simulated synchronous seconds), or any extra-metrics key (e.g.
+  /// "unstructured_pruned", "compression_ratio").
   std::vector<std::string> metrics = {"accuracy", "comm"};
 };
 

@@ -29,9 +29,14 @@ ThreadPool::~ThreadPool() {
 
 namespace {
 thread_local bool t_pool_worker = false;
+std::atomic<bool> g_forked_child{false};
 }  // namespace
 
 bool ThreadPool::current_thread_in_pool() noexcept { return t_pool_worker; }
+
+void ThreadPool::enter_forked_child() noexcept {
+  g_forked_child.store(true, std::memory_order_relaxed);
+}
 
 void ThreadPool::worker_loop() {
   t_pool_worker = true;
@@ -91,8 +96,8 @@ struct ParallelState {
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1) {
-    fn(0);
+  if (n == 1 || g_forked_child.load(std::memory_order_relaxed)) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 

@@ -41,6 +41,13 @@ class ThreadPool {
   /// split — check this and stay sequential.
   static bool current_thread_in_pool() noexcept;
 
+  /// Must be called first thing in a fork()ed child that will keep using the
+  /// library (the subprocess transport does). A pool's worker threads do not
+  /// exist in the child, so every parallel_for afterwards runs inline on the
+  /// calling thread — same results (kernels are thread-count independent),
+  /// and no lock inherited mid-operation is ever touched.
+  static void enter_forked_child() noexcept;
+
  private:
   void worker_loop();
 

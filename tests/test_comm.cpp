@@ -88,6 +88,56 @@ TEST(Serialize, EncodedSizeTracksPayloadPlusSmallHeader) {
   EXPECT_LT(encoded - payload, 1024u);  // names + shapes only
 }
 
+TEST(Serialize, PayloadBytesEqualsEncodedSizeMinusHeaderEverywhere) {
+  // The ledger charges payload_bytes while the channel materializes
+  // encode_update — this exact identity is what keeps the two from
+  // diverging, including on the degenerate shapes.
+  Rng rng(11);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  ModelMask mask = ModelMask::ones_like(m, MaskScope::kAllPrunable);
+  mask = derive_magnitude_mask(m, mask, 0.5);
+
+  auto expect_identity = [](const StateDict& state, const ModelMask* mask_ptr) {
+    EXPECT_EQ(encode_update(state, mask_ptr).size(),
+              payload_bytes(state, mask_ptr) + encoded_header_bytes(state));
+  };
+
+  const StateDict state = m.state();
+  expect_identity(state, nullptr);
+  expect_identity(state, &mask);
+
+  // Empty mask object: every entry is uncovered (dense).
+  const ModelMask empty_mask;
+  expect_identity(state, &empty_mask);
+
+  // Empty state: header only.
+  const StateDict empty_state;
+  expect_identity(empty_state, nullptr);
+  EXPECT_EQ(payload_bytes(empty_state, nullptr), 0u);
+
+  // Zero-dim tensors: a [0]-shaped entry and a mask covering it.
+  StateDict degenerate;
+  degenerate.add("empty", Tensor(Shape{0}));
+  degenerate.add("tiny", Tensor(Shape{3}, 1.5f));
+  ModelMask degenerate_mask;
+  degenerate_mask.set("empty", Tensor(Shape{0}));
+  expect_identity(degenerate, nullptr);
+  expect_identity(degenerate, &degenerate_mask);
+
+  // Fully-pruned entry: bitmap transmitted, zero values.
+  StateDict pruned_state;
+  pruned_state.add("w", Tensor(Shape{9}, 2.0f));
+  ModelMask pruned_mask;
+  pruned_mask.set("w", Tensor(Shape{9}));  // all zeros
+  expect_identity(pruned_state, &pruned_mask);
+  EXPECT_EQ(payload_bytes(pruned_state, &pruned_mask), 2u);  // ⌈9/8⌉ bitmap only
+
+  // And the degenerate payloads still round-trip through decode.
+  const StateDict decoded = decode_update(encode_update(pruned_state, &pruned_mask));
+  ASSERT_EQ(decoded.size(), 1u);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(decoded[0].second[i], 0.0f);
+}
+
 TEST(Serialize, RejectsCorruptBuffers) {
   const StateDict state = sample_state();
   std::vector<std::uint8_t> bytes = encode_update(state, nullptr);

@@ -176,10 +176,74 @@ TEST(RobustSpec, CorruptionAndFilterAreSpecReachable) {
   EXPECT_GT(defended.result.final_avg_accuracy,
             corrupted.result.final_avg_accuracy + 0.1);
 
-  // Algorithms outside the FedAvg family cannot inject corruption; running
-  // them "under corruption" at clean accuracy would poison robustness tables.
+  // Algorithms outside the FedAvg family and Sub-FedAvg cannot report
+  // corruption; running them "under corruption" at clean accuracy would
+  // poison robustness tables.
   spec.algo = "standalone";
   EXPECT_THROW(execute_experiment(spec), CheckError);
+}
+
+TEST(RobustSpec, SubFedAvgHonorsCorruptionAndMaskAwareFilter) {
+  // The ROADMAP's open robustness item: the same knobs on the masked
+  // Sub-FedAvg aggregation path. Corruption rides the channel (post-decode,
+  // so it composes with codecs); the defense filters on mask-aware distance.
+  ExperimentSpec spec;
+  spec.dataset = "mnist";
+  spec.clients = 6;
+  spec.shard = 25;
+  spec.test_per_class = 8;
+  spec.rounds = 4;
+  spec.epochs = 2;
+  spec.sample = 1.0;
+  spec.algo = "subfedavg_un";
+  spec.seed = 41;
+  spec.transport = "loopback";  // corruption must compose with real encoding
+
+  const ExecutedRun clean = execute_experiment(spec);
+  EXPECT_EQ(clean.metrics.count("corrupted_updates"), 0u);
+
+  spec.corrupt_fraction = 0.34;
+  spec.corrupt_noise = 5.0;
+  const ExecutedRun corrupted = execute_experiment(spec);
+  ASSERT_EQ(corrupted.metrics.count("corrupted_updates"), 1u);
+  EXPECT_GT(corrupted.metrics.at("corrupted_updates"), 0.0);
+  EXPECT_DOUBLE_EQ(corrupted.metrics.at("filtered_updates"), 0.0);
+
+  spec.robust_filter = 3.0;
+  const ExecutedRun defended = execute_experiment(spec);
+  ASSERT_EQ(defended.metrics.count("filtered_updates"), 1u);
+  EXPECT_GT(defended.metrics.at("filtered_updates"), 0.0);
+
+  // Personalized evaluation blunts the damage relative to plain FedAvg (each
+  // client retrains its masked model locally), so the margins are smaller —
+  // but corruption must cost accuracy and the filter must claw most back.
+  EXPECT_GT(clean.result.final_avg_accuracy,
+            corrupted.result.final_avg_accuracy + 0.03);
+  EXPECT_GT(defended.result.final_avg_accuracy,
+            corrupted.result.final_avg_accuracy + 0.03);
+}
+
+TEST(UpdateDistance, MaskAwareCountsOnlyUploadedEntries) {
+  Rng rng(9);
+  Model m = ModelSpec::cnn5(10).build_init(rng);
+  const StateDict reference = m.state();
+
+  ClientUpdate update;
+  update.state = reference;
+  // The client "uploads" only the first row of fc1.weight; everything it
+  // pruned decodes as zero — a huge dense distance, but zero mask-aware.
+  Tensor* fc1 = update.state.find("fc1.weight");
+  ASSERT_NE(fc1, nullptr);
+  Tensor bits{fc1->shape()};
+  for (std::size_t i = 0; i < 8; ++i) bits[i] = 1.0f;
+  for (std::size_t i = 8; i < fc1->numel(); ++i) (*fc1)[i] = 0.0f;
+  update.mask.set("fc1.weight", std::move(bits));
+
+  EXPECT_DOUBLE_EQ(update_distance(update, reference), 0.0);
+
+  // A genuine drift on an uploaded position still registers.
+  (*update.state.find("fc1.weight"))[0] += 2.5f;
+  EXPECT_NEAR(update_distance(update, reference), 2.5, 1e-5);
 }
 
 TEST(NormFilter, FilteredAggregationSurvivesCorruption) {

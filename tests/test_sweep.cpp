@@ -389,6 +389,7 @@ TEST_F(SweepApi, RunRecordRoundTripsThroughJsonFile) {
   result.final_per_client = {0.5, 0.75};
   result.up_bytes = 1234;
   result.down_bytes = 567;
+  result.simulated_seconds = 12.75;
 
   const std::string path = ::testing::TempDir() + "/subfed_record.json";
   write_run_result_json(path, spec, "FedAvg", result, {{"unstructured_pruned", 0.25}});
@@ -402,6 +403,7 @@ TEST_F(SweepApi, RunRecordRoundTripsThroughJsonFile) {
   EXPECT_EQ(record.up_bytes, 1234u);
   EXPECT_EQ(record.down_bytes, 567u);
   EXPECT_EQ(record.total_bytes(), 1801u);
+  EXPECT_NEAR(record.simulated_seconds, 12.75, 1e-9);
   EXPECT_NEAR(record.metrics.at("unstructured_pruned"), 0.25, 1e-9);
 
   // The spec text round-trips back into an identical ExperimentSpec.
@@ -410,6 +412,68 @@ TEST_F(SweepApi, RunRecordRoundTripsThroughJsonFile) {
   EXPECT_EQ(ExperimentSpec::from_kv(kv).to_kv(), spec.to_kv());
 
   EXPECT_THROW(load_run_record("/nonexistent/run.json"), CheckError);
+}
+
+TEST_F(SweepApi, RoundTimeAndCompressionAggregateIntoTables) {
+  SweepRecord fast;
+  fast.algorithm = "FedAvg";
+  fast.spec = {{"algo", "fedavg"}, {"seed", "1"}};
+  fast.up_bytes = 1000;
+  fast.simulated_seconds = 2.0;
+  fast.metrics["compression_ratio"] = 4.0;
+  SweepRecord slow = fast;
+  slow.spec["seed"] = "2";
+  slow.simulated_seconds = 4.0;
+  slow.metrics["compression_ratio"] = 2.0;
+
+  AggregateOptions options;
+  options.metrics = {"round_time", "compression_ratio"};
+  options.group_by = resolve_group_by({fast, slow}, options);
+  const std::vector<AggregateRow> rows = aggregate_records({fast, slow}, options);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].stats.at("round_time").mean, 3.0);
+  EXPECT_DOUBLE_EQ(rows[0].stats.at("compression_ratio").mean, 3.0);
+
+  const std::string table =
+      render_table(aggregation_table(rows, options), "markdown");
+  EXPECT_NE(table.find("round_time"), std::string::npos);
+  EXPECT_NE(table.find("3.0s"), std::string::npos);  // seconds formatting
+}
+
+TEST_F(SweepApi, TransportByQuantizeGridSweeps) {
+  // The acceptance grid: transport × quantize through the sweep engine, with
+  // the lossy codecs riding a materializing transport. Loopback and
+  // subprocess agree bit-for-bit per codec; every run reports real bytes and
+  // a nonzero simulated round time.
+  SweepDescription description;
+  description.base = tiny_spec();
+  description.base.rounds = 2;
+  description.add_axis("transport=loopback,subprocess");
+  description.add_axis("quantize=none,fp16,int8");
+
+  SweepOptions options;
+  options.jobs = 2;
+  options.out_dir.clear();
+  options.echo_progress = false;
+  const SweepSummary summary = run_sweep(description.expand(), options);
+  ASSERT_EQ(summary.outcomes.size(), 6u);
+  EXPECT_EQ(summary.num_failed(), 0u);
+
+  for (std::size_t q = 0; q < 3; ++q) {
+    const SweepRunOutcome& loopback = summary.outcomes[q];       // transport axis first
+    const SweepRunOutcome& subprocess = summary.outcomes[3 + q]; // last axis fastest
+    EXPECT_EQ(loopback.run.spec.quantize, subprocess.run.spec.quantize);
+    EXPECT_EQ(loopback.result.final_avg_accuracy, subprocess.result.final_avg_accuracy)
+        << loopback.run.name;
+    EXPECT_EQ(loopback.result.total_bytes(), subprocess.result.total_bytes());
+    EXPECT_GT(loopback.result.total_bytes(), 0u);
+    EXPECT_GT(loopback.result.simulated_seconds, 0.0);
+  }
+  // Harder quantization, fewer bytes.
+  EXPECT_LT(summary.outcomes[1].result.total_bytes(),
+            summary.outcomes[0].result.total_bytes());  // fp16 < none
+  EXPECT_LT(summary.outcomes[2].result.total_bytes(),
+            summary.outcomes[1].result.total_bytes());  // int8 < fp16
 }
 
 TEST_F(SweepApi, JsonParserHandlesTheWriterGrammar) {

@@ -58,8 +58,10 @@ void print_help() {
       "  --aggregate DIR       aggregate an existing directory, run nothing\n"
       "  --group-by k1,k2      table row keys [the non-replicate axes]\n"
       "  --over KEY            replicate axis folded into mean±std [seed]\n"
-      "  --metric m1,m2        metric columns: accuracy, comm, or any extra\n"
-      "                        metric such as unstructured_pruned [accuracy,comm]\n"
+      "  --metric m1,m2        metric columns: accuracy, comm, round_time\n"
+      "                        (simulated synchronous seconds), or any extra\n"
+      "                        metric such as unstructured_pruned or\n"
+      "                        compression_ratio [accuracy,comm]\n"
       "  --format FMT          ascii | csv | markdown [ascii]\n"
       "  --quiet 1             suppress per-run progress lines\n\n"
       "base spec flags (applied before axes):\n\n%s",

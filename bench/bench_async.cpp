@@ -1,0 +1,104 @@
+// Async-rounds analysis: synchronous vs buffered (FedBuff-style) aggregation
+// across a straggler-severity grid. Every cell is a real loopback-transport
+// run; simulated seconds come from the LinkFleet round-time model — the max
+// arrival for sync rounds, the K-th arrival for buffered rounds — so the
+// table shows what closing a round early buys in wall-clock and what the
+// staleness-down-weighted late updates cost in accuracy.
+//
+//   ./bench_async [dataset]                (default mnist)
+//   SUBFEDAVG_BENCH_LINK_SPREADS=1,4,8     straggler-severity grid
+//   SUBFEDAVG_BENCH_BUFFER_K=k             buffered close count
+//                                          (default ~60% of sampled)
+//   SUBFEDAVG_BENCH_ASYNC_JSON=path        also write the grid as JSON
+//                                          (the CI perf-trajectory artifact)
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace subfed;
+using namespace subfed::bench;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  const BenchScale scale = BenchScale::from_env(/*default_rounds=*/12);
+  const DatasetSpec dataset = DatasetSpec::by_name(argc > 1 ? argv[1] : "mnist");
+  print_header("Async rounds", dataset, scale);
+
+  const std::size_t sampled = std::max<std::size_t>(
+      1, static_cast<std::size_t>(scale.sample_rate * static_cast<double>(scale.clients)));
+  const std::size_t buffer_k = static_cast<std::size_t>(env_int(
+      "SUBFEDAVG_BENCH_BUFFER_K",
+      static_cast<std::int64_t>(std::max<std::size_t>(1, (sampled * 3) / 5))));
+
+  ExperimentSpec base = make_spec(dataset.name, scale);
+  base.transport = "loopback";
+  base.algo = "subfedavg_un";
+  base.target = 0.7;
+  base.buffer_k = buffer_k;
+
+  SweepDescription description;
+  description.base = base;
+  description.add_axis("aggregation=sync,buffered");
+  description.add_axis("link_spread=" + env_string("SUBFEDAVG_BENCH_LINK_SPREADS", "1,4,8"));
+
+  SweepOptions options = bench_sweep_options(dataset.name);
+  options.echo_progress = false;
+  const SweepSummary summary = run_sweep(description.expand(), options);
+  report_failed_runs(summary);
+
+  TablePrinter table({"aggregation", "link spread", "buffer", "total bytes",
+                      "sim wall-clock", "stale", "avg accuracy"});
+  std::ostringstream json;
+  json.precision(std::numeric_limits<double>::max_digits10);
+  json << "[";
+  bool first = true;
+  for (const SweepRunOutcome& outcome : summary.outcomes) {
+    if (!outcome.ok) continue;
+    const ExperimentSpec& spec = outcome.run.spec;
+    const bool buffered = spec.aggregation == "buffered";
+    const double stale = outcome.metrics.count("stale_updates")
+                             ? outcome.metrics.at("stale_updates")
+                             : 0.0;
+    const double evicted = outcome.metrics.count("evicted_updates")
+                               ? outcome.metrics.at("evicted_updates")
+                               : 0.0;
+    table.add_row({spec.aggregation, format_float(spec.link_spread, 1),
+                   buffered ? std::to_string(buffer_k) + "/" + std::to_string(sampled)
+                            : std::to_string(sampled) + "/" + std::to_string(sampled),
+                   format_bytes(static_cast<double>(outcome.result.total_bytes())),
+                   format_float(outcome.result.simulated_seconds, 1) + "s",
+                   format_float(stale, 0),
+                   format_percent(outcome.result.final_avg_accuracy)});
+    json << (first ? "" : ",") << "\n  {\"aggregation\": \"" << spec.aggregation
+         << "\", \"link_spread\": " << spec.link_spread
+         << ", \"buffer_k\": " << (buffered ? buffer_k : sampled)
+         << ", \"sampled\": " << sampled
+         << ", \"up_bytes\": " << outcome.result.up_bytes
+         << ", \"down_bytes\": " << outcome.result.down_bytes
+         << ", \"simulated_seconds\": " << outcome.result.simulated_seconds
+         << ", \"stale_updates\": " << stale << ", \"evicted_updates\": " << evicted
+         << ", \"final_avg_accuracy\": " << outcome.result.final_avg_accuracy << "}";
+    first = false;
+  }
+  json << "\n]\n";
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("sync rounds wait for the slowest sampled client; buffered rounds close "
+              "after %zu of %zu replies and deliver stragglers' updates next round, "
+              "down-weighted by 1/(1+staleness)^%.2f\n",
+              buffer_k, sampled, base.staleness_decay);
+
+  const std::string json_path = env_string("SUBFEDAVG_BENCH_ASYNC_JSON", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    SUBFEDAVG_CHECK(out.good(), "cannot open '" << json_path << "'");
+    out << json.str();
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return summary.num_failed() == 0 ? 0 : 1;
+}

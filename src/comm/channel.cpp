@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <numeric>
 
 #include "comm/quantize.h"
 #include "comm/serialize.h"
@@ -333,6 +334,8 @@ Channel::Channel(ChannelConfig config, CommLedger* ledger)
   } else {
     transport_ = make_transport(config_.transport, config_.workers);
   }
+  SUBFEDAVG_CHECK(config_.staleness_decay >= 0.0,
+                  "staleness decay " << config_.staleness_decay << " must be >= 0");
 }
 
 Channel::~Channel() = default;
@@ -342,13 +345,105 @@ double Channel::compression_ratio() const noexcept {
   return static_cast<double>(dense_reference_bytes_) / static_cast<double>(charged_bytes_);
 }
 
+double Channel::arrival_seconds(const ClientRoundCost& cost) const {
+  if (fleet_ != nullptr) return client_seconds(*fleet_, cost);
+  const LinkModel nominal;
+  return nominal.transfer_seconds(cost.up_bytes, cost.down_bytes) + cost.compute_seconds;
+}
+
 std::vector<Exchange> Channel::run_round(std::size_t round, std::span<const ClientJob> jobs,
                                          const ClientFn& client_fn) {
   for (const ClientJob& job : jobs) {
     SUBFEDAVG_CHECK(job.broadcast != nullptr, "client job needs a broadcast state");
   }
-  return transport_ == nullptr ? run_in_memory(round, jobs, client_fn)
-                               : run_materialized(round, jobs, client_fn);
+  std::vector<Exchange> fresh = transport_ == nullptr
+                                    ? run_in_memory(round, jobs, client_fn)
+                                    : run_materialized(round, jobs, client_fn);
+  if (!config_.buffered) return fresh;
+  return close_buffered_round(round, std::move(fresh), last_fresh_arrival_order_);
+}
+
+std::vector<Exchange> Channel::close_buffered_round(
+    std::size_t round, std::vector<Exchange> fresh,
+    std::span<const std::size_t> arrival_order) {
+  // Fresh replies in arrival order: as reported by the transport, or — on the
+  // memory fast path, which materializes nothing — by each client's simulated
+  // link+compute completion time (ties broken by sampled position).
+  std::vector<std::size_t> order(arrival_order.begin(), arrival_order.end());
+  if (order.size() != fresh.size()) {
+    order.resize(fresh.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return last_arrival_seconds_[a] < last_arrival_seconds_[b];
+    });
+  }
+
+  // The buffer fills with parked updates first — they arrived while earlier
+  // rounds were already closed, so they sit at the head of the queue — oldest
+  // origin round (highest staleness) first. Updates parked past max_staleness
+  // are evicted instead of delivered.
+  std::stable_sort(parked_.begin(), parked_.end(),
+                   [](const ParkedUpdate& a, const ParkedUpdate& b) {
+                     return a.origin_round != b.origin_round
+                                ? a.origin_round < b.origin_round
+                                : a.arrival_rank < b.arrival_rank;
+                   });
+  // Note a delivery-order invariant the algorithms rely on for their
+  // side-band client mirrors: deliverable stale updates are consumed before
+  // ANY fresh reply (a filled buffer leaves fresh_slots == 0), within the
+  // stale queue oldest origin goes first, and same-round stale precede fresh
+  // in the output — so a client's mirror sections always install oldest to
+  // newest and a parked mirror can never roll back a newer one.
+  const std::size_t k = config_.buffer_k == 0 ? fresh.size() : config_.buffer_k;
+  std::vector<Exchange> out;
+  std::vector<ParkedUpdate> still_parked;
+  double close_seconds = 0.0;  // delivered stragglers still in flight floor it
+  for (ParkedUpdate& parked : parked_) {
+    const std::size_t staleness =
+        round > parked.origin_round ? round - parked.origin_round : 1;
+    if (staleness > config_.max_staleness) {
+      ++evicted_updates_;
+      continue;
+    }
+    if (out.size() >= k) {
+      still_parked.push_back(std::move(parked));  // stays parked, ages on
+      continue;
+    }
+    parked.exchange.staleness = staleness;
+    parked.exchange.update.weight =
+        std::pow(1.0 + static_cast<double>(staleness), -config_.staleness_decay);
+    ++stale_updates_;
+    close_seconds = std::max(close_seconds, parked.remaining_seconds);
+    out.push_back(std::move(parked.exchange));
+  }
+
+  // Remaining buffer slots go to this round's replies in arrival order; the
+  // round closes at the last counted arrival (the K-th — sync's max when the
+  // buffer is big enough for everyone) and the overflow parks for the next
+  // round, carrying its still-in-flight overhang. In-round exchanges return
+  // in sampled order, so a full buffer with nothing parked is bit-identical
+  // to sync mode.
+  const std::size_t fresh_slots = out.size() < k ? k - out.size() : 0;
+  const std::size_t take = std::min(fresh_slots, fresh.size());
+  std::vector<bool> in_round(fresh.size(), false);
+  for (std::size_t r = 0; r < take; ++r) {
+    in_round[order[r]] = true;
+    close_seconds = std::max(close_seconds, last_arrival_seconds_[order[r]]);
+  }
+  for (ParkedUpdate& parked : still_parked) {
+    parked.remaining_seconds = std::max(0.0, parked.remaining_seconds - close_seconds);
+  }
+  parked_ = std::move(still_parked);
+  for (std::size_t r = take; r < order.size(); ++r) {
+    const double overhang =
+        std::max(0.0, last_arrival_seconds_[order[r]] - close_seconds);
+    parked_.push_back({std::move(fresh[order[r]]), round, r, overhang});
+  }
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    if (in_round[i]) out.push_back(std::move(fresh[i]));
+  }
+  last_round_seconds_ = close_seconds;
+  return out;
 }
 
 std::vector<Exchange> Channel::run_in_memory(std::size_t round,
@@ -371,6 +466,7 @@ std::vector<Exchange> Channel::run_in_memory(std::size_t round,
     exchanges[i].state = std::move(result.state);
   });
 
+  last_fresh_arrival_order_.clear();  // no transport: simulated arrival order
   finish_round(round, jobs, exchanges, up_bytes, down_bytes, dense_scalars);
   return exchanges;
 }
@@ -400,8 +496,12 @@ std::vector<Exchange> Channel::run_materialized(std::size_t round,
   });
 
   // Client side (possibly in a forked worker): decode the broadcast, compute,
-  // encode the update through the same codec stack.
+  // encode the update through the same codec stack. `up_payload` records each
+  // reply's charged (section-0) size for the arrival model — written by the
+  // in-process loopback handler only; subprocess children write their copy,
+  // which is fine because that transport ignores the model anyway.
   const bool detached = transport_->detached();
+  std::vector<std::size_t> up_payload(jobs.size(), 0);
   const TransportHandler handler = [&](std::span<const std::uint8_t> request_bytes,
                                        std::size_t i) {
     const Envelope request = decode_envelope(request_bytes);
@@ -421,14 +521,30 @@ std::vector<Exchange> Channel::run_materialized(std::size_t round,
     StateDict upload = std::move(result.update.state);
     if (config_.delta) subtract_reference(upload, mask, received);
     reply.sections.push_back(encode_payload(upload, mask, config_.quantize));
+    up_payload[i] = reply.sections[0].size();
     for (const StateDict& section : result.state) {
       reply.sections.push_back(encode_update(section, nullptr));
     }
     return encode_envelope(reply);
   };
 
-  const std::vector<std::vector<std::uint8_t>> responses =
-      transport_->round_trip(requests, handler);
+  // Replies come back in arrival order: genuine pipe order from subprocess
+  // workers, the LinkFleet's simulated delivery order from loopback — the
+  // order a buffered round closes on. The model deliberately uses the same
+  // charged bytes as finish_round's per-exchange times (not the framed
+  // envelope sizes), so buffer membership and round duration always agree.
+  const ArrivalModel arrival = [&](std::size_t i, std::size_t /*request_bytes*/,
+                                   std::size_t /*response_bytes*/) {
+    return arrival_seconds({jobs[i].client, up_payload[i], down_bytes[i], 0.0});
+  };
+  std::vector<TransportArrival> landed = transport_->collect(requests, handler, arrival);
+  std::vector<std::vector<std::uint8_t>> responses(jobs.size());
+  last_fresh_arrival_order_.clear();
+  last_fresh_arrival_order_.reserve(landed.size());
+  for (TransportArrival& reply : landed) {
+    last_fresh_arrival_order_.push_back(reply.index);
+    responses[reply.index] = std::move(reply.response);
+  }
 
   // Server side, uplink: decode every reply; the delta codec adds back the
   // broadcast as the client received it (both ends derived that view from the
@@ -469,11 +585,18 @@ void Channel::finish_round(std::size_t round, std::span<const ClientJob> jobs,
                            std::span<const std::size_t> dense_scalars) {
   last_round_costs_.clear();
   last_round_costs_.reserve(jobs.size());
+  last_arrival_seconds_.assign(jobs.size(), 0.0);
+  last_round_seconds_ = 0.0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     ledger_->record(round, up_bytes[i], down_bytes[i]);
     charged_bytes_ += up_bytes[i] + down_bytes[i];
     dense_reference_bytes_ += 4 * dense_scalars[i];
     last_round_costs_.push_back({jobs[i].client, up_bytes[i], down_bytes[i], 0.0});
+    // Simulated completion time from the bytes the ledger charges: the
+    // synchronous round lasts as long as the slowest; a buffered close
+    // overwrites this with the K-th arrival.
+    last_arrival_seconds_[i] = arrival_seconds(last_round_costs_.back());
+    last_round_seconds_ = std::max(last_round_seconds_, last_arrival_seconds_[i]);
   }
 
   // Corruption is injected here — after the server decoded the upload, in

@@ -29,6 +29,23 @@
 // the server decodes an upload — post-codec, so a corrupted update is exactly
 // what a byzantine sender could have put on the wire — with the same RNG
 // stream for every transport, keeping runs comparable.
+//
+// Aggregation modes (ChannelConfig::buffered):
+//
+//   sync     — the round closes when every sampled client replied; round time
+//              is the slowest participant (comm/round_time.h's max).
+//   buffered — FedBuff-style: the round closes after the first `buffer_k`
+//              replies (parked updates from earlier rounds fill buffer slots
+//              first); later replies are parked for the next round with a
+//              staleness counter and delivered down-weighted by
+//              1/(1+staleness)^staleness_decay (ClientUpdate::weight, honored
+//              mask-aware by every aggregation rule). Updates parked past
+//              max_staleness are evicted. Arrival order comes from the
+//              transport: subprocess reports genuine pipe order, loopback and
+//              memory order by each client's simulated link+compute time
+//              under the LinkFleet. Round time is the K-th arrival instead of
+//              the max. With buffer_k == sampled count nothing is ever parked
+//              and the mode is bit-identical to sync.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +81,11 @@ struct ChannelConfig {
   double corrupt_fraction = 0.0;     ///< post-decode upload corruption
   double corrupt_noise = 1.0;
   std::uint64_t seed = 1;            ///< corruption stream seed
+  // Buffered (FedBuff-style) aggregation — see the header comment.
+  bool buffered = false;             ///< close rounds after buffer_k replies
+  std::size_t buffer_k = 0;          ///< replies that close a round; 0 → all
+  double staleness_decay = 0.5;      ///< weight = 1/(1+staleness)^decay
+  std::size_t max_staleness = 4;     ///< parked updates older than this drop
 };
 
 // ---------------------------------------------------------------------------
@@ -131,13 +153,17 @@ struct ClientResult {
   std::size_t payload_copies = 1; ///< uplink twin of ClientJob::payload_copies
 };
 
-/// The server-side view of one completed exchange, in sampled order.
+/// The server-side view of one completed exchange. Synchronous rounds yield
+/// them in sampled order; buffered rounds yield parked (stale) deliveries
+/// first, then this round's fresh arrivals in sampled order.
 struct Exchange {
   std::size_t client = 0;
   ClientUpdate update;            ///< as decoded by the server (post-codec,
-                                  ///< post-corruption)
+                                  ///< post-corruption; `weight` carries the
+                                  ///< staleness down-weight)
   std::vector<StateDict> state;   ///< side-band mirror (subprocess only)
   bool corrupted = false;
+  std::size_t staleness = 0;      ///< rounds this update waited parked
 };
 
 /// Client-side computation: receives its job, the broadcast AS RECEIVED
@@ -161,11 +187,18 @@ class Channel {
 
   const ChannelConfig& config() const noexcept { return config_; }
 
-  /// Runs one synchronous round of exchanges: broadcast down, client compute,
-  /// update up — through the configured transport and codec stack. Records
-  /// per-client bytes in the ledger (sampled order) and retains them for the
-  /// driver's round-time model. Throws CheckError when a transport worker
-  /// dies.
+  /// Heterogeneous link endowments for the round-time model and buffered
+  /// arrival ordering. Not owned; must outlive the channel (or be reset).
+  /// Null (the default) means every client runs at the nominal LinkModel
+  /// rates.
+  void set_link_fleet(const LinkFleet* fleet) noexcept { fleet_ = fleet; }
+
+  /// Runs one round of exchanges: broadcast down, client compute, update up —
+  /// through the configured transport and codec stack. Records per-client
+  /// bytes in the ledger (sampled order) and retains them for the round-time
+  /// model. In buffered mode, closes the round after the first buffer_k
+  /// replies and parks the rest (see the header comment). Throws CheckError
+  /// when a transport worker dies.
   std::vector<Exchange> run_round(std::size_t round, std::span<const ClientJob> jobs,
                                   const ClientFn& client_fn);
 
@@ -173,6 +206,17 @@ class Channel {
   const std::vector<ClientRoundCost>& last_round_costs() const noexcept {
     return last_round_costs_;
   }
+
+  /// Simulated duration of the most recent round under the link fleet: the
+  /// slowest participant in sync mode, the K-th arrival in buffered mode.
+  double last_round_seconds() const noexcept { return last_round_seconds_; }
+
+  /// Updates delivered late (staleness ≥ 1) so far (buffered mode).
+  std::size_t stale_updates() const noexcept { return stale_updates_; }
+  /// Updates evicted after waiting parked past max_staleness.
+  std::size_t evicted_updates() const noexcept { return evicted_updates_; }
+  /// Updates currently parked for a future round.
+  std::size_t parked_updates() const noexcept { return parked_.size(); }
 
   /// Uploads replaced by noise so far (corrupt_fraction injection).
   std::size_t corrupted_updates() const noexcept { return corrupted_updates_; }
@@ -189,22 +233,55 @@ class Channel {
   struct Slot;  // per-job scratch shared between the transport lambda and the
                 // post-processing pass
 
+  /// A reply that landed after its round closed, waiting to join a later one.
+  struct ParkedUpdate {
+    Exchange exchange;
+    std::size_t origin_round = 0;  ///< round whose exchange produced it
+    std::size_t arrival_rank = 0;  ///< arrival position within origin round
+    /// Simulated time this straggler is still in flight past its origin
+    /// round's close; decremented by each subsequent round's duration. A
+    /// round that fills its buffer from parked updates cannot close before
+    /// they actually land, so their remaining flight time floors the round
+    /// duration — straggler overhang carries across rounds instead of
+    /// vanishing.
+    double remaining_seconds = 0.0;
+  };
+
   std::vector<Exchange> run_in_memory(std::size_t round, std::span<const ClientJob> jobs,
                                       const ClientFn& client_fn);
   std::vector<Exchange> run_materialized(std::size_t round, std::span<const ClientJob> jobs,
                                          const ClientFn& client_fn);
   /// `dense_scalars[i]` is exchange i's logical fp32-dense scalar count (down
-  /// + up, payload copies included) — the compression baseline.
+  /// + up, payload copies included) — the compression baseline. Also derives
+  /// each exchange's simulated completion time and the synchronous round
+  /// duration.
   void finish_round(std::size_t round, std::span<const ClientJob> jobs,
                     std::vector<Exchange>& exchanges,
                     std::span<const std::size_t> up_bytes,
                     std::span<const std::size_t> down_bytes,
                     std::span<const std::size_t> dense_scalars);
+  /// Buffered close: selects the round's buffer (parked first, then fresh in
+  /// arrival order), parks the overflow, applies staleness weights and the
+  /// K-th-arrival round time. `arrival_order` holds fresh-exchange indices in
+  /// arrival order.
+  std::vector<Exchange> close_buffered_round(std::size_t round,
+                                             std::vector<Exchange> fresh,
+                                             std::span<const std::size_t> arrival_order);
+  double arrival_seconds(const ClientRoundCost& cost) const;
 
   ChannelConfig config_;
   CommLedger* ledger_;
   std::unique_ptr<Transport> transport_;  ///< null for the memory fast path
+  const LinkFleet* fleet_ = nullptr;      ///< not owned; null → nominal rates
   std::vector<ClientRoundCost> last_round_costs_;
+  std::vector<double> last_arrival_seconds_;  ///< aligned with fresh exchanges
+  /// Fresh-exchange indices in transport arrival order; empty on the memory
+  /// fast path (simulated order is derived from last_arrival_seconds_).
+  std::vector<std::size_t> last_fresh_arrival_order_;
+  double last_round_seconds_ = 0.0;
+  std::vector<ParkedUpdate> parked_;
+  std::size_t stale_updates_ = 0;
+  std::size_t evicted_updates_ = 0;
   std::size_t corrupted_updates_ = 0;
   std::uint64_t dense_reference_bytes_ = 0;
   std::uint64_t charged_bytes_ = 0;

@@ -25,16 +25,31 @@ const ClientLink& LinkFleet::link(std::size_t k) const {
   return links_[k];
 }
 
+double client_seconds(const LinkFleet& fleet, const ClientRoundCost& cost) {
+  const ClientLink& link = fleet.link(cost.client);
+  return static_cast<double>(cost.down_bytes) / link.down_bytes_per_s +
+         cost.compute_seconds +
+         static_cast<double>(cost.up_bytes) / link.up_bytes_per_s;
+}
+
 double round_seconds(const LinkFleet& fleet, const std::vector<ClientRoundCost>& costs) {
   double slowest = 0.0;
   for (const ClientRoundCost& cost : costs) {
-    const ClientLink& link = fleet.link(cost.client);
-    const double t = static_cast<double>(cost.down_bytes) / link.down_bytes_per_s +
-                     cost.compute_seconds +
-                     static_cast<double>(cost.up_bytes) / link.up_bytes_per_s;
-    slowest = std::max(slowest, t);
+    slowest = std::max(slowest, client_seconds(fleet, cost));
   }
   return slowest;
+}
+
+double kth_arrival_seconds(const LinkFleet& fleet, const std::vector<ClientRoundCost>& costs,
+                           std::size_t k) {
+  if (costs.empty()) return 0.0;
+  if (k == 0 || k >= costs.size()) return round_seconds(fleet, costs);
+  std::vector<double> times;
+  times.reserve(costs.size());
+  for (const ClientRoundCost& cost : costs) times.push_back(client_seconds(fleet, cost));
+  std::nth_element(times.begin(), times.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   times.end());
+  return times[k - 1];
 }
 
 }  // namespace subfed

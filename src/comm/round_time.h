@@ -1,4 +1,4 @@
-// Synchronous-round wall-clock model.
+// Round wall-clock model: synchronous max and buffered K-th arrival.
 //
 // The paper motivates pruning with the uplink bottleneck (§2: US average
 // 55 Mbps down vs 18.9 Mbps up; edge uplinks ≈ 1 MB/s). In a synchronous
@@ -6,6 +6,10 @@
 //
 //   T_round = max over sampled clients of
 //             (download_bytes/down_rate + compute_s + upload_bytes/up_rate)
+//
+// A buffered round (FedBuff-style, comm/channel.h) closes after the first K
+// replies instead, so its duration is the K-th smallest of the same
+// per-client times — the K-th percentile instead of the max.
 //
 // Clients draw heterogeneous link speeds once (a slow-device distribution),
 // making stragglers — and the benefit of smaller updates — visible in time
@@ -49,7 +53,21 @@ struct ClientRoundCost {
   double compute_seconds = 0.0;
 };
 
+/// One participant's simulated completion time: down + compute + up under its
+/// link endowment.
+double client_seconds(const LinkFleet& fleet, const ClientRoundCost& cost);
+
 /// Synchronous-round duration: max over participants of down + compute + up.
 double round_seconds(const LinkFleet& fleet, const std::vector<ClientRoundCost>& costs);
+
+/// Buffered-round duration: the K-th smallest participant completion time —
+/// when the server closes the round after the first `k` replies, the K-th
+/// arrival is what it waited for. `k` ≥ costs.size() (or 0) degenerates to
+/// the synchronous max; an empty round is free. This is the reference model
+/// for a single fresh round; Channel::close_buffered_round applies it with
+/// cross-round bookkeeping on top (parked stragglers still in flight floor
+/// the next round's duration).
+double kth_arrival_seconds(const LinkFleet& fleet, const std::vector<ClientRoundCost>& costs,
+                           std::size_t k);
 
 }  // namespace subfed

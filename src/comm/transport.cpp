@@ -1,5 +1,6 @@
 #include "comm/transport.h"
 
+#include <poll.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -10,12 +11,35 @@
 #include <cerrno>
 #include <cstring>
 #include <mutex>
+#include <numeric>
 #include <thread>
 
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace subfed {
+
+std::vector<TransportArrival> Transport::collect(
+    std::span<const std::vector<std::uint8_t>> requests, const TransportHandler& handler,
+    const ArrivalModel& arrival) {
+  // In-process default: compute every reply, then deliver them in the order
+  // the arrival model says they would have landed.
+  std::vector<std::vector<std::uint8_t>> responses = round_trip(requests, handler);
+  std::vector<std::size_t> order(responses.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (arrival != nullptr) {
+    std::vector<double> seconds(responses.size());
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      seconds[i] = arrival(i, requests[i].size(), responses[i].size());
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return seconds[a] < seconds[b]; });
+  }
+  std::vector<TransportArrival> arrivals;
+  arrivals.reserve(responses.size());
+  for (const std::size_t i : order) arrivals.push_back({i, std::move(responses[i])});
+  return arrivals;
+}
 
 namespace {
 
@@ -99,15 +123,33 @@ class SubprocessTransport final : public Transport {
     // Waves of at most `workers_` concurrent children. Every child in a wave
     // is forked first (each blocks reading its request pipe), then the parent
     // streams the requests — children start computing as soon as their frame
-    // lands — and finally collects the responses in order. A child that dies
-    // before replying (crash, kill, handler _exit) produces a short read and
-    // fails only this batch's run.
+    // lands — and finally collects the responses as they land. A child that
+    // dies before replying (crash, kill, handler _exit) produces a short read
+    // and fails only this batch's run.
     for (std::size_t base = 0; base < requests.size(); base += workers_) {
       const std::size_t wave = std::min(workers_, requests.size() - base);
       run_wave(requests.subspan(base, wave), base, handler,
-               {responses.data() + base, wave});
+               {responses.data() + base, wave}, nullptr);
     }
     return responses;
+  }
+
+  std::vector<TransportArrival> collect(std::span<const std::vector<std::uint8_t>> requests,
+                                        const TransportHandler& handler,
+                                        const ArrivalModel& arrival) override {
+    (void)arrival;  // genuine pipe-arrival order needs no simulation
+    std::vector<std::vector<std::uint8_t>> responses(requests.size());
+    std::vector<std::size_t> order;
+    order.reserve(requests.size());
+    for (std::size_t base = 0; base < requests.size(); base += workers_) {
+      const std::size_t wave = std::min(workers_, requests.size() - base);
+      run_wave(requests.subspan(base, wave), base, handler,
+               {responses.data() + base, wave}, &order);
+    }
+    std::vector<TransportArrival> arrivals;
+    arrivals.reserve(order.size());
+    for (const std::size_t i : order) arrivals.push_back({i, std::move(responses[i])});
+    return arrivals;
   }
 
  private:
@@ -122,9 +164,12 @@ class SubprocessTransport final : public Transport {
     fd = -1;
   }
 
+  /// `arrival_order`, when non-null, receives the absolute request indices in
+  /// the order their response frames started landing on the parent's pipes.
   void run_wave(std::span<const std::vector<std::uint8_t>> requests, std::size_t base,
                 const TransportHandler& handler,
-                std::span<std::vector<std::uint8_t>> responses) {
+                std::span<std::vector<std::uint8_t>> responses,
+                std::vector<std::size_t>* arrival_order) {
     // Writing to a worker that already died must surface as an error frame,
     // not kill the parent with SIGPIPE.
     static std::once_flag sigpipe_once;
@@ -192,11 +237,40 @@ class SubprocessTransport final : public Transport {
       }
     }
     if (error.empty()) {
-      for (std::size_t i = 0; i < requests.size(); ++i) {
-        if (!read_frame(workers[i].response_fd, &responses[i])) {
-          error = "transport: worker " + std::to_string(base + i) +
-                  " died before replying (crash or kill in client-side work)";
+      // Reap replies as they land: poll every pending response pipe and read
+      // whichever becomes readable first. A child writes its whole frame in
+      // one go (blocking once the pipe fills), so first-readable is the order
+      // rounds actually finished — the arrival order buffered aggregation
+      // closes on. A child that died instead presents EOF here and fails the
+      // batch with the same short-read diagnosis as before.
+      std::vector<bool> pending(requests.size(), true);
+      std::size_t remaining = requests.size();
+      while (remaining > 0 && error.empty()) {
+        std::vector<struct pollfd> fds;
+        std::vector<std::size_t> slot;
+        fds.reserve(remaining);
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          if (!pending[i]) continue;
+          fds.push_back({workers[i].response_fd, POLLIN, 0});
+          slot.push_back(i);
+        }
+        int ready = ::poll(fds.data(), fds.size(), -1);
+        if (ready < 0) {
+          if (errno == EINTR) continue;
+          error = "transport: poll() failed";
           break;
+        }
+        for (std::size_t f = 0; f < fds.size(); ++f) {
+          if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+          const std::size_t i = slot[f];
+          if (!read_frame(workers[i].response_fd, &responses[i])) {
+            error = "transport: worker " + std::to_string(base + i) +
+                    " died before replying (crash or kill in client-side work)";
+            break;
+          }
+          pending[i] = false;
+          --remaining;
+          if (arrival_order != nullptr) arrival_order->push_back(base + i);
         }
       }
     }

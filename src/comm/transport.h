@@ -31,6 +31,19 @@ namespace subfed {
 using TransportHandler =
     std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>, std::size_t index)>;
 
+/// One reply as it landed: `index` names the request it answers.
+struct TransportArrival {
+  std::size_t index = 0;
+  std::vector<std::uint8_t> response;
+};
+
+/// Simulated completion time of exchange `index` whose request/response
+/// framed to the given byte counts — in-process transports, which compute
+/// every reply locally, use it to order replies the way a heterogeneous
+/// fleet (comm/round_time.h's LinkFleet) would have delivered them.
+using ArrivalModel = std::function<double(std::size_t index, std::size_t request_bytes,
+                                          std::size_t response_bytes)>;
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -47,6 +60,18 @@ class Transport {
   virtual std::vector<std::vector<std::uint8_t>> round_trip(
       std::span<const std::vector<std::uint8_t>> requests,
       const TransportHandler& handler) = 0;
+
+  /// Round-trips every request like round_trip, but returns replies in
+  /// ARRIVAL order — the seam buffered aggregation closes a round on.
+  /// Subprocess reports genuine pipe-arrival order (the order response frames
+  /// started landing); in-process transports order by `arrival` (ties broken
+  /// by index), falling back to request order when no model is given. Every
+  /// request is always answered or the call throws: a caller that closes its
+  /// round after the first K replies parks the rest — workers are never
+  /// abandoned mid-reply and no pipe outlives the call.
+  virtual std::vector<TransportArrival> collect(
+      std::span<const std::vector<std::uint8_t>> requests, const TransportHandler& handler,
+      const ArrivalModel& arrival = nullptr);
 };
 
 /// Builds a transport by name ("loopback" | "subprocess"). `workers` caps the

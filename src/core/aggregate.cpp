@@ -40,32 +40,42 @@ StateDict masked_aggregate(std::span<const ClientUpdate> updates,
       }
     }
 
+    // Staleness multipliers ride every rule: each contribution is scaled by
+    // its update's weight and the normalizer sums the weights, so weight 1.0
+    // everywhere (the synchronous case) reproduces the unweighted math
+    // bit-for-bit (×1.0 and Σ1.0-counts are exact in float).
     if (!any_covered) {
-      // Uniform average (biases, BN affine terms, running stats).
+      // Weighted average (biases, BN affine terms, running stats).
+      float weight_sum = 0.0f;
       for (const ClientUpdate& u : updates) {
-        const Tensor& value = *u.state.find(name);
-        merged.add_(value);
+        const float w = static_cast<float>(u.weight);
+        merged.axpy_(w, *u.state.find(name));
+        weight_sum += w;
       }
-      merged.scale_(1.0f / static_cast<float>(updates.size()));
+      SUBFEDAVG_CHECK(weight_sum > 0.0f, "zero total aggregation weight");
+      merged.scale_(1.0f / weight_sum);
       out.add(name, std::move(merged));
       continue;
     }
 
     for (std::size_t i = 0; i < merged.numel(); ++i) {
       float sum = 0.0f;
+      float weight_sum = 0.0f;
       std::size_t keepers = 0;
       for (const ClientUpdate& u : updates) {
         const Tensor* m = u.mask.find(name);
         const bool kept = (m == nullptr) || ((*m)[i] != 0.0f);
         if (kept) {
-          sum += (*u.state.find(name))[i];
+          const float w = static_cast<float>(u.weight);
+          sum += w * (*u.state.find(name))[i];
+          weight_sum += w;
           ++keepers;
         }
       }
       const bool use_average = rule == CoveredRule::kCounting
-                                   ? keepers > 0
-                                   : keepers == updates.size();
-      merged[i] = use_average ? sum / static_cast<float>(keepers) : prev[i];
+                                   ? keepers > 0 && weight_sum > 0.0f
+                                   : keepers == updates.size() && weight_sum > 0.0f;
+      merged[i] = use_average ? sum / weight_sum : prev[i];
     }
     out.add(name, std::move(merged));
   }
@@ -88,11 +98,13 @@ StateDict fedavg_aggregate(std::span<const ClientUpdate> updates) {
   SUBFEDAVG_CHECK(!updates.empty(), "aggregate needs at least one update");
   check_aligned(updates, updates.front().state);
 
-  double total_examples = 0.0;
+  // Example counts × staleness weights; weight 1.0 everywhere degenerates to
+  // the plain example-count mean bit-for-bit.
+  double total_weight = 0.0;
   for (const ClientUpdate& u : updates) {
-    total_examples += static_cast<double>(u.num_examples);
+    total_weight += u.weight * static_cast<double>(u.num_examples);
   }
-  SUBFEDAVG_CHECK(total_examples > 0, "zero total examples");
+  SUBFEDAVG_CHECK(total_weight > 0, "zero total aggregation weight");
 
   StateDict out;
   const StateDict& reference = updates.front().state;
@@ -100,7 +112,8 @@ StateDict fedavg_aggregate(std::span<const ClientUpdate> updates) {
     const auto& [name, first] = reference[e];
     Tensor merged(first.shape());
     for (const ClientUpdate& u : updates) {
-      const float w = static_cast<float>(u.num_examples / total_examples);
+      const float w =
+          static_cast<float>(u.weight * static_cast<double>(u.num_examples) / total_weight);
       merged.axpy_(w, *u.state.find(name));
     }
     out.add(name, std::move(merged));

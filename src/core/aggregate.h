@@ -24,16 +24,21 @@
 namespace subfed {
 
 /// One client's upload: its (masked) state and the mask describing which
-/// covered entries are alive. `num_examples` weights FedAvg-style rules.
+/// covered entries are alive. `num_examples` weights FedAvg-style rules;
+/// `weight` is an extra multiplier every rule honors — the channel's buffered
+/// mode sets it to the staleness down-weight 1/(1+staleness)^a, so a late
+/// update counts for less without a separate aggregation path. 1.0 (the
+/// default) reproduces the unweighted rules bit-for-bit.
 struct ClientUpdate {
   StateDict state;
   ModelMask mask;          ///< empty mask → dense update
   std::size_t num_examples = 1;
+  double weight = 1.0;     ///< staleness multiplier (buffered aggregation)
 };
 
 /// Per-parameter counting aggregation (Sub-FedAvg). Entries covered by no
 /// client's kept set inherit `previous_global`. Buffers / uncovered entries
-/// average over all updates uniformly.
+/// average over all updates uniformly (weighted by ClientUpdate::weight).
 StateDict sub_fedavg_aggregate(std::span<const ClientUpdate> updates,
                                const StateDict& previous_global);
 

@@ -25,6 +25,8 @@ FederatedAlgorithm::FederatedAlgorithm(FlContext ctx) : ctx_(ctx) {
 
   SUBFEDAVG_CHECK(ctx_.codec == "sparse" || ctx_.codec == "delta",
                   "unknown codec '" << ctx_.codec << "' (sparse | delta)");
+  SUBFEDAVG_CHECK(ctx_.aggregation == "sync" || ctx_.aggregation == "buffered",
+                  "unknown aggregation '" << ctx_.aggregation << "' (sync | buffered)");
   ChannelConfig channel_config;
   channel_config.transport = ctx_.transport;
   channel_config.delta = ctx_.codec == "delta";
@@ -33,7 +35,27 @@ FederatedAlgorithm::FederatedAlgorithm(FlContext ctx) : ctx_(ctx) {
   channel_config.corrupt_fraction = ctx_.corrupt_fraction;
   channel_config.corrupt_noise = ctx_.corrupt_noise;
   channel_config.seed = ctx_.seed;
+  channel_config.buffered = ctx_.aggregation == "buffered";
+  channel_config.buffer_k = ctx_.buffer_k;
+  channel_config.staleness_decay = ctx_.staleness_decay;
+  channel_config.max_staleness = ctx_.max_staleness;
   channel_ = std::make_unique<Channel>(std::move(channel_config), &ledger_);
+
+  fleet_spread_ = ctx_.link_spread;
+  fleet_seed_ = ctx_.seed;
+  fleet_ = std::make_unique<LinkFleet>(num_clients(), LinkModel{}, fleet_spread_,
+                                       Rng(fleet_seed_).split("link-fleet"));
+  channel_->set_link_fleet(fleet_.get());
+}
+
+void FederatedAlgorithm::apply_link_spread(double spread, std::uint64_t seed) {
+  SUBFEDAVG_CHECK(spread >= 1.0, "link spread " << spread);
+  if (spread == fleet_spread_ && seed == fleet_seed_) return;
+  fleet_spread_ = spread;
+  fleet_seed_ = seed;
+  fleet_ = std::make_unique<LinkFleet>(num_clients(), LinkModel{}, fleet_spread_,
+                                       Rng(fleet_seed_).split("link-fleet"));
+  channel_->set_link_fleet(fleet_.get());
 }
 
 FederatedAlgorithm::~FederatedAlgorithm() {

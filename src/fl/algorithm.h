@@ -57,6 +57,18 @@ struct FlContext {
   std::string quantize = "none";
   /// Subprocess-transport fan-out per round (0 → hardware concurrency).
   std::size_t channel_workers = 0;
+  /// Straggler model (comm/round_time.h): every client draws a log-uniform
+  /// slowdown in [1/link_spread, 1] of the nominal edge link once per run.
+  double link_spread = 1.0;
+  /// Round aggregation (comm/channel.h): "sync" waits for every sampled
+  /// client; "buffered" closes the round after the first buffer_k replies
+  /// (0 → all sampled) and parks late updates for the next round, delivered
+  /// down-weighted by 1/(1+staleness)^staleness_decay and evicted past
+  /// max_staleness.
+  std::string aggregation = "sync";
+  std::size_t buffer_k = 0;
+  double staleness_decay = 0.5;
+  std::size_t max_staleness = 4;
 };
 
 class FederatedAlgorithm {
@@ -93,11 +105,19 @@ class FederatedAlgorithm {
   const CommLedger& ledger() const noexcept { return ledger_; }
   /// The message channel every built-in algorithm exchanges through.
   const Channel& channel() const noexcept { return *channel_; }
-  /// Per-client byte costs of the most recent round, for the driver's
-  /// synchronous round-time model (empty before the first round).
+  /// Per-client byte costs of the most recent round, for the round-time
+  /// model (empty before the first round).
   const std::vector<ClientRoundCost>& last_round_costs() const noexcept {
     return channel_->last_round_costs();
   }
+  /// Simulated duration of the most recent round under the link fleet:
+  /// slowest participant in sync mode, K-th arrival in buffered mode.
+  double last_round_seconds() const noexcept { return channel_->last_round_seconds(); }
+  /// Rebuilds the link fleet when `spread`/`seed` differ from the current
+  /// draw — the driver honors DriverConfig::link_spread (and its seed, which
+  /// may differ from ctx.seed for direct-API callers) this way. The draw uses
+  /// the same "link-fleet" stream the driver used before it moved here.
+  void apply_link_spread(double spread, std::uint64_t seed);
 
   /// Mean personalized accuracy over ALL clients (evaluated in parallel).
   double average_test_accuracy();
@@ -120,6 +140,11 @@ class FederatedAlgorithm {
 
  private:
   StateDict initial_state_;
+  /// Heterogeneous per-client links (ctx.link_spread); the channel holds a
+  /// pointer for arrival ordering and round timing.
+  std::unique_ptr<LinkFleet> fleet_;
+  double fleet_spread_ = 1.0;
+  std::uint64_t fleet_seed_ = 0;
   /// Previous process-wide math-thread cap when ctx.math_threads overrode it.
   std::optional<std::size_t> restore_math_threads_;
 };

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "comm/round_time.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -49,8 +48,13 @@ RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& conf
 
   Rng sample_rng = Rng(config.seed).split("client-sampling");
   Rng dropout_rng = Rng(config.seed).split("client-dropout");
-  const LinkFleet fleet(n, LinkModel{}, config.link_spread,
-                        Rng(config.seed).split("link-fleet"));
+  // The algorithm's channel owns the round-time model (it also needs it for
+  // buffered arrival ordering); honor the driver-level spread knob there.
+  // The default (1.0) defers to whatever FlContext.link_spread configured, so
+  // a direct-API caller's context setting survives a default DriverConfig.
+  if (config.link_spread != 1.0) {
+    algorithm.apply_link_spread(config.link_spread, config.seed);
+  }
   RunResult result;
 
   for (std::size_t round = 0; round < config.rounds; ++round) {
@@ -77,7 +81,7 @@ RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& conf
     const std::uint64_t up_before = algorithm.ledger().total_up();
     const std::uint64_t down_before = algorithm.ledger().total_down();
     algorithm.run_round(round, sampled);
-    const double simulated = round_seconds(fleet, algorithm.last_round_costs());
+    const double simulated = algorithm.last_round_seconds();
     result.simulated_seconds += simulated;
     if (observer != nullptr) {
       RoundEndInfo info;

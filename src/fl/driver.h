@@ -31,8 +31,11 @@ struct DriverConfig {
   /// draws a log-uniform slowdown in [1/spread, 1] of the nominal edge link
   /// (1 MB/s up, 8 MB/s down) once per run. 1 = homogeneous fleet; must be
   /// ≥ 1. A synchronous round lasts as long as its slowest sampled client's
-  /// transfers, so RunResult::simulated_seconds turns the byte ledger into
-  /// wall-clock the paper's uplink-bottleneck argument is about.
+  /// transfers — a buffered round (FlContext.aggregation = "buffered") only
+  /// as long as its K-th arrival — so RunResult::simulated_seconds turns the
+  /// byte ledger into wall-clock the paper's uplink-bottleneck argument is
+  /// about. 1.0 (the default) defers to FlContext.link_spread; any other
+  /// value overrides it for the run.
   double link_spread = 1.0;
 };
 
@@ -49,9 +52,12 @@ struct RunResult {
   std::uint64_t down_bytes = 0;
   std::size_t dropped_clients = 0;          ///< fault-injection casualties
   std::size_t skipped_rounds = 0;           ///< rounds where everyone dropped
-  /// Sum over rounds of the synchronous round time (slowest sampled client's
-  /// transfers under the link fleet). Deterministic — derived from the
-  /// ledger's bytes, not from host wall-clock.
+  /// Sum over rounds of the simulated round time under the link fleet
+  /// (slowest sampled client in sync mode, K-th arrival in buffered mode).
+  /// Derived from the ledger's bytes, not from host wall-clock —
+  /// deterministic per seed, except buffered + subprocess, where genuine
+  /// pipe-arrival order decides buffer membership (like a real async fleet,
+  /// OS scheduling is part of the experiment).
   double simulated_seconds = 0.0;
 
   std::uint64_t total_bytes() const noexcept { return up_bytes + down_bytes; }

@@ -60,6 +60,10 @@ const Field kFields[] = {
     SUBFED_STRING_FIELD(quantize, "payload precision: none | fp16 | int8"),
     SUBFED_UINT_FIELD(channel_workers, "subprocess fan-out; 0 = hardware"),
     SUBFED_DOUBLE_FIELD(link_spread, "straggler tail; slowest link = 1/spread"),
+    SUBFED_STRING_FIELD(aggregation, "round aggregation: sync | buffered"),
+    SUBFED_UINT_FIELD(buffer_k, "replies closing a buffered round; 0 = all sampled"),
+    SUBFED_DOUBLE_FIELD(staleness_decay, "stale update weight = 1/(1+s)^decay"),
+    SUBFED_UINT_FIELD(max_staleness, "evict updates parked more rounds than this"),
     SUBFED_UINT_FIELD(epochs, "local epochs per round"),
     SUBFED_UINT_FIELD(batch, "local batch size"),
     SUBFED_DOUBLE_FIELD(lr, "SGD learning rate"),
@@ -300,6 +304,14 @@ FlContext ExperimentSpec::make_context(const FederatedData& data) const {
   ctx.codec = codec;
   ctx.quantize = quantize;
   ctx.channel_workers = channel_workers;
+  SUBFEDAVG_CHECK(aggregation == "sync" || aggregation == "buffered",
+                  "unknown aggregation '" << aggregation << "' (sync | buffered)");
+  SUBFEDAVG_CHECK(link_spread >= 1.0, "link_spread " << link_spread << " must be >= 1");
+  ctx.link_spread = link_spread;
+  ctx.aggregation = aggregation;
+  ctx.buffer_k = buffer_k;
+  ctx.staleness_decay = staleness_decay;
+  ctx.max_staleness = max_staleness;
   return ctx;
 }
 
@@ -413,6 +425,14 @@ ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observ
   // traffic the same exchanges would have cost.
   if (algorithm->channel().charged_bytes() > 0) {
     run.metrics["compression_ratio"] = algorithm->channel().compression_ratio();
+  }
+  // Buffered-aggregation accounting: how many updates landed late, were
+  // evicted past max_staleness, or were still parked when the run ended.
+  if (spec.aggregation == "buffered") {
+    const Channel& channel = algorithm->channel();
+    run.metrics["stale_updates"] = static_cast<double>(channel.stale_updates());
+    run.metrics["evicted_updates"] = static_cast<double>(channel.evicted_updates());
+    run.metrics["parked_updates"] = static_cast<double>(channel.parked_updates());
   }
 
   if (!spec.out.empty()) {

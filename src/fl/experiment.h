@@ -54,6 +54,14 @@ struct ExperimentSpec {
   std::string quantize = "none";     ///< none | fp16 | int8 kept-value precision
   std::size_t channel_workers = 0;   ///< subprocess fan-out; 0 → hardware
   double link_spread = 1.0;          ///< straggler tail: slowest link = 1/spread
+  // Round aggregation (comm/channel.h): buffered closes a round after the
+  // first buffer_k replies and parks stragglers' updates for the next round,
+  // staleness-down-weighted by 1/(1+s)^staleness_decay, evicted past
+  // max_staleness.
+  std::string aggregation = "sync";  ///< sync | buffered
+  std::size_t buffer_k = 0;          ///< replies closing a buffered round; 0 → all
+  double staleness_decay = 0.5;      ///< stale-update down-weight exponent
+  std::size_t max_staleness = 4;     ///< parked updates older than this drop
   // Local training.
   std::size_t epochs = 3;
   std::size_t batch = 10;

@@ -155,8 +155,9 @@ struct AggregateOptions {
   /// Replicate key folded into mean ± std (its values never form rows).
   std::string over = "seed";
   /// Metric columns: "accuracy", "comm", "round_time" (the driver's
-  /// simulated synchronous seconds), or any extra-metrics key (e.g.
-  /// "unstructured_pruned", "compression_ratio").
+  /// simulated seconds — slowest client in sync mode, K-th arrival in
+  /// buffered mode), or any extra-metrics key (e.g. "unstructured_pruned",
+  /// "compression_ratio", "stale_updates", "evicted_updates").
   std::vector<std::string> metrics = {"accuracy", "comm"};
 };
 

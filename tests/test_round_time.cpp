@@ -73,6 +73,32 @@ TEST(RoundSeconds, UplinkDominatesSymmetricPayloads) {
   EXPECT_GT(up_only / total, 0.85);  // upload is ≥85% of the round
 }
 
+TEST(KthArrival, PercentileOrderingAndDegenerateCases) {
+  LinkModel base{/*up=*/100.0, /*down=*/1000.0};
+  LinkFleet fleet(3, base, 1.0, Rng(3));
+  // Completion times: client 0 → 1.5s, client 1 → 1.5s, client 2 → 4.0s.
+  std::vector<ClientRoundCost> costs{
+      {0, 100, 0, 0.5},
+      {1, 50, 1000, 0.0},
+      {2, 0, 0, 4.0},
+  };
+  EXPECT_DOUBLE_EQ(kth_arrival_seconds(fleet, costs, 1), 1.5);
+  EXPECT_DOUBLE_EQ(kth_arrival_seconds(fleet, costs, 2), 1.5);
+  EXPECT_DOUBLE_EQ(kth_arrival_seconds(fleet, costs, 3), round_seconds(fleet, costs));
+  // k = 0 or k > participants degenerate to the synchronous max; empty free.
+  EXPECT_DOUBLE_EQ(kth_arrival_seconds(fleet, costs, 0), 4.0);
+  EXPECT_DOUBLE_EQ(kth_arrival_seconds(fleet, costs, 7), 4.0);
+  EXPECT_DOUBLE_EQ(kth_arrival_seconds(fleet, {}, 2), 0.0);
+}
+
+TEST(KthArrival, ClientSecondsIsTheSharedBuildingBlock) {
+  LinkModel base{/*up=*/100.0, /*down=*/1000.0};
+  LinkFleet fleet(2, base, 1.0, Rng(9));
+  const ClientRoundCost cost{1, 50, 1000, 0.25};
+  EXPECT_DOUBLE_EQ(client_seconds(fleet, cost), 1.0 + 0.25 + 0.5);
+  EXPECT_DOUBLE_EQ(round_seconds(fleet, {cost}), client_seconds(fleet, cost));
+}
+
 TEST(RoundSeconds, SmallerUpdatesShortenStragglerRounds) {
   // A pruned (smaller) update on the slowest client cuts the round time
   // proportionally — the mechanism behind the paper's time-to-accuracy gain.

@@ -6,17 +6,26 @@
 // codec stack (sparse masks × fp16/int8 quantization) shows how far the wire
 // cost compresses below dense fp32.
 //
+// A final row re-runs the fedavg/fp32 cell over the tcp transport — a real
+// localhost coordinator with two worker processes' worth of in-process fleet
+// — whose byte ledger must land exactly on the loopback row: the wire
+// changes, the envelopes do not.
+//
 //   ./bench_comm_time [dataset]            (default mnist)
 //   SUBFEDAVG_BENCH_COMM_JSON=path         also write the grid as JSON
 //                                          (the CI perf-trajectory artifact)
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "comm/channel.h"
+#include "fl/worker.h"
 
 using namespace subfed;
 using namespace subfed::bench;
@@ -51,18 +60,21 @@ int main(int argc, char** argv) {
   json.precision(std::numeric_limits<double>::max_digits10);
   json << "[";
   bool first = true;
+  double fedavg_fp32_ratio = 0.0;  // reused by the tcp row: identical bytes
   for (const SweepRunOutcome& outcome : summary.outcomes) {
     if (!outcome.ok) continue;
     const ExperimentSpec& spec = outcome.run.spec;
     const double ratio = outcome.metrics.count("compression_ratio")
                              ? outcome.metrics.at("compression_ratio")
                              : 0.0;
+    if (spec.algo == "fedavg" && spec.quantize == "none") fedavg_fp32_ratio = ratio;
     table.add_row({outcome.algorithm_name, spec.quantize,
                    format_bytes(static_cast<double>(outcome.result.total_bytes())),
                    format_float(ratio, 2) + "x",
                    format_float(outcome.result.simulated_seconds, 1) + "s",
                    format_percent(outcome.result.final_avg_accuracy)});
     json << (first ? "" : ",") << "\n  {\"algorithm\": \"" << spec.algo
+         << "\", \"transport\": \"" << spec.transport
          << "\", \"quantize\": \"" << spec.quantize << "\", \"codec\": \"" << spec.codec
          << "\", \"up_bytes\": " << outcome.result.up_bytes
          << ", \"down_bytes\": " << outcome.result.down_bytes
@@ -71,6 +83,47 @@ int main(int argc, char** argv) {
          << ", \"final_avg_accuracy\": " << outcome.result.final_avg_accuracy << "}";
     first = false;
   }
+
+  // tcp row: the fedavg/fp32 cell over real localhost sockets with a
+  // two-worker fleet. Deterministic envelopes mean the byte ledger and the
+  // simulated clock must reproduce the loopback row exactly — the baselines
+  // manifest pins that parity as a tracked ratio.
+  ExperimentSpec tcp_spec = base;
+  tcp_spec.algo = "fedavg";
+  tcp_spec.transport = "tcp";
+  tcp_spec.listen = "127.0.0.1:0";
+  tcp_spec.channel_workers = 2;
+  const FederatedData tcp_data(tcp_spec.dataset_spec(), tcp_spec.data_config());
+  const FlContext tcp_ctx = tcp_spec.make_context(tcp_data);
+  std::unique_ptr<FederatedAlgorithm> coordinator = tcp_spec.make_algorithm(tcp_ctx);
+  const std::string endpoint = coordinator->channel().transport_endpoint();
+  std::vector<std::thread> fleet;
+  for (int w = 0; w < 2; ++w) {
+    fleet.emplace_back([endpoint] {
+      WorkerOptions worker;
+      worker.connect = endpoint;
+      try {
+        run_worker(worker);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "tcp bench worker: %s\n", e.what());
+      }
+    });
+  }
+  const RunResult tcp_result = run_federation(*coordinator, tcp_spec.driver_config());
+  coordinator.reset();  // transport teardown shuts the fleet down
+  for (std::thread& t : fleet) t.join();
+  table.add_row({"fedavg (tcp, 2 workers)", "none",
+                 format_bytes(static_cast<double>(tcp_result.total_bytes())),
+                 format_float(fedavg_fp32_ratio, 2) + "x",
+                 format_float(tcp_result.simulated_seconds, 1) + "s",
+                 format_percent(tcp_result.final_avg_accuracy)});
+  json << (first ? "" : ",") << "\n  {\"algorithm\": \"fedavg\", \"transport\": \"tcp\""
+       << ", \"quantize\": \"none\", \"codec\": \"" << tcp_spec.codec
+       << "\", \"up_bytes\": " << tcp_result.up_bytes
+       << ", \"down_bytes\": " << tcp_result.down_bytes
+       << ", \"simulated_seconds\": " << tcp_result.simulated_seconds
+       << ", \"compression_ratio\": " << fedavg_fp32_ratio
+       << ", \"final_avg_accuracy\": " << tcp_result.final_avg_accuracy << "}";
   json << "\n]\n";
 
   std::printf("%s\n", table.to_string().c_str());

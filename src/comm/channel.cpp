@@ -311,6 +311,37 @@ void apply_reference(StateDict& state, const ModelMask* mask, const StateDict& r
   combine_reference(state, mask, reference, 1.0f);
 }
 
+namespace {
+
+/// Encodes one client's reply envelope through the codec stack. Both the
+/// coordinator's in-process handler and a remote worker's serve_remote_exchange
+/// go through here, so a tcp reply is byte-identical to the loopback reply the
+/// same computation would have produced. `charged_bytes`, when non-null,
+/// receives the charged (section-0) size.
+std::vector<std::uint8_t> encode_client_reply(const ChannelConfig& config, std::uint32_t round,
+                                              std::uint32_t client, const StateDict& received,
+                                              ClientResult result,
+                                              std::size_t* charged_bytes) {
+  Envelope reply;
+  reply.kind = MessageKind::kClientUpdate;
+  reply.round = round;
+  reply.client = client;
+  reply.num_examples = result.update.num_examples;
+  reply.quantize = config.quantize;
+  reply.delta = config.delta;
+  const ModelMask* mask = result.update.mask.empty() ? nullptr : &result.update.mask;
+  StateDict upload = std::move(result.update.state);
+  if (config.delta) subtract_reference(upload, mask, received);
+  reply.sections.push_back(encode_payload(upload, mask, config.quantize));
+  if (charged_bytes != nullptr) *charged_bytes = reply.sections[0].size();
+  for (const StateDict& section : result.state) {
+    reply.sections.push_back(encode_update(section, nullptr));
+  }
+  return encode_envelope(reply);
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Channel
 
@@ -323,7 +354,7 @@ Channel::Channel(ChannelConfig config, CommLedger* ledger)
   SUBFEDAVG_CHECK(ledger_ != nullptr, "channel needs a ledger");
   SUBFEDAVG_CHECK(has_channel_transport(config_.transport),
                   "unknown transport '" << config_.transport
-                                        << "' (memory | loopback | subprocess)");
+                                        << "' (memory | loopback | subprocess | tcp)");
   if (config_.transport == "memory") {
     // The fast path never materializes payloads, so codecs that change the
     // bytes (or the values) cannot be honored there.
@@ -332,7 +363,15 @@ Channel::Channel(ChannelConfig config, CommLedger* ledger)
                              << quant_codec_name(config_.quantize)
                              << " require transport=loopback or subprocess");
   } else {
-    transport_ = make_transport(config_.transport, config_.workers);
+    TransportOptions options;
+    options.workers = config_.workers;
+    options.listen = config_.listen;
+    options.rpc_timeout_ms = config_.rpc_timeout_ms;
+    options.setup = config_.remote_setup;
+    // Buffered aggregation can absorb a dead worker as an evicted straggler;
+    // a synchronous round cannot, so there a death must fail the round.
+    options.tolerate_failures = config_.buffered;
+    transport_ = make_transport(config_.transport, options);
   }
   SUBFEDAVG_CHECK(config_.staleness_decay >= 0.0,
                   "staleness decay " << config_.staleness_decay << " must be >= 0");
@@ -349,6 +388,23 @@ double Channel::arrival_seconds(const ClientRoundCost& cost) const {
   if (fleet_ != nullptr) return client_seconds(*fleet_, cost);
   const LinkModel nominal;
   return nominal.transfer_seconds(cost.up_bytes, cost.down_bytes) + cost.compute_seconds;
+}
+
+std::vector<std::uint8_t> Channel::serve_remote_exchange(
+    std::span<const std::uint8_t> request_bytes, const RemoteClientFn& fn) const {
+  const Envelope request = decode_envelope(request_bytes);
+  SUBFEDAVG_CHECK(request.kind == MessageKind::kBroadcast && !request.sections.empty(),
+                  "worker expected a broadcast envelope");
+  const StateDict received = decode_payload(request.sections[0]);
+  ClientJob job;
+  job.client = request.client;
+  job.broadcast = &received;  // post-codec view; remote jobs have no pre-codec state
+  for (std::size_t s = 1; s < request.sections.size(); ++s) {
+    job.state.push_back(decode_update(request.sections[s]));
+  }
+  ClientResult result = fn(request.round, job, received);
+  return encode_client_reply(config_, request.round, request.client, received,
+                             std::move(result), nullptr);
 }
 
 std::vector<Exchange> Channel::run_round(std::size_t round, std::span<const ClientJob> jobs,
@@ -369,8 +425,11 @@ std::vector<Exchange> Channel::close_buffered_round(
   // Fresh replies in arrival order: as reported by the transport, or — on the
   // memory fast path, which materializes nothing — by each client's simulated
   // link+compute completion time (ties broken by sampled position).
+  // A genuine transport order may legitimately be SHORTER than `fresh` — tcp
+  // reports a dead worker's exchange by omission and those entries are
+  // evicted below, never re-sorted back in.
   std::vector<std::size_t> order(arrival_order.begin(), arrival_order.end());
-  if (order.size() != fresh.size()) {
+  if (last_order_simulated_) {
     order.resize(fresh.size());
     std::iota(order.begin(), order.end(), 0);
     std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -467,6 +526,8 @@ std::vector<Exchange> Channel::run_in_memory(std::size_t round,
   });
 
   last_fresh_arrival_order_.clear();  // no transport: simulated arrival order
+  last_order_simulated_ = true;
+  last_failed_.clear();
   finish_round(round, jobs, exchanges, up_bytes, down_bytes, dense_scalars);
   return exchanges;
 }
@@ -492,6 +553,11 @@ std::vector<Exchange> Channel::run_materialized(std::size_t round,
         encode_payload(*jobs[i].broadcast, jobs[i].mask, config_.quantize));
     down_bytes[i] = broadcast.sections[0].size();
     if (config_.delta) as_received[i] = decode_payload(broadcast.sections[0]);
+    // Side-band client state DOWN (remote workers only; local transports get
+    // empty job.state, so their request bytes are unchanged). Never charged.
+    for (const StateDict& section : jobs[i].state) {
+      broadcast.sections.push_back(encode_update(section, nullptr));
+    }
     requests[i] = encode_envelope(broadcast);
   });
 
@@ -509,23 +575,8 @@ std::vector<Exchange> Channel::run_materialized(std::size_t round,
                     "client expected a broadcast envelope");
     const StateDict received = decode_payload(request.sections[0]);
     ClientResult result = client_fn(jobs[i], received, detached);
-
-    Envelope reply;
-    reply.kind = MessageKind::kClientUpdate;
-    reply.round = request.round;
-    reply.client = request.client;
-    reply.num_examples = result.update.num_examples;
-    reply.quantize = config_.quantize;
-    reply.delta = config_.delta;
-    const ModelMask* mask = result.update.mask.empty() ? nullptr : &result.update.mask;
-    StateDict upload = std::move(result.update.state);
-    if (config_.delta) subtract_reference(upload, mask, received);
-    reply.sections.push_back(encode_payload(upload, mask, config_.quantize));
-    up_payload[i] = reply.sections[0].size();
-    for (const StateDict& section : result.state) {
-      reply.sections.push_back(encode_update(section, nullptr));
-    }
-    return encode_envelope(reply);
+    return encode_client_reply(config_, request.round, request.client, received,
+                               std::move(result), &up_payload[i]);
   };
 
   // Replies come back in arrival order: genuine pipe order from subprocess
@@ -541,10 +592,27 @@ std::vector<Exchange> Channel::run_materialized(std::size_t round,
   std::vector<std::vector<std::uint8_t>> responses(jobs.size());
   last_fresh_arrival_order_.clear();
   last_fresh_arrival_order_.reserve(landed.size());
+  last_order_simulated_ = false;
+  last_failed_.assign(jobs.size(), 0);
+  std::size_t delivered = 0;
+  std::string first_error;
   for (TransportArrival& reply : landed) {
+    if (!reply.ok) {
+      // A tolerant (tcp, buffered) transport reports a dead or timed-out
+      // worker as a failed arrival: its update is evicted like any straggler
+      // — the round still closes at buffer_k genuine arrivals.
+      SUBFEDAVG_CHECK(config_.buffered, reply.error);  // sync transports throw instead
+      last_failed_[reply.index] = 1;
+      ++evicted_updates_;
+      if (first_error.empty()) first_error = reply.error;
+      continue;
+    }
+    ++delivered;
     last_fresh_arrival_order_.push_back(reply.index);
     responses[reply.index] = std::move(reply.response);
   }
+  SUBFEDAVG_CHECK(delivered > 0 || jobs.empty(),
+                  "every exchange in the round failed: " << first_error);
 
   // Server side, uplink: decode every reply; the delta codec adds back the
   // broadcast as the client received it (both ends derived that view from the
@@ -553,6 +621,13 @@ std::vector<Exchange> Channel::run_materialized(std::size_t round,
   std::vector<std::size_t> up_bytes(jobs.size(), 0);
   std::vector<std::size_t> dense_scalars(jobs.size(), 0);
   ThreadPool::global().parallel_for(jobs.size(), [&](std::size_t i) {
+    if (last_failed_[i] != 0) {
+      // Evicted straggler: nothing arrived. The placeholder keeps indices
+      // aligned; close_buffered_round never delivers it (it is absent from
+      // the arrival order).
+      exchanges[i].client = jobs[i].client;
+      return;
+    }
     const Envelope reply = decode_envelope(responses[i]);
     SUBFEDAVG_CHECK(reply.kind == MessageKind::kClientUpdate && !reply.sections.empty(),
                     "server expected a client-update envelope");
@@ -605,12 +680,15 @@ void Channel::finish_round(std::size_t round, std::span<const ClientJob> jobs,
   if (config_.corrupt_fraction > 0.0) {
     Rng corrupt_rng = Rng(config_.seed).split("corrupt-updates", round);
     const CorruptionConfig corruption{1.0, static_cast<float>(config_.corrupt_noise)};
-    for (Exchange& exchange : exchanges) {
-      if (corrupt_rng.bernoulli(config_.corrupt_fraction)) {
-        corrupt_update(exchange.update, corruption, corrupt_rng);
-        exchange.corrupted = true;
-        ++corrupted_updates_;
-      }
+    for (std::size_t i = 0; i < exchanges.size(); ++i) {
+      // Draw for every exchange — failed ones included — so the corrupted
+      // cohort stays aligned across transports; an evicted exchange is never
+      // actually corrupted (nothing arrived to corrupt).
+      if (!corrupt_rng.bernoulli(config_.corrupt_fraction)) continue;
+      if (!last_failed_.empty() && last_failed_[i] != 0) continue;
+      corrupt_update(exchanges[i].update, corruption, corrupt_rng);
+      exchanges[i].corrupted = true;
+      ++corrupted_updates_;
     }
   }
 }

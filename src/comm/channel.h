@@ -24,6 +24,12 @@
 //                speaking length-prefixed envelopes over pipes (crash
 //                isolation; client-state mutations return as side-band
 //                sections that are never charged).
+//   tcp        — like subprocess, but the client half runs in remote worker
+//                processes (tools/worker) joined over real sockets. Requests
+//                additionally carry the client's side-band state DOWN
+//                (remote workers share no memory at all), and a worker that
+//                dies or times out mid-exchange is evicted as a straggler in
+//                buffered mode instead of hanging the round.
 //
 // Corruption (FlContext's corrupt_fraction/corrupt_noise) is injected after
 // the server decodes an upload — post-codec, so a corrupted update is exactly
@@ -74,13 +80,17 @@ QuantCodec parse_quant_codec(const std::string& name);
 std::string quant_codec_name(QuantCodec codec);
 
 struct ChannelConfig {
-  std::string transport = "memory";  ///< memory | loopback | subprocess
+  std::string transport = "memory";  ///< memory | loopback | subprocess | tcp
   bool delta = false;                ///< uplink delta vs the received broadcast
   QuantCodec quantize = QuantCodec::kNone;
-  std::size_t workers = 0;           ///< subprocess fan-out; 0 → hardware
+  std::size_t workers = 0;           ///< subprocess fan-out / tcp fleet size
   double corrupt_fraction = 0.0;     ///< post-decode upload corruption
   double corrupt_noise = 1.0;
   std::uint64_t seed = 1;            ///< corruption stream seed
+  // Remote (tcp) transport — see comm/transport.h's TransportOptions.
+  std::string listen;                ///< tcp coordinator bind "host:port"
+  int rpc_timeout_ms = 120000;       ///< tcp per-exchange deadline; 0 = forever
+  std::vector<std::uint8_t> remote_setup;  ///< session blob for joining workers
   // Buffered (FedBuff-style) aggregation — see the header comment.
   bool buffered = false;             ///< close rounds after buffer_k replies
   std::size_t buffer_k = 0;          ///< replies that close a round; 0 → all
@@ -143,6 +153,10 @@ struct ClientJob {
   /// N × payload_bytes without building the copies. Materializing transports
   /// ignore it — hand them a broadcast that already contains the copies.
   std::size_t payload_copies = 1;
+  /// Side-band client state shipped DOWN with the broadcast (uncharged). Fill
+  /// only when Channel::ships_client_state() — remote workers hold no client
+  /// mirrors, so each exchange carries everything the client needs in.
+  std::vector<StateDict> state;
 };
 
 /// What the client-side computation returns.
@@ -161,7 +175,7 @@ struct Exchange {
   ClientUpdate update;            ///< as decoded by the server (post-codec,
                                   ///< post-corruption; `weight` carries the
                                   ///< staleness down-weight)
-  std::vector<StateDict> state;   ///< side-band mirror (subprocess only)
+  std::vector<StateDict> state;   ///< side-band mirror (detached transports)
   bool corrupted = false;
   std::size_t staleness = 0;      ///< rounds this update waited parked
 };
@@ -173,6 +187,13 @@ struct Exchange {
 /// distinct jobs.
 using ClientFn =
     std::function<ClientResult(const ClientJob& job, const StateDict& received, bool detached)>;
+
+/// Worker-side computation for one remote exchange (serve_remote_exchange):
+/// the job is reconstructed from the wire — `job.client`, `job.state`
+/// (side-band sections shipped down), and `job.broadcast == &received` (the
+/// post-codec view; remote jobs carry no pre-codec server state).
+using RemoteClientFn = std::function<ClientResult(std::size_t round, const ClientJob& job,
+                                                  const StateDict& received)>;
 
 class Channel {
  public:
@@ -186,6 +207,26 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   const ChannelConfig& config() const noexcept { return config_; }
+
+  /// True when jobs must carry each client's side-band state DOWN
+  /// (ClientJob::state): the handler runs on a remote machine that shares no
+  /// memory — not even copy-on-write — with this process.
+  bool ships_client_state() const noexcept {
+    return transport_ != nullptr && transport_->remote();
+  }
+
+  /// The transport's accept address ("host:port" with any ephemeral port
+  /// resolved); empty for in-process backends. Workers join it.
+  std::string transport_endpoint() const {
+    return transport_ != nullptr ? transport_->endpoint() : std::string{};
+  }
+
+  /// Worker side of one remote exchange: decodes a kExchange request payload
+  /// (a Broadcast envelope), runs `fn`, and encodes the reply envelope through
+  /// the identical codec stack as the coordinator's in-process handler —
+  /// byte-for-byte, which is what makes tcp rounds bit-identical to loopback.
+  std::vector<std::uint8_t> serve_remote_exchange(std::span<const std::uint8_t> request_bytes,
+                                                  const RemoteClientFn& fn) const;
 
   /// Heterogeneous link endowments for the round-time model and buffered
   /// arrival ordering. Not owned; must outlive the channel (or be reset).
@@ -278,6 +319,14 @@ class Channel {
   /// Fresh-exchange indices in transport arrival order; empty on the memory
   /// fast path (simulated order is derived from last_arrival_seconds_).
   std::vector<std::size_t> last_fresh_arrival_order_;
+  /// True when the last round ran in memory (arrival order must be simulated
+  /// from last_arrival_seconds_). A genuine transport order stays authoritative
+  /// even when shorter than the round — tcp reports failed exchanges by
+  /// omission, and those are evictions, not candidates for re-sorting.
+  bool last_order_simulated_ = true;
+  /// Per-exchange failure flags for the last materialized round (tcp worker
+  /// deaths); empty means every exchange delivered.
+  std::vector<char> last_failed_;
   double last_round_seconds_ = 0.0;
   std::vector<ParkedUpdate> parked_;
   std::size_t stale_updates_ = 0;

@@ -1,6 +1,5 @@
 #include "comm/transport.h"
 
-#include <poll.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -10,10 +9,13 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <numeric>
 #include <thread>
 
+#include "net/io.h"
+#include "net/socket.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -37,7 +39,7 @@ std::vector<TransportArrival> Transport::collect(
   }
   std::vector<TransportArrival> arrivals;
   arrivals.reserve(responses.size());
-  for (const std::size_t i : order) arrivals.push_back({i, std::move(responses[i])});
+  for (const std::size_t i : order) arrivals.push_back({i, std::move(responses[i]), true, {}});
   return arrivals;
 }
 
@@ -64,46 +66,16 @@ class LoopbackTransport final : public Transport {
 
 // ---------------------------------------------------------------------------
 // subprocess
+//
+// Pipe framing and fd readiness come from src/net/ (the same helpers the tcp
+// transport uses on sockets): u32-little-endian length prefix, then the
+// bytes, reaped with net::wait_readable.
 
-/// Length-prefixed pipe framing: u32 little-endian byte count, then the bytes.
-bool write_all(int fd, const void* data, std::size_t n) {
-  const char* p = static_cast<const char*>(data);
-  while (n > 0) {
-    const ssize_t written = ::write(fd, p, n);
-    if (written < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += written;
-    n -= static_cast<std::size_t>(written);
-  }
-  return true;
-}
-
-bool read_all(int fd, void* data, std::size_t n) {
-  char* p = static_cast<char*>(data);
-  while (n > 0) {
-    const ssize_t got = ::read(fd, p, n);
-    if (got <= 0) {
-      if (got < 0 && errno == EINTR) continue;
-      return false;  // EOF (dead peer) or error
-    }
-    p += got;
-    n -= static_cast<std::size_t>(got);
-  }
-  return true;
-}
-
-bool write_frame(int fd, std::span<const std::uint8_t> bytes) {
-  const std::uint32_t size = static_cast<std::uint32_t>(bytes.size());
-  return write_all(fd, &size, 4) && write_all(fd, bytes.data(), bytes.size());
-}
-
-bool read_frame(int fd, std::vector<std::uint8_t>* out) {
-  std::uint32_t size = 0;
-  if (!read_all(fd, &size, 4)) return false;
-  out->resize(size);
-  return read_all(fd, out->data(), size);
+/// Writing to a worker that already died must surface as an error frame, not
+/// kill the parent with SIGPIPE. Shared with the tcp transport.
+void ignore_sigpipe() {
+  static std::once_flag sigpipe_once;
+  std::call_once(sigpipe_once, [] { ::signal(SIGPIPE, SIG_IGN); });
 }
 
 class SubprocessTransport final : public Transport {
@@ -148,7 +120,7 @@ class SubprocessTransport final : public Transport {
     }
     std::vector<TransportArrival> arrivals;
     arrivals.reserve(order.size());
-    for (const std::size_t i : order) arrivals.push_back({i, std::move(responses[i])});
+    for (const std::size_t i : order) arrivals.push_back({i, std::move(responses[i]), true, {}});
     return arrivals;
   }
 
@@ -170,10 +142,7 @@ class SubprocessTransport final : public Transport {
                 const TransportHandler& handler,
                 std::span<std::vector<std::uint8_t>> responses,
                 std::vector<std::size_t>* arrival_order) {
-    // Writing to a worker that already died must surface as an error frame,
-    // not kill the parent with SIGPIPE.
-    static std::once_flag sigpipe_once;
-    std::call_once(sigpipe_once, [] { ::signal(SIGPIPE, SIG_IGN); });
+    ignore_sigpipe();
 
     std::vector<Worker> workers(requests.size());
     std::string error;
@@ -205,10 +174,10 @@ class SubprocessTransport final : public Transport {
         ::close(response_pipe[0]);
         std::vector<std::uint8_t> request;
         int status = 0;
-        if (read_frame(request_pipe[0], &request)) {
+        if (net::read_frame(request_pipe[0], &request)) {
           try {
             const std::vector<std::uint8_t> response = handler(request, base + i);
-            if (!write_frame(response_pipe[1], response)) status = 1;
+            if (!net::write_frame(response_pipe[1], response)) status = 1;
           } catch (...) {
             status = 1;  // parent reports the short read as a worker death
           }
@@ -228,7 +197,7 @@ class SubprocessTransport final : public Transport {
 
     if (error.empty()) {
       for (std::size_t i = 0; i < requests.size(); ++i) {
-        if (!write_frame(workers[i].request_fd, requests[i])) {
+        if (!net::write_frame(workers[i].request_fd, requests[i])) {
           error = "transport: worker " + std::to_string(base + i) +
                   " died before receiving its request";
         }
@@ -246,24 +215,24 @@ class SubprocessTransport final : public Transport {
       std::vector<bool> pending(requests.size(), true);
       std::size_t remaining = requests.size();
       while (remaining > 0 && error.empty()) {
-        std::vector<struct pollfd> fds;
+        std::vector<int> fds;
         std::vector<std::size_t> slot;
         fds.reserve(remaining);
         for (std::size_t i = 0; i < requests.size(); ++i) {
           if (!pending[i]) continue;
-          fds.push_back({workers[i].response_fd, POLLIN, 0});
+          fds.push_back(workers[i].response_fd);
           slot.push_back(i);
         }
-        int ready = ::poll(fds.data(), fds.size(), -1);
-        if (ready < 0) {
-          if (errno == EINTR) continue;
-          error = "transport: poll() failed";
+        std::vector<std::size_t> ready;
+        try {
+          ready = net::wait_readable(fds, -1);
+        } catch (const std::exception& e) {
+          error = std::string("transport: ") + e.what();
           break;
         }
-        for (std::size_t f = 0; f < fds.size(); ++f) {
-          if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        for (const std::size_t f : ready) {
           const std::size_t i = slot[f];
-          if (!read_frame(workers[i].response_fd, &responses[i])) {
+          if (!net::read_frame(workers[i].response_fd, &responses[i])) {
             error = "transport: worker " + std::to_string(base + i) +
                     " died before replying (crash or kill in client-side work)";
             break;
@@ -293,17 +262,277 @@ class SubprocessTransport final : public Transport {
   std::size_t workers_;
 };
 
+// ---------------------------------------------------------------------------
+// tcp
+//
+// The coordinator side of the remote protocol (src/net/socket.h): bind at
+// construction (fail fast), wait for the configured worker fleet on the first
+// batch, then keep one exchange in flight per connection, recording replies
+// in genuine socket-arrival order. Workers that join late, reconnect, or die
+// mid-exchange are absorbed round by round: a dead connection fails only the
+// exchange it was serving, and only tolerantly (ok == false) when buffered
+// aggregation is there to evict the straggler.
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TransportOptions options)
+      : options_(std::move(options)),
+        expected_workers_(std::max<std::size_t>(1, options_.workers)),
+        listener_(net::parse_host_port(options_.listen)) {
+    ignore_sigpipe();
+  }
+
+  ~TcpTransport() override {
+    for (Conn& c : conns_) {
+      if (c.conn.valid()) {
+        net::send_frame(c.conn, {net::FrameKind::kShutdown, 0, {}},
+                        net::Deadline::after_ms(1000));
+      }
+    }
+  }
+
+  std::string name() const override { return "tcp"; }
+  bool detached() const noexcept override { return true; }
+  bool remote() const noexcept override { return true; }
+  std::string endpoint() const override { return listener_.endpoint(); }
+
+  std::vector<std::vector<std::uint8_t>> round_trip(
+      std::span<const std::vector<std::uint8_t>> requests,
+      const TransportHandler& handler) override {
+    (void)handler;  // exchanges are computed by the remote workers
+    std::vector<TransportArrival> arrivals = run_batch(requests, /*tolerate=*/false);
+    std::vector<std::vector<std::uint8_t>> responses(requests.size());
+    for (TransportArrival& a : arrivals) responses[a.index] = std::move(a.response);
+    return responses;
+  }
+
+  std::vector<TransportArrival> collect(std::span<const std::vector<std::uint8_t>> requests,
+                                        const TransportHandler& handler,
+                                        const ArrivalModel& arrival) override {
+    (void)handler;  // exchanges are computed by the remote workers
+    (void)arrival;  // genuine socket-arrival order needs no simulation
+    return run_batch(requests, options_.tolerate_failures);
+  }
+
+ private:
+  struct Conn {
+    net::TcpConn conn;
+    bool busy = false;
+    std::size_t index = 0;  ///< request in flight (valid while busy)
+    net::Deadline deadline;
+  };
+
+  net::Deadline exchange_deadline() const {
+    return net::Deadline::after_ms(options_.rpc_timeout_ms);
+  }
+
+  net::FrameKind request_kind() const {
+    return options_.whole_runs ? net::FrameKind::kRunSpec : net::FrameKind::kExchange;
+  }
+  net::FrameKind reply_kind() const {
+    return options_.whole_runs ? net::FrameKind::kRunResult : net::FrameKind::kReply;
+  }
+
+  std::size_t live_count() const {
+    std::size_t n = 0;
+    for (const Conn& c : conns_) n += c.conn.valid() ? 1 : 0;
+    return n;
+  }
+
+  /// Accepts one pending connection and handshakes it into the fleet
+  /// (recv kHello, send kSetup). False when nothing usable arrived in time.
+  bool admit_worker(const net::Deadline& wait) {
+    net::TcpConn conn = listener_.accept(wait);
+    if (!conn.valid()) return false;
+    net::NetFrame hello;
+    if (!net::recv_frame(conn, &hello, net::Deadline::after_ms(5000)) ||
+        hello.kind != net::FrameKind::kHello) {
+      return false;  // not a worker speaking our protocol; drop it
+    }
+    if (!net::send_frame(conn, {net::FrameKind::kSetup, 0, options_.setup},
+                         net::Deadline::after_ms(30000))) {
+      return false;
+    }
+    conns_.push_back({std::move(conn), false, 0, {}});
+    return true;
+  }
+
+  std::vector<TransportArrival> run_batch(std::span<const std::vector<std::uint8_t>> requests,
+                                          bool tolerate) {
+    std::vector<TransportArrival> arrivals;
+    arrivals.reserve(requests.size());
+    if (requests.empty()) return arrivals;
+
+    // First batch: wait for the configured fleet to join. Later batches run
+    // with whoever is still connected, plus any reconnects admitted below.
+    if (!joined_once_) {
+      const net::Deadline join = exchange_deadline();
+      while (live_count() < expected_workers_) {
+        if (!admit_worker(join) && join.expired()) {
+          SUBFEDAVG_CHECK(false, "tcp: only " << live_count() << " of " << expected_workers_
+                                              << " workers joined " << listener_.endpoint()
+                                              << " within " << options_.rpc_timeout_ms
+                                              << " ms (start workers with: worker --connect "
+                                              << listener_.endpoint() << ")");
+        }
+      }
+      joined_once_ = true;
+    }
+
+    std::deque<std::size_t> queue;
+    for (std::size_t i = 0; i < requests.size(); ++i) queue.push_back(i);
+    std::size_t unresolved = requests.size();
+    std::string sync_error;
+
+    const auto fail_exchange = [&](std::size_t index, const std::string& message) {
+      if (tolerate) {
+        arrivals.push_back({index, {}, false, message});
+      } else if (sync_error.empty()) {
+        sync_error = message;
+      }
+      --unresolved;
+    };
+
+    while (unresolved > 0 && sync_error.empty()) {
+      // Admit workers that (re)connected while we were busy.
+      while (admit_worker(net::Deadline::after_ms(1))) {
+      }
+
+      // One exchange in flight per idle connection.
+      for (Conn& c : conns_) {
+        if (queue.empty()) break;
+        if (!c.conn.valid() || c.busy) continue;
+        const std::size_t index = queue.front();
+        queue.pop_front();
+        if (!net::send_frame(c.conn, request_kind(), index, requests[index],
+                             exchange_deadline())) {
+          c.conn.close();
+          queue.push_front(index);  // never acknowledged; try another worker
+          continue;
+        }
+        c.busy = true;
+        c.index = index;
+        c.deadline = exchange_deadline();
+      }
+
+      std::size_t busy = 0;
+      for (const Conn& c : conns_) busy += (c.conn.valid() && c.busy) ? 1 : 0;
+      if (busy == 0) {
+        if (queue.empty()) continue;  // everything resolved this pass
+        // Every worker is gone with work left. Give a reconnecting worker one
+        // deadline's grace (bounded even with rpc_timeout off — a fleet that
+        // fully died must fail the round, never hang it).
+        const net::Deadline grace = options_.rpc_timeout_ms > 0 ? exchange_deadline()
+                                                                : net::Deadline::after_ms(5000);
+        if (live_count() == 0 && !admit_worker(grace)) {
+          while (!queue.empty()) {
+            fail_exchange(queue.front(), "tcp: no live workers left for exchange " +
+                                             std::to_string(queue.front()));
+            queue.pop_front();
+          }
+        }
+        continue;
+      }
+
+      // Wait for replies (or joins), bounded by the earliest in-flight
+      // deadline so a silent worker cannot park the round.
+      std::vector<int> fds;
+      std::vector<std::size_t> slot;
+      int timeout_ms = -1;
+      for (std::size_t ci = 0; ci < conns_.size(); ++ci) {
+        const Conn& c = conns_[ci];
+        if (!c.conn.valid() || !c.busy) continue;
+        fds.push_back(c.conn.fd());
+        slot.push_back(ci);
+        if (!c.deadline.unlimited()) {
+          const int left = c.deadline.remaining_ms();
+          timeout_ms = timeout_ms < 0 ? left : std::min(timeout_ms, left);
+        }
+      }
+      fds.push_back(listener_.fd());
+      slot.push_back(static_cast<std::size_t>(-1));
+      const std::vector<std::size_t> ready = net::wait_readable(fds, timeout_ms);
+
+      for (const std::size_t f : ready) {
+        const std::size_t ci = slot[f];
+        if (ci == static_cast<std::size_t>(-1)) continue;  // join; admitted next pass
+        Conn& c = conns_[ci];
+        if (!c.conn.valid() || !c.busy) continue;
+        net::NetFrame reply;
+        if (!net::recv_frame(c.conn, &reply, c.deadline) || reply.tag != c.index ||
+            (reply.kind != reply_kind() && reply.kind != net::FrameKind::kError)) {
+          c.conn.close();
+          c.busy = false;
+          fail_exchange(c.index, "tcp: worker serving exchange " + std::to_string(c.index) +
+                                     " died before replying");
+          continue;
+        }
+        c.busy = false;
+        if (reply.kind == net::FrameKind::kError) {
+          // The worker survives — only this exchange failed (handler threw).
+          fail_exchange(c.index, "tcp: exchange " + std::to_string(c.index) +
+                                     " failed on worker: " +
+                                     std::string(reply.payload.begin(), reply.payload.end()));
+          continue;
+        }
+        arrivals.push_back({c.index, std::move(reply.payload), true, {}});
+        --unresolved;
+      }
+
+      // Evict in-flight exchanges whose deadline passed with no reply.
+      for (Conn& c : conns_) {
+        if (!c.conn.valid() || !c.busy || !c.deadline.expired()) continue;
+        c.conn.close();
+        c.busy = false;
+        fail_exchange(c.index, "tcp: exchange " + std::to_string(c.index) +
+                                   " timed out after " +
+                                   std::to_string(options_.rpc_timeout_ms) + " ms");
+      }
+    }
+
+    std::erase_if(conns_, [](const Conn& c) { return !c.conn.valid(); });
+
+    if (!sync_error.empty()) {
+      // Drop every connection: workers reconnect with a fresh handshake, so a
+      // stale in-flight reply can never leak into a later round's stream.
+      conns_.clear();
+      SUBFEDAVG_CHECK(false, sync_error);
+    }
+    return arrivals;
+  }
+
+  TransportOptions options_;
+  std::size_t expected_workers_;
+  net::TcpListener listener_;
+  std::vector<Conn> conns_;
+  bool joined_once_ = false;
+};
+
 }  // namespace
 
-std::unique_ptr<Transport> make_transport(const std::string& name, std::size_t workers) {
+std::unique_ptr<Transport> make_transport(const std::string& name,
+                                          const TransportOptions& options) {
   if (name == "loopback") return std::make_unique<LoopbackTransport>();
-  if (name == "subprocess") return std::make_unique<SubprocessTransport>(workers);
-  SUBFEDAVG_CHECK(false, "unknown transport '" << name << "' (loopback | subprocess)");
+  if (name == "subprocess") return std::make_unique<SubprocessTransport>(options.workers);
+  if (name == "tcp") {
+    SUBFEDAVG_CHECK(!options.listen.empty(),
+                    "transport=tcp needs listen=host:port on the coordinator "
+                    "(workers join it with: worker --connect <host:port>)");
+    return std::make_unique<TcpTransport>(options);
+  }
+  SUBFEDAVG_CHECK(false,
+                  "unknown transport '" << name << "' (loopback | subprocess | tcp)");
   return nullptr;
 }
 
+std::unique_ptr<Transport> make_transport(const std::string& name, std::size_t workers) {
+  TransportOptions options;
+  options.workers = workers;
+  return make_transport(name, options);
+}
+
 bool has_transport(const std::string& name) {
-  return name == "loopback" || name == "subprocess";
+  return name == "loopback" || name == "subprocess" || name == "tcp";
 }
 
 }  // namespace subfed

@@ -2,7 +2,7 @@
 //
 // A Transport moves one encoded request (server → client) and one encoded
 // response (client → server) per exchange; it knows nothing about envelopes
-// or codecs — comm/channel.h owns those. Two backends:
+// or codecs — comm/channel.h owns those. Three backends:
 //
 //   loopback    — in-process: the handler runs on the calling process's
 //                 thread pool, but every request/response is a real byte
@@ -14,6 +14,15 @@
 //                 the client's round, replies, and exits. A crashed or killed
 //                 worker fails only the exchange (and hence the run) it was
 //                 serving — the sweep engine's failure isolation contains it.
+//   tcp         — real sockets (src/net/): the coordinator listens on
+//                 TransportOptions::listen and dispatches exchanges to worker
+//                 processes (tools/worker) that joined it. Requests carry the
+//                 client's full side-band state down (the handler cannot
+//                 touch this process's memory at all), replies report genuine
+//                 network arrival order, and a dead or timed-out connection
+//                 fails only its exchange: in tolerant (buffered) mode it
+//                 surfaces as TransportArrival::ok == false — an evicted
+//                 straggler — never a hung round.
 #pragma once
 
 #include <cstdint>
@@ -31,10 +40,36 @@ namespace subfed {
 using TransportHandler =
     std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>, std::size_t index)>;
 
-/// One reply as it landed: `index` names the request it answers.
+/// One reply as it landed: `index` names the request it answers. A tolerant
+/// transport (tcp under buffered aggregation) reports a dead or timed-out
+/// exchange as ok == false with an empty response instead of throwing.
 struct TransportArrival {
   std::size_t index = 0;
   std::vector<std::uint8_t> response;
+  bool ok = true;
+  std::string error;  ///< diagnosis when !ok
+};
+
+/// Everything a transport can be configured with. Loopback ignores all of it;
+/// subprocess uses `workers`; tcp uses the rest.
+struct TransportOptions {
+  /// Subprocess: fork fan-out per wave (0 → hardware concurrency).
+  /// Tcp: worker connections to wait for before the first round (0 → 1).
+  std::size_t workers = 0;
+  std::string listen;       ///< tcp: coordinator bind address "host:port"
+  int rpc_timeout_ms = 0;   ///< tcp: per-exchange deadline; 0 = wait forever
+  /// Tcp: opaque session blob (an ExperimentSpec kv text) sent to every
+  /// joining worker so it can mirror the federation before serving.
+  std::vector<std::uint8_t> setup;
+  /// Tcp: report dead exchanges as ok == false arrivals instead of throwing
+  /// (buffered aggregation evicts them as stragglers). When false, a dead
+  /// worker fails the round like a subprocess crash does.
+  bool tolerate_failures = false;
+  /// Tcp: each request is a whole experiment spec (kRunSpec → kRunResult)
+  /// rather than one channel exchange (kExchange → kReply) — the sweep
+  /// engine's run-sharding mode. The byte contract is unchanged: request
+  /// bytes out, response bytes back, arrival order preserved.
+  bool whole_runs = false;
 };
 
 /// Simulated completion time of exchange `index` whose request/response
@@ -54,6 +89,15 @@ class Transport {
   /// client-side state mutation must be shipped back inside the response).
   virtual bool detached() const noexcept = 0;
 
+  /// True when exchanges run on remote machines: requests must additionally
+  /// carry all per-client state DOWN (the remote end shares no memory with
+  /// the caller, not even copy-on-write).
+  virtual bool remote() const noexcept { return false; }
+
+  /// Address peers connect to ("host:port" with any ephemeral port
+  /// resolved); empty for in-process and fork transports.
+  virtual std::string endpoint() const { return {}; }
+
   /// Round-trips every request through the handler, returning the responses
   /// in request order. Implementations may run handlers concurrently; a
   /// handler that throws (or a worker that dies) surfaces as CheckError here.
@@ -66,7 +110,8 @@ class Transport {
   /// Subprocess reports genuine pipe-arrival order (the order response frames
   /// started landing); in-process transports order by `arrival` (ties broken
   /// by index), falling back to request order when no model is given. Every
-  /// request is always answered or the call throws: a caller that closes its
+  /// request is always answered, reported as a failed (ok == false) arrival
+  /// by a tolerant transport, or the call throws: a caller that closes its
   /// round after the first K replies parks the rest — workers are never
   /// abandoned mid-reply and no pipe outlives the call.
   virtual std::vector<TransportArrival> collect(
@@ -74,10 +119,13 @@ class Transport {
       const ArrivalModel& arrival = nullptr);
 };
 
-/// Builds a transport by name ("loopback" | "subprocess"). `workers` caps the
-/// subprocess fan-out per batch (0 → hardware concurrency); loopback ignores
-/// it. Throws CheckError on unknown names ("memory" is not a Transport — the
-/// channel short-circuits it without materializing bytes).
+/// Builds a transport by name ("loopback" | "subprocess" | "tcp"). Throws
+/// CheckError on unknown names ("memory" is not a Transport — the channel
+/// short-circuits it without materializing bytes) and on a tcp configuration
+/// with no listen address.
+std::unique_ptr<Transport> make_transport(const std::string& name,
+                                          const TransportOptions& options);
+/// Back-compat shim: `workers` is TransportOptions::workers.
 std::unique_ptr<Transport> make_transport(const std::string& name, std::size_t workers = 0);
 
 /// True for names make_transport accepts.

@@ -39,6 +39,9 @@ FederatedAlgorithm::FederatedAlgorithm(FlContext ctx) : ctx_(ctx) {
   channel_config.buffer_k = ctx_.buffer_k;
   channel_config.staleness_decay = ctx_.staleness_decay;
   channel_config.max_staleness = ctx_.max_staleness;
+  channel_config.listen = ctx_.listen;
+  channel_config.rpc_timeout_ms = static_cast<int>(ctx_.rpc_timeout_ms);
+  channel_config.remote_setup.assign(ctx_.remote_setup.begin(), ctx_.remote_setup.end());
   channel_ = std::make_unique<Channel>(std::move(channel_config), &ledger_);
 
   fleet_spread_ = ctx_.link_spread;
@@ -71,6 +74,35 @@ std::vector<double> FederatedAlgorithm::all_test_accuracies() {
   ThreadPool::global().parallel_for(num_clients(),
                                     [&](std::size_t k) { acc[k] = client_test_accuracy(k); });
   return acc;
+}
+
+ClientResult FederatedAlgorithm::run_client(std::size_t /*round*/, const ClientJob& /*job*/,
+                                            const StateDict& /*received*/, bool /*detached*/) {
+  SUBFEDAVG_CHECK(false, name() << " does not support remote execution");
+  return {};
+}
+
+std::vector<StateDict> FederatedAlgorithm::client_state_sections(std::size_t /*k*/) {
+  return {};
+}
+
+std::vector<Exchange> FederatedAlgorithm::exchange_round(std::size_t round,
+                                                         std::span<ClientJob> jobs) {
+  if (channel_->ships_client_state()) {
+    for (ClientJob& job : jobs) job.state = client_state_sections(job.client);
+  }
+  return channel_->run_round(
+      round, jobs, [&](const ClientJob& job, const StateDict& received, bool detached) {
+        return run_client(round, job, received, detached);
+      });
+}
+
+std::vector<std::uint8_t> FederatedAlgorithm::serve_remote(
+    std::span<const std::uint8_t> request_bytes) {
+  return channel_->serve_remote_exchange(
+      request_bytes, [&](std::size_t round, const ClientJob& job, const StateDict& received) {
+        return run_client(round, job, received, /*detached=*/true);
+      });
 }
 
 std::vector<StateDict> FederatedAlgorithm::checkpoint_state() {

@@ -51,12 +51,21 @@ struct FlContext {
   double robust_filter = 0.0;
   /// Client↔server channel (comm/channel.h): where uploads/downloads run and
   /// which codecs they pass through. transport: memory | loopback |
-  /// subprocess; codec: sparse | delta; quantize: none | fp16 | int8.
+  /// subprocess | tcp; codec: sparse | delta; quantize: none | fp16 | int8.
   std::string transport = "memory";
   std::string codec = "sparse";
   std::string quantize = "none";
-  /// Subprocess-transport fan-out per round (0 → hardware concurrency).
+  /// Subprocess-transport fan-out per round; tcp worker connections to wait
+  /// for before round 0 (0 → hardware concurrency / one worker).
   std::size_t channel_workers = 0;
+  /// Remote (tcp) transport: coordinator bind address "host:port" (port 0
+  /// binds an ephemeral port — Channel::transport_endpoint() reports it).
+  std::string listen;
+  /// Per-exchange deadline for remote workers; 0 waits forever.
+  std::size_t rpc_timeout_ms = 120000;
+  /// Opaque session blob (an ExperimentSpec kv text) handed to every joining
+  /// worker so it can mirror this federation before serving exchanges.
+  std::string remote_setup;
   /// Straggler model (comm/round_time.h): every client draws a log-uniform
   /// slowdown in [1/link_spread, 1] of the nominal edge link once per run.
   double link_spread = 1.0;
@@ -89,6 +98,26 @@ class FederatedAlgorithm {
   /// Personalized test accuracy of client k under this algorithm's current
   /// model(s). Must be safe to call concurrently for distinct k.
   virtual double client_test_accuracy(std::size_t k) = 0;
+
+  /// One client's round, runnable ANYWHERE — this process (loopback), a
+  /// forked child (subprocess), or a remote worker (tcp). `job.state`, when
+  /// non-empty, carries the client's side-band mirror shipped down by a
+  /// remote coordinator and must be installed before computing; fill
+  /// ClientResult::state iff `detached`. Every built-in algorithm overrides
+  /// this (run_round routes through it via exchange_round); the base
+  /// implementation throws CheckError so out-of-tree algorithms that never
+  /// leave the process keep compiling.
+  virtual ClientResult run_client(std::size_t round, const ClientJob& job,
+                                  const StateDict& received, bool detached);
+
+  /// The side-band sections a remote exchange must ship DOWN for client k —
+  /// the same layout run_client installs from job.state and returns in
+  /// ClientResult::state. Default: none (stateless clients).
+  virtual std::vector<StateDict> client_state_sections(std::size_t k);
+
+  /// Worker side of one remote exchange: decodes the request, runs
+  /// run_client detached, returns the encoded reply (fl/worker.h drives it).
+  std::vector<std::uint8_t> serve_remote(std::span<const std::uint8_t> request_bytes);
 
   /// Named state sections that fully describe this algorithm's mutable state,
   /// in the order restore_checkpoint_state expects them back. Every built-in
@@ -131,6 +160,12 @@ class FederatedAlgorithm {
 
   /// Deterministic per-(client, round) RNG stream.
   Rng client_round_rng(std::size_t client, std::size_t round) const;
+
+  /// Runs one round of exchanges through the channel, routing each client's
+  /// compute to run_client. When the transport is remote, first fills every
+  /// job's side-band state (client_state_sections) so the wire carries the
+  /// client mirrors down. Algorithms call this instead of channel_->run_round.
+  std::vector<Exchange> exchange_round(std::size_t round, std::span<ClientJob> jobs);
 
   FlContext ctx_;
   CommLedger ledger_;

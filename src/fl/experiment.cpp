@@ -9,6 +9,7 @@
 #include "fl/checkpoint.h"
 #include "fl/fedavg_ft.h"
 #include "fl/subfedavg.h"
+#include "net/socket.h"
 #include "tensor/backend.h"
 #include "util/check.h"
 #include "util/parse.h"
@@ -55,11 +56,14 @@ const Field kFields[] = {
     SUBFED_STRING_FIELD(model, "auto | cnn5 | lenet5 | cnn_deep"),
     SUBFED_STRING_FIELD(backend, "math backend: auto | naive | blocked | sparse"),
     SUBFED_UINT_FIELD(math_threads, "GEMM row-panel cap; 0 = process setting"),
-    SUBFED_STRING_FIELD(transport, "channel transport: memory | loopback | subprocess"),
+    SUBFED_STRING_FIELD(transport, "channel transport: memory | loopback | subprocess | tcp"),
     SUBFED_STRING_FIELD(codec, "uplink codec: sparse | delta"),
     SUBFED_STRING_FIELD(quantize, "payload precision: none | fp16 | int8"),
-    SUBFED_UINT_FIELD(channel_workers, "subprocess fan-out; 0 = hardware"),
+    SUBFED_UINT_FIELD(channel_workers, "subprocess fan-out / tcp fleet size; 0 = hardware"),
     SUBFED_DOUBLE_FIELD(link_spread, "straggler tail; slowest link = 1/spread"),
+    SUBFED_STRING_FIELD(listen, "tcp coordinator bind host:port; port 0 = ephemeral"),
+    SUBFED_STRING_FIELD(connect, "worker role only; see the worker tool"),
+    SUBFED_UINT_FIELD(rpc_timeout_ms, "per-exchange worker deadline; 0 = forever"),
     SUBFED_STRING_FIELD(aggregation, "round aggregation: sync | buffered"),
     SUBFED_UINT_FIELD(buffer_k, "replies closing a buffered round; 0 = all sampled"),
     SUBFED_DOUBLE_FIELD(staleness_decay, "stale update weight = 1/(1+s)^decay"),
@@ -244,6 +248,37 @@ std::string ExperimentSpec::help_text() {
   return os.str();
 }
 
+void ExperimentSpec::validate() const {
+  SUBFEDAVG_CHECK(has_channel_transport(transport),
+                  "unknown transport '" << transport
+                                        << "' (memory | loopback | subprocess | tcp)");
+  SUBFEDAVG_CHECK(codec == "sparse" || codec == "delta",
+                  "unknown codec '" << codec << "' (sparse | delta)");
+  parse_quant_codec(quantize);
+  SUBFEDAVG_CHECK(transport != "memory" || (codec == "sparse" && quantize == "none"),
+                  "codec=" << codec << " quantize=" << quantize
+                           << " require transport=loopback, subprocess, or tcp");
+  SUBFEDAVG_CHECK(aggregation == "sync" || aggregation == "buffered",
+                  "unknown aggregation '" << aggregation << "' (sync | buffered)");
+  SUBFEDAVG_CHECK(link_spread >= 1.0, "link_spread " << link_spread << " must be >= 1");
+  // Remote-federation roles. A spec always describes a coordinator run;
+  // `connect` belongs to the worker binary, which has no spec of its own.
+  SUBFEDAVG_CHECK(connect.empty(),
+                  "connect=" << connect
+                             << " describes a worker, not a run — start one with: worker "
+                                "--connect " << connect);
+  if (transport == "tcp") {
+    SUBFEDAVG_CHECK(!listen.empty(),
+                    "transport=tcp needs listen=host:port on the coordinator "
+                    "(workers join it with: worker --connect <host:port>)");
+    net::parse_host_port(listen);  // throws with the offending text
+  } else {
+    SUBFEDAVG_CHECK(listen.empty(),
+                    "listen=" << listen << " requires transport=tcp (got transport="
+                              << transport << ")");
+  }
+}
+
 DatasetSpec ExperimentSpec::dataset_spec() const { return DatasetSpec::by_name(dataset); }
 
 FederatedDataConfig ExperimentSpec::data_config() const {
@@ -290,23 +325,21 @@ FlContext ExperimentSpec::make_context(const FederatedData& data) const {
   ctx.corrupt_noise = corrupt_noise;
   ctx.robust_filter = robust_filter;
   // Channel misconfigurations (unknown transport, lossy codec over the
-  // memory fast path) are caught here, before data synthesis and training.
-  SUBFEDAVG_CHECK(has_channel_transport(transport),
-                  "unknown transport '" << transport
-                                        << "' (memory | loopback | subprocess)");
-  SUBFEDAVG_CHECK(codec == "sparse" || codec == "delta",
-                  "unknown codec '" << codec << "' (sparse | delta)");
-  parse_quant_codec(quantize);
-  SUBFEDAVG_CHECK(transport != "memory" || (codec == "sparse" && quantize == "none"),
-                  "codec=" << codec << " quantize=" << quantize
-                           << " require transport=loopback or subprocess");
+  // memory fast path, tcp without a listen address) are caught here, before
+  // training — and by execute_experiment even before data synthesis.
+  validate();
   ctx.transport = transport;
   ctx.codec = codec;
   ctx.quantize = quantize;
   ctx.channel_workers = channel_workers;
-  SUBFEDAVG_CHECK(aggregation == "sync" || aggregation == "buffered",
-                  "unknown aggregation '" << aggregation << "' (sync | buffered)");
-  SUBFEDAVG_CHECK(link_spread >= 1.0, "link_spread " << link_spread << " must be >= 1");
+  ctx.listen = listen;
+  ctx.rpc_timeout_ms = rpc_timeout_ms;
+  if (transport == "tcp") {
+    // Workers mirror this exact federation from the spec blob the
+    // coordinator hands them at join time (the worker overrides the
+    // transport/output fields that only make sense coordinator-side).
+    ctx.remote_setup = to_kv();
+  }
   ctx.link_spread = link_spread;
   ctx.aggregation = aggregation;
   ctx.buffer_k = buffer_k;
@@ -371,6 +404,7 @@ ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observ
   // (kernel results are thread-count independent, so concurrent sweep runs
   // racing on it only affect timing); 0 means "inherit" and never overwrites
   // a SUBFEDAVG_MATH_THREADS cap.
+  spec.validate();  // fail fast, before the (expensive) dataset synthesis
   std::unique_ptr<const FederatedData> owned_data;
   if (shared_data == nullptr) {
     owned_data = std::make_unique<FederatedData>(spec.dataset_spec(), spec.data_config());

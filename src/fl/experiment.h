@@ -49,11 +49,18 @@ struct ExperimentSpec {
   std::string backend = "auto";      ///< auto | naive | blocked | sparse
   std::size_t math_threads = 0;      ///< GEMM row-panel cap; 0 → process setting
   // Communication (comm/channel.h, comm/transport.h, comm/round_time.h).
-  std::string transport = "memory";  ///< memory | loopback | subprocess
+  std::string transport = "memory";  ///< memory | loopback | subprocess | tcp
   std::string codec = "sparse";      ///< sparse | delta (uplink vs broadcast)
   std::string quantize = "none";     ///< none | fp16 | int8 kept-value precision
-  std::size_t channel_workers = 0;   ///< subprocess fan-out; 0 → hardware
+  std::size_t channel_workers = 0;   ///< subprocess fan-out / tcp fleet size
   double link_spread = 1.0;          ///< straggler tail: slowest link = 1/spread
+  // Remote federation (transport=tcp): this run is the COORDINATOR and binds
+  // `listen`; worker processes on other machines join it with the worker
+  // tool (`worker --connect host:port`). `connect` is rejected here with a
+  // pointer at that tool — a spec describes one coordinator run.
+  std::string listen;                ///< coordinator bind "host:port"; port 0 = ephemeral
+  std::string connect;               ///< (workers only — use the worker tool)
+  std::size_t rpc_timeout_ms = 120000;  ///< per-exchange worker deadline; 0 = forever
   // Round aggregation (comm/channel.h): buffered closes a round after the
   // first buffer_k replies and parks stragglers' updates for the next round,
   // staleness-down-weighted by 1/(1+s)^staleness_decay, evicted past
@@ -109,6 +116,13 @@ struct ExperimentSpec {
 
   /// Flag reference plus the registered algorithm names.
   static std::string help_text();
+
+  /// Validates everything that needs no data — transport/codec/aggregation
+  /// names, the tcp listen/connect rules — so misconfigurations fail at
+  /// spec-parse time with actionable messages, before any dataset synthesis
+  /// or training. Called by make_context and execute_experiment; throws
+  /// CheckError.
+  void validate() const;
 
   // -- runtime pieces ------------------------------------------------------
   DatasetSpec dataset_spec() const;

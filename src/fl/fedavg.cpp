@@ -12,26 +12,10 @@ FedAvg::FedAvg(FlContext ctx) : FederatedAlgorithm(std::move(ctx)) {
 void FedAvg::run_round(std::size_t round, std::span<const std::size_t> sampled) {
   std::vector<ClientJob> jobs(sampled.size());
   for (std::size_t i = 0; i < sampled.size(); ++i) {
-    jobs[i] = {sampled[i], &global_, nullptr};
+    jobs[i] = {sampled[i], &global_, nullptr, 1, {}};
   }
 
-  std::vector<Exchange> exchanges = channel_->run_round(
-      round, jobs, [&](const ClientJob& job, const StateDict& received, bool detached) {
-        (void)detached;  // stateless client: the upload carries everything
-        const ClientData& data = ctx_.data->client(job.client);
-        Model model = ctx_.spec.build();
-        model.load_state(received);
-
-        Sgd optimizer(model.parameters(), ctx_.sgd);
-        Rng rng = client_round_rng(job.client, round);
-        train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng,
-                    {}, make_grad_hook(received));
-
-        ClientResult result;
-        result.update.state = model.state();
-        result.update.num_examples = data.train_labels.size();
-        return result;
-      });
+  std::vector<Exchange> exchanges = exchange_round(round, jobs);
 
   std::vector<ClientUpdate> updates;
   updates.reserve(exchanges.size());
@@ -52,6 +36,24 @@ void FedAvg::run_round(std::size_t round, std::span<const std::size_t> sampled) 
   }
 
   global_ = fedavg_aggregate(updates);
+}
+
+ClientResult FedAvg::run_client(std::size_t round, const ClientJob& job,
+                                const StateDict& received, bool detached) {
+  (void)detached;  // stateless client: the upload carries everything
+  const ClientData& data = ctx_.data->client(job.client);
+  Model model = ctx_.spec.build();
+  model.load_state(received);
+
+  Sgd optimizer(model.parameters(), ctx_.sgd);
+  Rng rng = client_round_rng(job.client, round);
+  train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng, {},
+              make_grad_hook(received));
+
+  ClientResult result;
+  result.update.state = model.state();
+  result.update.num_examples = data.train_labels.size();
+  return result;
 }
 
 double FedAvg::client_test_accuracy(std::size_t k) {

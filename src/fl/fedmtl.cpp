@@ -39,8 +39,6 @@ void FedMtl::recompute_mean() {
 }
 
 void FedMtl::run_round(std::size_t round, std::span<const std::size_t> sampled) {
-  const float lambda = static_cast<float>(lambda_);
-
   // Snapshot the mean so all sampled clients this round see the same anchor.
   // Materializing transports carry the dual state as real payload entries;
   // the memory fast path charges the same 2× bytes through payload_copies
@@ -51,44 +49,58 @@ void FedMtl::run_round(std::size_t round, std::span<const std::size_t> sampled) 
 
   std::vector<ClientJob> jobs(sampled.size());
   for (std::size_t i = 0; i < sampled.size(); ++i) {
-    jobs[i] = {sampled[i], &broadcast, nullptr, copies};
+    jobs[i] = {sampled[i], &broadcast, nullptr, copies, {}};
   }
 
-  std::vector<Exchange> exchanges = channel_->run_round(
-      round, jobs, [&](const ClientJob& job, const StateDict& received, bool detached) {
-        const std::size_t k = job.client;
-        const ClientData& data = ctx_.data->client(k);
-        Model model = ctx_.spec.build();
-        model.load_state(personal_[k]);
-
-        // Task-relationship pull toward the federation mean as received.
-        auto hook = [lambda, &received](Model& m) {
-          for (Parameter* p : m.parameters()) {
-            const Tensor* g = received.find(p->name);
-            if (g == nullptr) continue;
-            p->grad.axpy_(lambda, p->value);
-            p->grad.axpy_(-lambda, *g);
-          }
-        };
-
-        Sgd optimizer(model.parameters(), ctx_.sgd);
-        Rng rng = client_round_rng(k, round);
-        train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng,
-                    {}, hook);
-        personal_[k] = model.state();
-
-        ClientResult result;
-        result.update.state = materialized ? with_dual_state(personal_[k]) : personal_[k];
-        result.update.num_examples = data.train_labels.size();
-        result.payload_copies = copies;
-        if (detached) result.state.push_back(personal_[k]);
-        return result;
-      });
+  std::vector<Exchange> exchanges = exchange_round(round, jobs);
 
   for (Exchange& exchange : exchanges) {
     if (!exchange.state.empty()) personal_[exchange.client] = std::move(exchange.state[0]);
   }
   recompute_mean();
+}
+
+ClientResult FedMtl::run_client(std::size_t round, const ClientJob& job,
+                                const StateDict& received, bool detached) {
+  const std::size_t k = job.client;
+  // Remote exchange: the client's personal model arrives as side-band. Note
+  // `materialized` is true both here (the worker's mirror channel is
+  // loopback) and on a tcp coordinator, so the wire payloads match loopback
+  // byte-for-byte.
+  if (!job.state.empty()) personal_[k] = job.state[0];
+  const bool materialized = channel_->config().transport != "memory";
+  const std::size_t copies = materialized ? 1 : 2;
+  const float lambda = static_cast<float>(lambda_);
+  const ClientData& data = ctx_.data->client(k);
+  Model model = ctx_.spec.build();
+  model.load_state(personal_[k]);
+
+  // Task-relationship pull toward the federation mean as received.
+  auto hook = [lambda, &received](Model& m) {
+    for (Parameter* p : m.parameters()) {
+      const Tensor* g = received.find(p->name);
+      if (g == nullptr) continue;
+      p->grad.axpy_(lambda, p->value);
+      p->grad.axpy_(-lambda, *g);
+    }
+  };
+
+  Sgd optimizer(model.parameters(), ctx_.sgd);
+  Rng rng = client_round_rng(k, round);
+  train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng, {},
+              hook);
+  personal_[k] = model.state();
+
+  ClientResult result;
+  result.update.state = materialized ? with_dual_state(personal_[k]) : personal_[k];
+  result.update.num_examples = data.train_labels.size();
+  result.payload_copies = copies;
+  if (detached) result.state.push_back(personal_[k]);
+  return result;
+}
+
+std::vector<StateDict> FedMtl::client_state_sections(std::size_t k) {
+  return {personal_[k]};
 }
 
 double FedMtl::client_test_accuracy(std::size_t k) {

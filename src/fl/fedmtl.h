@@ -20,6 +20,12 @@ class FedMtl final : public FederatedAlgorithm {
 
   std::string name() const override { return "MTL"; }
   void run_round(std::size_t round, std::span<const std::size_t> sampled) override;
+  /// λ-pulls the client's personal model (installed from job.state on remote
+  /// exchanges) toward the received mean, uploads model + dual state.
+  ClientResult run_client(std::size_t round, const ClientJob& job, const StateDict& received,
+                          bool detached) override;
+  /// One section: the client's personal model.
+  std::vector<StateDict> client_state_sections(std::size_t k) override;
   double client_test_accuracy(std::size_t k) override;
 
   /// Checkpoint layout: one section per client; w̄ is recomputed on restore.

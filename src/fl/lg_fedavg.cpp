@@ -38,32 +38,10 @@ void LgFedAvg::run_round(std::size_t round, std::span<const std::size_t> sampled
   // the round ran in a detached worker).
   std::vector<ClientJob> jobs(sampled.size());
   for (std::size_t i = 0; i < sampled.size(); ++i) {
-    jobs[i] = {sampled[i], &global_head_, nullptr};
+    jobs[i] = {sampled[i], &global_head_, nullptr, 1, {}};
   }
 
-  std::vector<Exchange> exchanges = channel_->run_round(
-      round, jobs, [&](const ClientJob& job, const StateDict& received, bool detached) {
-        const std::size_t k = job.client;
-        const ClientData& data = ctx_.data->client(k);
-
-        StateDict start = personal_[k];
-        for (auto& [name, tensor] : start) {
-          if (const Tensor* g = received.find(name)) tensor = *g;
-        }
-
-        Model model = ctx_.spec.build();
-        model.load_state(start);
-        Sgd optimizer(model.parameters(), ctx_.sgd);
-        Rng rng = client_round_rng(k, round);
-        train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng);
-
-        personal_[k] = model.state();
-        ClientResult result;
-        result.update.state = extract_head(personal_[k]);
-        result.update.num_examples = data.train_labels.size();
-        if (detached) result.state.push_back(personal_[k]);
-        return result;
-      });
+  std::vector<Exchange> exchanges = exchange_round(round, jobs);
 
   std::vector<ClientUpdate> updates;
   updates.reserve(exchanges.size());
@@ -72,6 +50,36 @@ void LgFedAvg::run_round(std::size_t round, std::span<const std::size_t> sampled
     updates.push_back(std::move(exchange.update));
   }
   global_head_ = fedavg_aggregate(updates);
+}
+
+ClientResult LgFedAvg::run_client(std::size_t round, const ClientJob& job,
+                                  const StateDict& received, bool detached) {
+  const std::size_t k = job.client;
+  // Remote exchange: the client's full personal state arrives as side-band.
+  if (!job.state.empty()) personal_[k] = job.state[0];
+  const ClientData& data = ctx_.data->client(k);
+
+  StateDict start = personal_[k];
+  for (auto& [name, tensor] : start) {
+    if (const Tensor* g = received.find(name)) tensor = *g;
+  }
+
+  Model model = ctx_.spec.build();
+  model.load_state(start);
+  Sgd optimizer(model.parameters(), ctx_.sgd);
+  Rng rng = client_round_rng(k, round);
+  train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng);
+
+  personal_[k] = model.state();
+  ClientResult result;
+  result.update.state = extract_head(personal_[k]);
+  result.update.num_examples = data.train_labels.size();
+  if (detached) result.state.push_back(personal_[k]);
+  return result;
+}
+
+std::vector<StateDict> LgFedAvg::client_state_sections(std::size_t k) {
+  return {personal_[k]};
 }
 
 double LgFedAvg::client_test_accuracy(std::size_t k) {

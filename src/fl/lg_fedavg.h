@@ -17,6 +17,12 @@ class LgFedAvg final : public FederatedAlgorithm {
 
   std::string name() const override { return "LG-FedAvg"; }
   void run_round(std::size_t round, std::span<const std::size_t> sampled) override;
+  /// Merges the received head into the client's personal state (installed
+  /// from job.state on remote exchanges), trains, uploads the new head.
+  ClientResult run_client(std::size_t round, const ClientJob& job, const StateDict& received,
+                          bool detached) override;
+  /// One section: the client's full personal state.
+  std::vector<StateDict> client_state_sections(std::size_t k) override;
   double client_test_accuracy(std::size_t k) override;
 
   /// Checkpoint layout: one section per client plus the global FC head.

@@ -16,29 +16,37 @@ void Standalone::run_round(std::size_t round, std::span<const std::size_t> sampl
   static const StateDict kEmptyPayload;
   std::vector<ClientJob> jobs(sampled.size());
   for (std::size_t i = 0; i < sampled.size(); ++i) {
-    jobs[i] = {sampled[i], &kEmptyPayload, nullptr};
+    jobs[i] = {sampled[i], &kEmptyPayload, nullptr, 1, {}};
   }
 
-  std::vector<Exchange> exchanges = channel_->run_round(
-      round, jobs, [&](const ClientJob& job, const StateDict& received, bool detached) {
-        (void)received;
-        const std::size_t k = job.client;
-        const ClientData& data = ctx_.data->client(k);
-        Model model = ctx_.spec.build();
-        model.load_state(personal_[k]);
-        Sgd optimizer(model.parameters(), ctx_.sgd);
-        Rng rng = client_round_rng(k, round);
-        train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng);
-        personal_[k] = model.state();
-
-        ClientResult result;
-        if (detached) result.state.push_back(personal_[k]);
-        return result;
-      });
+  std::vector<Exchange> exchanges = exchange_round(round, jobs);
 
   for (Exchange& exchange : exchanges) {
     if (!exchange.state.empty()) personal_[exchange.client] = std::move(exchange.state[0]);
   }
+}
+
+ClientResult Standalone::run_client(std::size_t round, const ClientJob& job,
+                                    const StateDict& received, bool detached) {
+  (void)received;  // no federation: the broadcast is an empty ping
+  const std::size_t k = job.client;
+  // Remote exchange: the client's local model arrives as side-band.
+  if (!job.state.empty()) personal_[k] = job.state[0];
+  const ClientData& data = ctx_.data->client(k);
+  Model model = ctx_.spec.build();
+  model.load_state(personal_[k]);
+  Sgd optimizer(model.parameters(), ctx_.sgd);
+  Rng rng = client_round_rng(k, round);
+  train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng);
+  personal_[k] = model.state();
+
+  ClientResult result;
+  if (detached) result.state.push_back(personal_[k]);
+  return result;
+}
+
+std::vector<StateDict> Standalone::client_state_sections(std::size_t k) {
+  return {personal_[k]};
 }
 
 double Standalone::client_test_accuracy(std::size_t k) {

@@ -13,6 +13,12 @@ class Standalone final : public FederatedAlgorithm {
 
   std::string name() const override { return "Standalone"; }
   void run_round(std::size_t round, std::span<const std::size_t> sampled) override;
+  /// Trains the client's local model (installed from job.state on remote
+  /// exchanges); uploads nothing.
+  ClientResult run_client(std::size_t round, const ClientJob& job, const StateDict& received,
+                          bool detached) override;
+  /// One section: the client's local model.
+  std::vector<StateDict> client_state_sections(std::size_t k) override;
   double client_test_accuracy(std::size_t k) override;
 
   /// Checkpoint layout: one section per client (its local model).

@@ -37,16 +37,10 @@ void SubFedAvg::run_round(std::size_t round, std::span<const std::size_t> sample
   std::vector<ClientJob> jobs(sampled.size());
   for (std::size_t i = 0; i < sampled.size(); ++i) {
     pre_masks[i] = clients_[sampled[i]]->combined_mask();
-    jobs[i] = {sampled[i], &global_, &pre_masks[i]};
+    jobs[i] = {sampled[i], &global_, &pre_masks[i], 1, {}};
   }
 
-  std::vector<Exchange> exchanges = channel_->run_round(
-      round, jobs, [&](const ClientJob& job, const StateDict& received, bool detached) {
-        ClientResult result;
-        result.update = clients_[job.client]->run_round(received, round);
-        if (detached) result.state = client_sections(job.client);
-        return result;
-      });
+  std::vector<Exchange> exchanges = exchange_round(round, jobs);
 
   std::vector<ClientUpdate> updates;
   updates.reserve(exchanges.size());
@@ -76,6 +70,26 @@ void SubFedAvg::run_round(std::size_t round, std::span<const std::size_t> sample
 
   global_ = strict_ ? sub_fedavg_aggregate_strict(updates, global_)
                     : sub_fedavg_aggregate(updates, global_);
+}
+
+ClientResult SubFedAvg::run_client(std::size_t round, const ClientJob& job,
+                                   const StateDict& received, bool detached) {
+  if (!job.state.empty()) {
+    // Remote exchange: install the coordinator's client mirror — personal
+    // model, weight mask, channel mask — before computing. The round RNG is
+    // split deterministically from (seed, client, round), so the mirror plus
+    // these sections is the client's complete state.
+    std::vector<StateDict> inbound(job.state);
+    restore_client_sections(job.client, inbound);
+  }
+  ClientResult result;
+  result.update = clients_[job.client]->run_round(received, round);
+  if (detached) result.state = client_sections(job.client);
+  return result;
+}
+
+std::vector<StateDict> SubFedAvg::client_state_sections(std::size_t k) {
+  return client_sections(k);
 }
 
 double SubFedAvg::client_test_accuracy(std::size_t k) {

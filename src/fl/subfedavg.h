@@ -22,6 +22,13 @@ class SubFedAvg final : public FederatedAlgorithm {
 
   std::string name() const override;
   void run_round(std::size_t round, std::span<const std::size_t> sampled) override;
+  /// Installs the inbound client mirror (remote exchanges), runs the client's
+  /// prune-train-upload round, ships the refreshed mirror back when detached.
+  ClientResult run_client(std::size_t round, const ClientJob& job, const StateDict& received,
+                          bool detached) override;
+  /// {personal model, weight mask, channel mask} — what a remote exchange
+  /// ships down so the worker's mirror matches this process's.
+  std::vector<StateDict> client_state_sections(std::size_t k) override;
   double client_test_accuracy(std::size_t k) override;
 
   /// Checkpoint layout: the global state, then per client {personal model,

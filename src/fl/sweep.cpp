@@ -14,6 +14,7 @@
 #include <sstream>
 #include <thread>
 
+#include "comm/transport.h"
 #include "util/check.h"
 #include "util/json.h"
 #include "util/parse.h"
@@ -256,24 +257,179 @@ void report_failed_runs(const SweepSummary& summary) {
   }
 }
 
+namespace {
+
+void prepare_out_dir(const SweepOptions& options) {
+  if (options.out_dir.empty()) return;
+  std::filesystem::create_directories(options.out_dir);
+  // A reused directory must not blend stale runs into later aggregation:
+  // clear previous sweeps' per-run files — and ONLY those (the NNNNN-*.json
+  // pattern), so pointing --out-dir at a directory with unrelated JSONs
+  // never destroys user data.
+  for (const auto& entry : std::filesystem::directory_iterator(options.out_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && is_sweep_run_file(name)) {
+      std::filesystem::remove(entry.path());
+    }
+  }
+}
+
+/// Rebuilds a SweepRunOutcome from the result JSON a remote worker streamed
+/// back — the exact run_result_json document a local run would have written.
+/// Throws CheckError on malformed JSON.
+SweepRunOutcome outcome_from_result_json(SweepRun run, const std::string& json) {
+  const JsonValue doc = parse_json(json);
+  SUBFEDAVG_CHECK(doc.is_object(), "worker result for '" << run.name
+                                                         << "' is not a JSON object");
+  SweepRunOutcome outcome;
+  outcome.run = std::move(run);
+  outcome.ok = true;
+  outcome.algorithm_name = doc.string_or("algorithm", "");
+  outcome.result.final_avg_accuracy = doc.number_or("final_avg_accuracy", 0.0);
+  outcome.result.up_bytes = static_cast<std::uint64_t>(doc.number_or("up_bytes", 0.0));
+  outcome.result.down_bytes = static_cast<std::uint64_t>(doc.number_or("down_bytes", 0.0));
+  outcome.result.simulated_seconds = doc.number_or("simulated_seconds", 0.0);
+  outcome.result.dropped_clients =
+      static_cast<std::size_t>(doc.number_or("dropped_clients", 0.0));
+  outcome.result.skipped_rounds =
+      static_cast<std::size_t>(doc.number_or("skipped_rounds", 0.0));
+  if (const JsonValue* curve = doc.find("curve"); curve != nullptr && curve->is_array()) {
+    for (const JsonValue& point : curve->array) {
+      outcome.result.curve.push_back(
+          {static_cast<std::size_t>(point.number_or("round", 0.0)),
+           point.number_or("avg_accuracy", 0.0)});
+    }
+  }
+  if (const JsonValue* per_client = doc.find("final_per_client");
+      per_client != nullptr && per_client->is_array()) {
+    for (const JsonValue& accuracy : per_client->array) {
+      if (accuracy.is_number()) outcome.result.final_per_client.push_back(accuracy.number);
+    }
+  }
+  if (const JsonValue* metrics = doc.find("metrics"); metrics != nullptr) {
+    for (const auto& [key, value] : metrics->object) {
+      if (value.is_number()) outcome.metrics[key] = value.number;
+    }
+  }
+  return outcome;
+}
+
+/// Dispatches every run as a whole (kRunSpec) to the remote workers joined at
+/// options.listen; the coordinator machine only routes frames and writes the
+/// returned JSON. Runs that die with their worker are retried once on
+/// whoever is connected then, and recorded as failed outcomes after that.
+SweepSummary run_sweep_remote(const std::vector<SweepRun>& runs, const SweepOptions& options) {
+  SweepSummary summary;
+  summary.outcomes.resize(runs.size());
+  summary.workers = options.remote_workers;
+  if (runs.empty()) return summary;
+  prepare_out_dir(options);
+
+  TransportOptions transport_options;
+  transport_options.workers = options.remote_workers;
+  transport_options.listen = options.listen;
+  transport_options.rpc_timeout_ms = static_cast<int>(options.rpc_timeout_ms);
+  transport_options.tolerate_failures = true;  // a dead worker fails runs, not the sweep
+  transport_options.whole_runs = true;
+  const std::unique_ptr<Transport> transport = make_transport("tcp", transport_options);
+  if (options.echo_progress) {
+    std::fprintf(stderr, "sweep: %zu runs sharded over %zu remote workers at %s\n",
+                 runs.size(), options.remote_workers, transport->endpoint().c_str());
+  }
+
+  const auto request_for = [&runs](std::size_t i) {
+    ExperimentSpec spec = runs[i].spec;  // the coordinator owns all files
+    spec.out.clear();
+    spec.checkpoint_every = 0;
+    spec.checkpoint_path.clear();
+    const std::string kv = spec.to_kv();
+    return std::vector<std::uint8_t>(kv.begin(), kv.end());
+  };
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  std::size_t completed = 0;
+  // `map[batch index] = run index`: retries dispatch a sub-batch.
+  const auto ingest = [&](const std::vector<TransportArrival>& arrivals,
+                          const std::vector<std::size_t>& map,
+                          std::vector<std::size_t>* retry) {
+    for (const TransportArrival& arrival : arrivals) {
+      const std::size_t i = map[arrival.index];
+      SweepRunOutcome& outcome = summary.outcomes[i];
+      if (!arrival.ok) {
+        if (retry != nullptr) {
+          retry->push_back(i);
+          continue;
+        }
+        outcome.run = runs[i];
+        outcome.error = arrival.error;
+      } else {
+        const std::string json(arrival.response.begin(), arrival.response.end());
+        try {
+          outcome = outcome_from_result_json(runs[i], json);
+          if (!options.out_dir.empty()) {
+            const std::string path =
+                (std::filesystem::path(options.out_dir) / sweep_run_file_name(runs[i]))
+                    .string();
+            std::ofstream file(path, std::ios::trunc);
+            file << json;
+            if (file.good()) outcome.json_path = path;
+          }
+        } catch (const std::exception& e) {
+          outcome.run = runs[i];
+          outcome.ok = false;
+          outcome.error = e.what();
+        }
+      }
+      outcome.seconds = elapsed_seconds(sweep_start);  // arrival time, not run time
+      if (options.echo_progress) {
+        ++completed;
+        if (outcome.ok) {
+          std::fprintf(stderr, "[%zu/%zu] ok   %s: acc %.4f (remote)\n", completed,
+                       runs.size(), outcome.run.name.c_str(),
+                       outcome.result.final_avg_accuracy);
+        } else if (retry != nullptr) {
+          --completed;  // not resolved yet; the retry will report it
+        } else {
+          std::fprintf(stderr, "[%zu/%zu] FAIL %s: %s\n", completed, runs.size(),
+                       outcome.run.name.c_str(), outcome.error.c_str());
+        }
+      }
+    }
+  };
+
+  std::vector<std::vector<std::uint8_t>> requests(runs.size());
+  std::vector<std::size_t> map(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    requests[i] = request_for(i);
+    map[i] = i;
+  }
+  std::vector<std::size_t> retry;
+  ingest(transport->collect(requests, TransportHandler{}), map, &retry);
+
+  if (!retry.empty()) {
+    std::vector<std::vector<std::uint8_t>> retry_requests(retry.size());
+    for (std::size_t b = 0; b < retry.size(); ++b) retry_requests[b] = request_for(retry[b]);
+    ingest(transport->collect(retry_requests, TransportHandler{}), retry, nullptr);
+  }
+
+  summary.seconds = elapsed_seconds(sweep_start);
+  if (options.echo_progress) {
+    std::fprintf(stderr, "sweep: %zu ok, %zu failed in %.1fs (remote, %zu retried)\n",
+                 summary.num_ok(), summary.num_failed(), summary.seconds, retry.size());
+  }
+  return summary;
+}
+
+}  // namespace
+
 SweepSummary run_sweep(const std::vector<SweepRun>& runs, const SweepOptions& options) {
+  if (!options.listen.empty()) return run_sweep_remote(runs, options);
+
   SweepSummary summary;
   summary.outcomes.resize(runs.size());
   if (runs.empty()) return summary;
 
-  if (!options.out_dir.empty()) {
-    std::filesystem::create_directories(options.out_dir);
-    // A reused directory must not blend stale runs into later aggregation:
-    // clear previous sweeps' per-run files — and ONLY those (the NNNNN-*.json
-    // pattern), so pointing --out-dir at a directory with unrelated JSONs
-    // never destroys user data.
-    for (const auto& entry : std::filesystem::directory_iterator(options.out_dir)) {
-      const std::string name = entry.path().filename().string();
-      if (entry.is_regular_file() && is_sweep_run_file(name)) {
-        std::filesystem::remove(entry.path());
-      }
-    }
-  }
+  prepare_out_dir(options);
 
   ThreadPool pool(options.jobs);
   summary.workers = pool.size();

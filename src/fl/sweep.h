@@ -81,6 +81,15 @@ struct SweepOptions {
   std::size_t jobs = 0;     ///< worker threads; 0 → hardware concurrency
   std::string out_dir;      ///< per-run JSON directory; empty → no files
   bool echo_progress = true;///< per-run completion lines on stderr
+  // Remote sharding: when `listen` is set, grid points are dispatched as
+  // whole runs to worker processes (tools/worker) that join this address —
+  // each worker executes runs on its own machine and streams the result JSON
+  // back; the coordinator writes the per-run files and aggregates as usual.
+  // A run that dies with its worker is retried once on another worker, then
+  // recorded as a failed outcome (the sweep's normal failure isolation).
+  std::string listen;              ///< "host:port"; empty → local thread pool
+  std::size_t remote_workers = 1;  ///< workers to wait for before dispatching
+  std::size_t rpc_timeout_ms = 0;  ///< per-run deadline; 0 = no limit
 };
 
 /// What happened to one run. `ok == false` outcomes carry the error text and

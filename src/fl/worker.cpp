@@ -1,0 +1,184 @@
+#include "fl/worker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fl/experiment.h"
+#include "net/socket.h"
+#include "util/check.h"
+
+namespace subfed {
+
+namespace {
+
+/// The worker's mirror of the coordinator's federation. The algorithm holds a
+/// pointer into `data`, so teardown order matters (algorithm first).
+struct Session {
+  std::string kv;  ///< the spec blob this mirror was built from
+  std::unique_ptr<FederatedData> data;
+  std::unique_ptr<FederatedAlgorithm> algorithm;
+};
+
+ExperimentSpec mirror_spec(const std::string& kv) {
+  ExperimentSpec spec = ExperimentSpec::from_kv(kv);
+  // The mirror's channel must materialize payloads exactly like the
+  // coordinator's tcp channel does — that's loopback, NOT memory (protocols
+  // like MTL put extra sections on a materialized wire) — and it must not
+  // open sockets or write the coordinator's files.
+  spec.transport = "loopback";
+  spec.listen.clear();
+  spec.connect.clear();
+  spec.out.clear();
+  spec.checkpoint_every = 0;
+  spec.checkpoint_path.clear();
+  return spec;
+}
+
+void build_session(Session& session, std::string kv) {
+  // An empty blob is a run-only session (sweep sharding): the coordinator
+  // will send whole kRunSpec runs, so there is no federation to mirror.
+  if (kv.empty()) return;
+  // Reconnects re-send the same blob; keep the mirror instead of
+  // re-synthesizing the dataset.
+  if (session.algorithm != nullptr && session.kv == kv) return;
+  session.algorithm.reset();
+  session.data.reset();
+  const ExperimentSpec spec = mirror_spec(kv);
+  spec.validate();
+  session.data = std::make_unique<FederatedData>(spec.dataset_spec(), spec.data_config());
+  const FlContext ctx = spec.make_context(*session.data);
+  session.algorithm = spec.make_algorithm(ctx);
+  session.kv = std::move(kv);
+}
+
+std::string payload_text(const net::NetFrame& frame) {
+  return std::string(frame.payload.begin(), frame.payload.end());
+}
+
+std::vector<std::uint8_t> bytes_of(const std::string& text) {
+  return std::vector<std::uint8_t>(text.begin(), text.end());
+}
+
+}  // namespace
+
+WorkerStats run_worker(const WorkerOptions& options) {
+  SUBFEDAVG_CHECK(!options.connect.empty(), "worker needs --connect host:port");
+  const net::HostPort coordinator = net::parse_host_port(options.connect);
+  const auto say = [&options](const std::string& line) {
+    if (options.echo) std::cerr << "[worker] " << line << std::endl;
+  };
+  const auto rpc_deadline = [&options] {
+    return options.rpc_timeout_ms == 0
+               ? net::Deadline{}
+               : net::Deadline::after_ms(static_cast<long long>(options.rpc_timeout_ms));
+  };
+
+  WorkerStats stats;
+  Session session;
+  std::size_t failed_joins = 0;
+  while (true) {
+    // -- join ---------------------------------------------------------------
+    net::TcpConn conn = net::TcpConn::connect(coordinator, net::Deadline::after_ms(2000));
+    bool joined = false;
+    if (conn.valid() && net::send_frame(conn, net::FrameKind::kHello, 0, {}, rpc_deadline())) {
+      net::NetFrame setup;
+      if (net::recv_frame(conn, &setup, rpc_deadline()) &&
+          setup.kind == net::FrameKind::kSetup) {
+        build_session(session, payload_text(setup));
+        joined = true;
+        ++stats.sessions;
+        failed_joins = 0;
+        say("joined " + options.connect);
+      }
+    }
+    if (!joined) {
+      conn.close();
+      ++failed_joins;
+      SUBFEDAVG_CHECK(failed_joins <= options.reconnect,
+                      "worker: cannot reach coordinator " << options.connect << " ("
+                          << failed_joins << " consecutive failed attempts)");
+      // Exponential backoff, ~200ms doubling to a 5s ceiling.
+      const long long backoff =
+          std::min<long long>(5000, 200LL << std::min<std::size_t>(failed_joins - 1, 5));
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      continue;
+    }
+
+    // -- serve --------------------------------------------------------------
+    bool alive = true;
+    while (alive) {
+      net::NetFrame frame;
+      // No deadline between requests: rounds can take arbitrarily long on
+      // the coordinator, and an idle worker just waits.
+      if (!net::recv_frame(conn, &frame)) break;
+      switch (frame.kind) {
+        case net::FrameKind::kExchange: {
+          if (options.max_exchanges != 0 && stats.exchanges >= options.max_exchanges) {
+            // Failure injection: die mid-round, request in hand, reply never
+            // sent — exactly the straggler buffered aggregation must evict.
+            say("max-exchanges reached; dropping the connection");
+            return stats;
+          }
+          try {
+            SUBFEDAVG_CHECK(session.algorithm != nullptr,
+                            "exchange received but the session carries no federation "
+                            "(run-only setup blob)");
+            const std::vector<std::uint8_t> reply =
+                session.algorithm->serve_remote(frame.payload);
+            ++stats.exchanges;
+            alive = net::send_frame(conn, net::FrameKind::kReply, frame.tag, reply,
+                                    rpc_deadline());
+          } catch (const std::exception& e) {
+            // The exchange failed but the worker is fine: report and stay.
+            say(std::string("exchange failed: ") + e.what());
+            alive = net::send_frame(conn, net::FrameKind::kError, frame.tag,
+                                    bytes_of(e.what()), rpc_deadline());
+          }
+          break;
+        }
+        case net::FrameKind::kRunSpec: {
+          // Sweep sharding: one whole run. The result JSON travels back; the
+          // coordinator owns all files.
+          try {
+            ExperimentSpec spec = ExperimentSpec::from_kv(payload_text(frame));
+            spec.out.clear();
+            spec.checkpoint_every = 0;
+            spec.checkpoint_path.clear();
+            const ExecutedRun run = execute_experiment(spec);
+            const std::string json =
+                run_result_json(spec, run.algorithm_name, run.result, run.metrics);
+            ++stats.runs;
+            alive = net::send_frame(conn, net::FrameKind::kRunResult, frame.tag,
+                                    bytes_of(json), rpc_deadline());
+          } catch (const std::exception& e) {
+            say(std::string("run failed: ") + e.what());
+            alive = net::send_frame(conn, net::FrameKind::kError, frame.tag,
+                                    bytes_of(e.what()), rpc_deadline());
+          }
+          break;
+        }
+        case net::FrameKind::kSetup:
+          // Mid-session reconfiguration (a new run on the same coordinator).
+          build_session(session, payload_text(frame));
+          break;
+        case net::FrameKind::kShutdown:
+          stats.shutdown = true;
+          say("shutdown");
+          return stats;
+        default:
+          say("protocol violation: unexpected frame kind");
+          alive = false;
+      }
+    }
+    conn.close();
+    say("connection lost; reconnecting");
+  }
+}
+
+}  // namespace subfed

@@ -1,0 +1,47 @@
+// Federation worker: the connect-side half of transport=tcp.
+//
+// A worker joins a coordinator (a run with transport=tcp listen=host:port),
+// receives the experiment spec as a kSetup blob, mirrors the federation
+// locally — same dataset synthesis, same algorithm construction, loopback
+// channel — and then serves kExchange requests until the coordinator shuts it
+// down. Each exchange ships the client's full personal state down and back,
+// so the mirror never needs to have seen previous rounds: workers can join,
+// die, and rejoin mid-run and the federation stays bit-identical to a local
+// loopback run.
+//
+// Workers also serve kRunSpec frames (whole runs, for sweep sharding across
+// machines), returning the finished run's result JSON.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace subfed {
+
+struct WorkerOptions {
+  std::string connect;          ///< coordinator "host:port" (required)
+  std::size_t reconnect = 5;    ///< consecutive failed joins before giving up
+  std::size_t rpc_timeout_ms = 120000;  ///< handshake/reply deadline; 0 = forever
+  /// Close the connection after serving this many exchanges (0 = unlimited).
+  /// The failure-injection hook: the straggler-eviction tests and the CI
+  /// kill-a-worker smoke job use it to die mid-round, after accepting a
+  /// request and before replying.
+  std::size_t max_exchanges = 0;
+  bool echo = false;            ///< progress lines on stderr
+};
+
+struct WorkerStats {
+  std::size_t sessions = 0;     ///< successful joins (first + reconnects)
+  std::size_t exchanges = 0;    ///< kExchange frames served
+  std::size_t runs = 0;         ///< kRunSpec runs executed
+  bool shutdown = false;        ///< coordinator ended the session cleanly
+};
+
+/// Runs a worker until the coordinator sends kShutdown, `max_exchanges` is
+/// reached, or the coordinator cannot be (re)joined within `reconnect`
+/// consecutive attempts (throws CheckError then). A dropped connection is
+/// not fatal: the worker reconnects with exponential backoff and keeps its
+/// mirror when the coordinator re-sends the same session spec.
+WorkerStats run_worker(const WorkerOptions& options);
+
+}  // namespace subfed

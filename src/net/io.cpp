@@ -1,0 +1,125 @@
+#include "net/io.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "util/check.h"
+
+namespace subfed::net {
+
+Deadline Deadline::after_ms(long long ms) {
+  Deadline d;
+  if (ms > 0) {
+    d.armed_ = true;
+    d.when_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  }
+  return d;
+}
+
+bool Deadline::expired() const {
+  return armed_ && std::chrono::steady_clock::now() >= when_;
+}
+
+int Deadline::remaining_ms() const {
+  if (!armed_) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      when_ - std::chrono::steady_clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+namespace {
+
+/// Waits until `fd` is ready for `events` or the deadline passes. True when
+/// the following syscall may proceed (also on POLLHUP/POLLERR — the syscall
+/// itself then observes the EOF or error, which is the diagnosis we want).
+bool wait_single(int fd, short events, const Deadline& deadline) {
+  while (true) {
+    if (deadline.expired()) return false;
+    struct pollfd pfd = {fd, events, 0};
+    const int ready = ::poll(&pfd, 1, deadline.remaining_ms());
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) return false;  // timed out
+    return true;
+  }
+}
+
+}  // namespace
+
+bool write_exact(int fd, const void* data, std::size_t n, const Deadline& deadline) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    if (!deadline.unlimited() && !wait_single(fd, POLLOUT, deadline)) return false;
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE (→ false), not
+    // as a process-killing SIGPIPE. Pipes say ENOTSOCK; retry with write().
+    ssize_t written = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (written < 0 && errno == ENOTSOCK) written = ::write(fd, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+bool read_exact(int fd, void* data, std::size_t n, const Deadline& deadline) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    if (!deadline.unlimited() && !wait_single(fd, POLLIN, deadline)) return false;
+    const ssize_t got = ::read(fd, p, n);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return false;  // EOF (dead peer) or error
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_frame(int fd, std::span<const std::uint8_t> bytes, const Deadline& deadline) {
+  std::uint8_t prefix[4];
+  const std::uint32_t size = static_cast<std::uint32_t>(bytes.size());
+  for (int i = 0; i < 4; ++i) prefix[i] = static_cast<std::uint8_t>(size >> (8 * i));
+  return write_exact(fd, prefix, 4, deadline) &&
+         write_exact(fd, bytes.data(), bytes.size(), deadline);
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>* out, const Deadline& deadline,
+                std::size_t max_bytes) {
+  std::uint8_t prefix[4];
+  if (!read_exact(fd, prefix, 4, deadline)) return false;
+  std::uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) size |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  if (size > max_bytes) return false;  // reject before the allocation, not after
+  out->resize(size);
+  return read_exact(fd, out->data(), size, deadline);
+}
+
+std::vector<std::size_t> wait_readable(std::span<const int> fds, int timeout_ms) {
+  std::vector<struct pollfd> pfds;
+  pfds.reserve(fds.size());
+  for (const int fd : fds) pfds.push_back({fd, POLLIN, 0});
+  while (true) {
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      SUBFEDAVG_CHECK(false, "poll() failed: errno " << errno);
+    }
+    break;
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace subfed::net

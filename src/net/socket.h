@@ -1,0 +1,120 @@
+// TCP listener/connection wrappers and the coordinator↔worker message frame.
+//
+// The wire protocol is deliberately thin: a NetFrame is a fixed header
+// (magic, kind, tag) followed by one u32-length-prefixed payload — and every
+// Exchange payload is an existing comm/channel.h envelope
+// (encode_envelope bytes), so the socket layer adds routing, not a second
+// serialization format.
+//
+//   worker → coordinator   kHello                    "I can serve exchanges"
+//   coordinator → worker   kSetup      spec kv blob  session configuration
+//   coordinator → worker   kExchange   envelope      tag = request index
+//   worker → coordinator   kReply      envelope      tag echoes the request
+//   coordinator → worker   kRunSpec    spec kv blob  whole-run sweep sharding
+//   worker → coordinator   kRunResult  result JSON   tag echoes the request
+//   worker → coordinator   kError      error text    the tagged work threw
+//   coordinator → worker   kShutdown                 clean end of session
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/io.h"
+
+namespace subfed::net {
+
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" ("127.0.0.1:9000", "0.0.0.0:0"). Throws CheckError with
+/// the offending text on anything else.
+HostPort parse_host_port(const std::string& text);
+
+/// A connected TCP stream. Move-only RAII over the fd; TCP_NODELAY is set on
+/// every connection (frames are latency-bound round-trip messages).
+class TcpConn {
+ public:
+  TcpConn() = default;
+  /// Adopts an already-connected fd (listener accept path).
+  explicit TcpConn(int fd) noexcept : fd_(fd) {}
+  ~TcpConn() { close(); }
+
+  TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  /// Nonblocking connect with a deadline: returns an invalid TcpConn on
+  /// refusal, timeout, or resolution failure (reconnect loops poll this).
+  static TcpConn connect(const HostPort& addr, const Deadline& deadline);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bound, listening TCP socket. Port 0 binds an ephemeral port — port()
+/// reports the real one, which is how tests and in-process workers rendezvous
+/// without hard-coding ports.
+class TcpListener {
+ public:
+  /// Binds and listens; throws CheckError when the address is unusable (busy
+  /// port, bad host) — a coordinator that cannot listen must fail at startup,
+  /// not at round one.
+  explicit TcpListener(const HostPort& addr, int backlog = 64);
+  ~TcpListener() { close(); }
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&&) = delete;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+  /// "host:port" with the bound port resolved — what workers connect to.
+  std::string endpoint() const { return host_ + ":" + std::to_string(port_); }
+  int fd() const noexcept { return fd_; }
+
+  /// Accepts one connection, waiting at most until the deadline (default: a
+  /// poll-once, don't wait). Invalid TcpConn when nothing arrived.
+  TcpConn accept(const Deadline& deadline = Deadline::after_ms(1));
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string host_;
+  std::uint16_t port_ = 0;
+};
+
+enum class FrameKind : std::uint8_t {
+  kHello = 1,
+  kSetup = 2,
+  kExchange = 3,
+  kReply = 4,
+  kRunSpec = 5,
+  kRunResult = 6,
+  kError = 7,
+  kShutdown = 8,
+};
+
+struct NetFrame {
+  FrameKind kind = FrameKind::kHello;
+  std::uint64_t tag = 0;  ///< request index; replies echo it back
+  std::vector<std::uint8_t> payload;
+};
+
+/// Writes/reads one frame. False on a dead peer, a deadline expiry, or (recv)
+/// a malformed header — the connection is unusable afterwards either way. An
+/// oversized payload length is rejected before any allocation.
+bool send_frame(const TcpConn& conn, FrameKind kind, std::uint64_t tag,
+                std::span<const std::uint8_t> payload, const Deadline& deadline = {});
+bool send_frame(const TcpConn& conn, const NetFrame& frame, const Deadline& deadline = {});
+bool recv_frame(const TcpConn& conn, NetFrame* out, const Deadline& deadline = {},
+                std::size_t max_payload = kMaxFrameBytes);
+
+}  // namespace subfed::net

@@ -54,6 +54,10 @@ void print_help() {
       "  --sweep-file PATH     key=value lines; multi-value lines become axes\n"
       "  --jobs N              worker threads [hardware concurrency]\n"
       "  --out-dir DIR         per-run JSON directory [sweep_out]\n"
+      "  --listen host:port    shard runs over remote workers that join this\n"
+      "                        address (start them with: worker --connect ...)\n"
+      "  --remote-workers N    workers to wait for before dispatching [1]\n"
+      "  --rpc-timeout-ms MS   per-run remote deadline; 0 = no limit [0]\n"
       "  --dry-run 1           print the expanded runs, execute nothing\n"
       "  --aggregate DIR       aggregate an existing directory, run nothing\n"
       "  --group-by k1,k2      table row keys [the non-replicate axes]\n"
@@ -109,6 +113,14 @@ int main(int argc, char** argv) {
         options.jobs = static_cast<std::size_t>(parse_uint64_strict("jobs", value()));
       } else if (flag == "--out-dir") {
         options.out_dir = value();
+      } else if (flag == "--listen") {
+        options.listen = value();
+      } else if (flag == "--remote-workers") {
+        options.remote_workers =
+            static_cast<std::size_t>(parse_uint64_strict("remote-workers", value()));
+      } else if (flag == "--rpc-timeout-ms") {
+        options.rpc_timeout_ms =
+            static_cast<std::size_t>(parse_uint64_strict("rpc-timeout-ms", value()));
       } else if (flag == "--dry-run") {
         dry_run = parse_uint64_strict("dry-run", value()) != 0;
       } else if (flag == "--aggregate") {

@@ -1,0 +1,91 @@
+// Federation worker CLI: the connect-side half of transport=tcp.
+//
+// A coordinator run (run_experiment/sweep with `transport=tcp
+// listen=host:port channel_workers=N`) waits for N of these to join, then
+// drives the federation over their sockets:
+//
+//   machine A:  run_experiment --transport tcp --listen 0.0.0.0:9000 \
+//               --channel-workers 2 ...
+//   machine B:  worker --connect a.example:9000
+//   machine C:  worker --connect a.example:9000
+//
+// The worker mirrors the coordinator's federation from the spec blob it
+// receives at join time (same dataset synthesis, same algorithm), so the
+// only bytes on the wire are the channel envelopes — and results stay
+// bit-identical to a local loopback run.
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "fl/worker.h"
+#include "util/parse.h"
+
+namespace {
+
+void print_usage() {
+  std::cout
+      << "usage: worker --connect host:port [options]\n\n"
+         "Joins a transport=tcp coordinator and serves federated client\n"
+         "exchanges (and sweep-sharded whole runs) until the coordinator\n"
+         "shuts it down.\n\n"
+         "  --connect host:port   coordinator address (required)\n"
+         "  --reconnect N         consecutive failed joins before giving up [5]\n"
+         "  --rpc-timeout-ms MS   handshake/reply send deadline; 0 = forever [120000]\n"
+         "  --max-exchanges N     drop the connection after N exchanges (failure\n"
+         "                        injection for straggler tests); 0 = unlimited [0]\n"
+         "  --quiet               suppress progress lines\n"
+         "  --help                print this reference\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  subfed::WorkerOptions options;
+  options.echo = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (flag == "--quiet") {
+      options.echo = false;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << "worker: flag " << flag << " expects a value (see --help)\n";
+      return 2;
+    }
+    const std::string value = argv[++i];
+    try {
+      if (flag == "--connect") {
+        options.connect = value;
+      } else if (flag == "--reconnect") {
+        options.reconnect = subfed::parse_uint64_strict("reconnect", value);
+      } else if (flag == "--rpc-timeout-ms") {
+        options.rpc_timeout_ms = subfed::parse_uint64_strict("rpc-timeout-ms", value);
+      } else if (flag == "--max-exchanges") {
+        options.max_exchanges = subfed::parse_uint64_strict("max-exchanges", value);
+      } else {
+        std::cerr << "worker: unknown flag " << flag << " (see --help)\n";
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "worker: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    const subfed::WorkerStats stats = subfed::run_worker(options);
+    if (options.echo) {
+      std::cerr << "[worker] done: " << stats.exchanges << " exchanges, " << stats.runs
+                << " runs over " << stats.sessions << " sessions"
+                << (stats.shutdown ? " (clean shutdown)" : "") << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "worker: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -221,6 +221,11 @@ class Channel {
     return transport_ != nullptr ? transport_->endpoint() : std::string{};
   }
 
+  /// The transport itself (null on the memory fast path) — the resident
+  /// server (serve/server.h) admits joins and counts participants through it
+  /// between rounds.
+  Transport* transport() noexcept { return transport_.get(); }
+
   /// Worker side of one remote exchange: decodes a kExchange request payload
   /// (a Broadcast envelope), runs `fn`, and encodes the reply envelope through
   /// the identical codec stack as the coordinator's in-process handler —

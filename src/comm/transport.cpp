@@ -295,6 +295,15 @@ class TcpTransport final : public Transport {
   bool detached() const noexcept override { return true; }
   bool remote() const noexcept override { return true; }
   std::string endpoint() const override { return listener_.endpoint(); }
+  std::size_t connected_peers() const noexcept override { return live_count(); }
+  int accept_fd() const noexcept override { return listener_.fd(); }
+
+  std::size_t admit_pending() override {
+    std::size_t admitted = 0;
+    while (admit_worker(net::Deadline::after_ms(1))) ++admitted;
+    prune_hangups();
+    return admitted;
+  }
 
   std::vector<std::vector<std::uint8_t>> round_trip(
       std::span<const std::vector<std::uint8_t>> requests,
@@ -337,6 +346,26 @@ class TcpTransport final : public Transport {
     std::size_t n = 0;
     for (const Conn& c : conns_) n += c.conn.valid() ? 1 : 0;
     return n;
+  }
+
+  /// Drops idle connections whose peer hung up. An idle worker never speaks
+  /// first, so a readable idle connection can only mean EOF (or protocol
+  /// garbage) — either way it is dead weight a participant count must not
+  /// include.
+  void prune_hangups() {
+    std::vector<int> fds;
+    std::vector<std::size_t> slot;
+    for (std::size_t ci = 0; ci < conns_.size(); ++ci) {
+      const Conn& c = conns_[ci];
+      if (!c.conn.valid() || c.busy) continue;
+      fds.push_back(c.conn.fd());
+      slot.push_back(ci);
+    }
+    if (fds.empty()) return;
+    for (const std::size_t f : net::wait_readable(fds, 0)) {
+      conns_[slot[f]].conn.close();
+    }
+    std::erase_if(conns_, [](const Conn& c) { return !c.conn.valid(); });
   }
 
   /// Accepts one pending connection and handshakes it into the fleet

@@ -98,6 +98,20 @@ class Transport {
   /// resolved); empty for in-process and fork transports.
   virtual std::string endpoint() const { return {}; }
 
+  /// Remote peers currently connected; 0 for in-process and fork transports.
+  /// The resident server gates round ticks on this (serve/server.h).
+  virtual std::size_t connected_peers() const noexcept { return 0; }
+
+  /// Admits every peer waiting to join or rejoin, without blocking, and
+  /// drops idle connections whose peer hung up (so connected_peers() stays
+  /// honest between batches). Returns the number admitted. No-op for
+  /// transports without peers.
+  virtual std::size_t admit_pending() { return 0; }
+
+  /// Listening fd an event loop can poll for incoming joins (net/io.h
+  /// wait_readable); -1 when the transport accepts no connections.
+  virtual int accept_fd() const noexcept { return -1; }
+
   /// Round-trips every request through the handler, returning the responses
   /// in request order. Implementations may run handlers concurrently; a
   /// handler that throws (or a worker that dies) surfaces as CheckError here.

@@ -114,6 +114,12 @@ void FederatedAlgorithm::restore_checkpoint_state(std::vector<StateDict> /*secti
   SUBFEDAVG_CHECK(false, name() << " does not support checkpointing");
 }
 
+StateDict FederatedAlgorithm::global_model() {
+  std::vector<StateDict> sections = checkpoint_state();
+  SUBFEDAVG_CHECK(!sections.empty(), name() << " has no checkpointable state to serve");
+  return std::move(sections.front());
+}
+
 double FederatedAlgorithm::average_test_accuracy() {
   const std::vector<double> acc = all_test_accuracies();
   double sum = 0.0;

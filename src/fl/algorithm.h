@@ -129,11 +129,21 @@ class FederatedAlgorithm {
   /// Throws CheckError when the sections do not match this federation.
   virtual void restore_checkpoint_state(std::vector<StateDict> sections);
 
+  /// The current server-side global model — what the resident coordinator
+  /// serves to kGetModel requests. Default: the first checkpoint_state
+  /// section, which every built-in algorithm lays out as its global/shared
+  /// state (for fully-local algorithms like standalone that is client 0's
+  /// model — the closest thing they have to one). FedAvg-family and
+  /// Sub-FedAvg override this with a direct copy of their global state.
+  virtual StateDict global_model();
+
   std::size_t num_clients() const noexcept { return ctx_.data->num_clients(); }
   const FlContext& context() const noexcept { return ctx_; }
   const CommLedger& ledger() const noexcept { return ledger_; }
   /// The message channel every built-in algorithm exchanges through.
   const Channel& channel() const noexcept { return *channel_; }
+  /// Mutable access (the resident server admits transport joins through it).
+  Channel& channel() noexcept { return *channel_; }
   /// Per-client byte costs of the most recent round, for the round-time
   /// model (empty before the first round).
   const std::vector<ClientRoundCost>& last_round_costs() const noexcept {

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <span>
 #include <vector>
 
 #include "comm/serialize.h"
@@ -27,7 +28,7 @@ void put_blob(std::vector<std::uint8_t>& out, const std::vector<std::uint8_t>& b
 
 class Reader {
  public:
-  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
   std::uint32_t u32() {
     SUBFEDAVG_CHECK(pos_ + 4 <= bytes_.size(), "truncated checkpoint");
@@ -54,7 +55,7 @@ class Reader {
   bool done() const noexcept { return pos_ == bytes_.size(); }
 
  private:
-  const std::vector<std::uint8_t>& bytes_;
+  std::span<const std::uint8_t> bytes_;
   std::size_t pos_ = 0;
 };
 
@@ -112,7 +113,7 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
 
 }  // namespace
 
-void save_checkpoint(FederatedAlgorithm& algorithm, const std::string& path) {
+std::vector<std::uint8_t> checkpoint_bytes(FederatedAlgorithm& algorithm) {
   std::vector<StateDict> sections = algorithm.checkpoint_state();
 
   std::vector<std::uint8_t> out;
@@ -124,11 +125,11 @@ void save_checkpoint(FederatedAlgorithm& algorithm, const std::string& path) {
   for (const StateDict& section : sections) {
     put_blob(out, encode_update(section, nullptr));
   }
-  write_file(path, out);
+  return out;
 }
 
-void load_checkpoint(FederatedAlgorithm& algorithm, const std::string& path) {
-  const std::vector<std::uint8_t> bytes = read_file(path);
+void restore_checkpoint_bytes(FederatedAlgorithm& algorithm,
+                              std::span<const std::uint8_t> bytes) {
   Reader reader(bytes);
   SUBFEDAVG_CHECK(reader.u32() == kGenericMagic, "bad checkpoint magic");
   SUBFEDAVG_CHECK(reader.u32() == kGenericVersion, "unsupported checkpoint version");
@@ -145,6 +146,14 @@ void load_checkpoint(FederatedAlgorithm& algorithm, const std::string& path) {
   }
   SUBFEDAVG_CHECK(reader.done(), "trailing bytes in checkpoint");
   algorithm.restore_checkpoint_state(std::move(sections));
+}
+
+void save_checkpoint(FederatedAlgorithm& algorithm, const std::string& path) {
+  write_file(path, checkpoint_bytes(algorithm));
+}
+
+void load_checkpoint(FederatedAlgorithm& algorithm, const std::string& path) {
+  restore_checkpoint_bytes(algorithm, read_file(path));
 }
 
 CheckpointObserver::CheckpointObserver(FederatedAlgorithm& algorithm, std::string path,

@@ -23,12 +23,28 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "fl/driver.h"
 #include "fl/subfedavg.h"
 
 namespace subfed {
+
+/// The generic checkpoint container (magic + version + algorithm name +
+/// checkpoint_state sections) as bytes, so callers that embed a federation
+/// snapshot inside a larger record (serve/FederationSession) share the file
+/// format with save_checkpoint. Throws CheckError when the algorithm does not
+/// support checkpointing.
+std::vector<std::uint8_t> checkpoint_bytes(FederatedAlgorithm& algorithm);
+
+/// Inverse of checkpoint_bytes into an algorithm built with the SAME
+/// data/spec/config. Throws CheckError on algorithm-name mismatch, section
+/// mismatch, or corrupt input.
+void restore_checkpoint_bytes(FederatedAlgorithm& algorithm,
+                              std::span<const std::uint8_t> bytes);
 
 /// Writes `algorithm`'s full state (name + checkpoint_state sections) to
 /// `path` (overwrites). Throws CheckError on I/O failure or when the

@@ -1,9 +1,7 @@
 #include "fl/driver.h"
 
-#include <algorithm>
-
+#include "serve/session.h"
 #include "util/check.h"
-#include "util/logging.h"
 
 namespace subfed {
 
@@ -37,84 +35,12 @@ void ObserverChain::on_run_end(const RunResult& result) {
 
 RunResult run_federation(FederatedAlgorithm& algorithm, const DriverConfig& config,
                          RoundObserver* observer) {
+  // The round loop lives in FederationSession (serve/session.h) so the
+  // resident server can step the same federation one round at a time; batch
+  // mode is "borrow the algorithm, run the session to the horizon".
   SUBFEDAVG_CHECK(config.rounds > 0, "need at least one round");
-  SUBFEDAVG_CHECK(config.sample_rate > 0.0 && config.sample_rate <= 1.0,
-                  "sample rate " << config.sample_rate);
-  SUBFEDAVG_CHECK(config.link_spread >= 1.0, "link spread " << config.link_spread);
-
-  const std::size_t n = algorithm.num_clients();
-  const std::size_t per_round = std::max<std::size_t>(
-      1, static_cast<std::size_t>(config.sample_rate * static_cast<double>(n)));
-
-  Rng sample_rng = Rng(config.seed).split("client-sampling");
-  Rng dropout_rng = Rng(config.seed).split("client-dropout");
-  // The algorithm's channel owns the round-time model (it also needs it for
-  // buffered arrival ordering); honor the driver-level spread knob there.
-  // The default (1.0) defers to whatever FlContext.link_spread configured, so
-  // a direct-API caller's context setting survives a default DriverConfig.
-  if (config.link_spread != 1.0) {
-    algorithm.apply_link_spread(config.link_spread, config.seed);
-  }
-  RunResult result;
-
-  for (std::size_t round = 0; round < config.rounds; ++round) {
-    std::vector<std::size_t> sampled =
-        sample_rng.sample_without_replacement(n, per_round);
-
-    if (config.dropout_prob > 0.0) {
-      std::vector<std::size_t> alive;
-      for (const std::size_t k : sampled) {
-        if (dropout_rng.bernoulli(config.dropout_prob)) {
-          ++result.dropped_clients;
-        } else {
-          alive.push_back(k);
-        }
-      }
-      sampled = std::move(alive);
-      if (sampled.empty()) {
-        // Nobody reported back; the server waits for the next round.
-        ++result.skipped_rounds;
-        continue;
-      }
-    }
-    if (observer != nullptr) observer->on_round_begin(round + 1, sampled);
-    const std::uint64_t up_before = algorithm.ledger().total_up();
-    const std::uint64_t down_before = algorithm.ledger().total_down();
-    algorithm.run_round(round, sampled);
-    const double simulated = algorithm.last_round_seconds();
-    result.simulated_seconds += simulated;
-    if (observer != nullptr) {
-      RoundEndInfo info;
-      info.round = round + 1;
-      info.sampled = sampled;
-      info.round_up_bytes = algorithm.ledger().total_up() - up_before;
-      info.round_down_bytes = algorithm.ledger().total_down() - down_before;
-      info.round_seconds = simulated;
-      observer->on_round_end(info);
-    }
-
-    const bool last = (round + 1 == config.rounds);
-    const bool checkpoint =
-        config.eval_every > 0 && ((round + 1) % config.eval_every == 0);
-    if (last || checkpoint) {
-      const double avg = algorithm.average_test_accuracy();
-      result.curve.push_back({round + 1, avg});
-      SUBFEDAVG_LOG(kInfo) << algorithm.name() << " round " << (round + 1) << "/"
-                           << config.rounds << " avg personalized acc = " << avg;
-      if (observer != nullptr) observer->on_eval(round + 1, avg);
-    }
-  }
-
-  result.final_per_client = algorithm.all_test_accuracies();
-  result.final_avg_accuracy = 0.0;
-  for (const double a : result.final_per_client) result.final_avg_accuracy += a;
-  if (!result.final_per_client.empty()) {
-    result.final_avg_accuracy /= static_cast<double>(result.final_per_client.size());
-  }
-  result.up_bytes = algorithm.ledger().total_up();
-  result.down_bytes = algorithm.ledger().total_down();
-  if (observer != nullptr) observer->on_run_end(result);
-  return result;
+  FederationSession session(algorithm, config);
+  return session.run_to_completion(observer);
 }
 
 }  // namespace subfed

@@ -10,6 +10,7 @@
 #include "fl/fedavg_ft.h"
 #include "fl/subfedavg.h"
 #include "net/socket.h"
+#include "serve/session.h"
 #include "tensor/backend.h"
 #include "util/check.h"
 #include "util/parse.h"
@@ -87,6 +88,9 @@ const Field kFields[] = {
     SUBFED_STRING_FIELD(out, "JSON result path; empty = no file"),
     SUBFED_UINT_FIELD(checkpoint_every, "snapshot every N rounds; 0 = off"),
     SUBFED_STRING_FIELD(checkpoint_path, "snapshot path; empty = derive from out"),
+    SUBFED_UINT_FIELD(serve, "1 = resident coordinator (see the serve tool)"),
+    SUBFED_STRING_FIELD(status_listen, "serve request-API bind host:port; port 0 = ephemeral"),
+    SUBFED_UINT_FIELD(min_participants, "workers needed to tick a round; 0 = max(1, buffer_k)"),
 };
 
 #undef SUBFED_STRING_FIELD
@@ -277,6 +281,30 @@ void ExperimentSpec::validate() const {
                     "listen=" << listen << " requires transport=tcp (got transport="
                               << transport << ")");
   }
+  // Resident-service fields (serve/server.h).
+  SUBFEDAVG_CHECK(serve <= 1, "serve=" << serve << " must be 0 or 1");
+  if (serve == 1) {
+    SUBFEDAVG_CHECK(transport == "tcp",
+                    "serve=1 runs the resident coordinator over real sockets — set "
+                    "transport=tcp listen=host:port (got transport=" << transport << ")");
+    SUBFEDAVG_CHECK(checkpoint_every >= 1,
+                    "serve=1 requires checkpoint_every >= 1: a resident federation "
+                    "snapshots itself so a crash-restart resumes mid-federation instead "
+                    "of losing every round since startup");
+    SUBFEDAVG_CHECK(!status_listen.empty(),
+                    "serve=1 needs status_listen=host:port for the request API "
+                    "(kGetModel/kStatus/kCheckpointNow/kShutdown; port 0 = ephemeral)");
+    net::parse_host_port(status_listen);  // throws with the offending text
+  } else {
+    SUBFEDAVG_CHECK(status_listen.empty(),
+                    "status_listen=" << status_listen
+                                     << " requires serve=1 (the resident coordinator — "
+                                        "start one with the serve tool)");
+    SUBFEDAVG_CHECK(min_participants == 0,
+                    "min_participants=" << min_participants
+                                        << " requires serve=1 — a batch run always waits "
+                                           "for every sampled client");
+  }
 }
 
 DatasetSpec ExperimentSpec::dataset_spec() const { return DatasetSpec::by_name(dataset); }
@@ -404,26 +432,15 @@ ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observ
   // (kernel results are thread-count independent, so concurrent sweep runs
   // racing on it only affect timing); 0 means "inherit" and never overwrites
   // a SUBFEDAVG_MATH_THREADS cap.
-  spec.validate();  // fail fast, before the (expensive) dataset synthesis
-  std::unique_ptr<const FederatedData> owned_data;
-  if (shared_data == nullptr) {
-    owned_data = std::make_unique<FederatedData>(spec.dataset_spec(), spec.data_config());
-    shared_data = owned_data.get();
-  }
-  const FlContext ctx = spec.make_context(*shared_data);
-  std::unique_ptr<FederatedAlgorithm> algorithm = spec.make_algorithm(ctx);
-
-  // Corruption is injected by the channel, but the norm-filter defense (and
-  // the corrupted/filtered accounting) lives in the FedAvg-family and
-  // Sub-FedAvg aggregation paths; silently running another algorithm "under
-  // corruption" at its clean accuracy would poison robustness tables, so
-  // reject the combination.
-  SUBFEDAVG_CHECK((spec.corrupt_fraction <= 0.0 && spec.robust_filter <= 0.0) ||
-                      dynamic_cast<const FedAvg*>(algorithm.get()) != nullptr ||
-                      dynamic_cast<const SubFedAvg*>(algorithm.get()) != nullptr,
-                  "corrupt_fraction/robust_filter are only honored by the FedAvg "
-                  "family and Sub-FedAvg; algorithm '"
-                      << spec.algo << "' does not support them");
+  SUBFEDAVG_CHECK(spec.serve == 0,
+                  "serve=1 is the resident coordinator, not a batch run — start it "
+                  "with the serve tool");
+  // The session is the shared spec→federation build path (it validates the
+  // spec, synthesizes the data unless shared, and rejects corruption knobs on
+  // algorithms that don't honor them); batch mode is just "run it to the
+  // spec's horizon".
+  std::unique_ptr<FederationSession> session = FederationSession::from_spec(spec, shared_data);
+  FederatedAlgorithm* algorithm = &session->algorithm();
 
   ObserverChain chain;
   std::unique_ptr<CheckpointObserver> checkpointer;
@@ -435,22 +452,21 @@ ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observ
   if (observer != nullptr) chain.attach(observer);
 
   ExecutedRun run;
-  run.result = run_federation(*algorithm, spec.driver_config(),
-                              (checkpointer || observer) ? &chain : nullptr);
+  run.result = session->run_to_completion((checkpointer || observer) ? &chain : nullptr);
   run.algorithm_name = algorithm->name();
 
-  if (const auto* sub = dynamic_cast<const SubFedAvg*>(algorithm.get())) {
+  if (const auto* sub = dynamic_cast<const SubFedAvg*>(algorithm)) {
     run.metrics["unstructured_pruned"] = sub->average_unstructured_pruned();
     if (sub->hybrid()) run.metrics["structured_pruned"] = sub->average_structured_pruned();
   }
-  if (const auto* ft = dynamic_cast<const FedAvgFinetune*>(algorithm.get())) {
+  if (const auto* ft = dynamic_cast<const FedAvgFinetune*>(algorithm)) {
     run.metrics["finetune_steps"] = static_cast<double>(ft->extra_finetune_steps());
   }
   if (spec.corrupt_fraction > 0.0 || spec.robust_filter > 0.0) {
-    if (const auto* fa = dynamic_cast<const FedAvg*>(algorithm.get())) {
+    if (const auto* fa = dynamic_cast<const FedAvg*>(algorithm)) {
       run.metrics["corrupted_updates"] = static_cast<double>(fa->corrupted_updates());
       run.metrics["filtered_updates"] = static_cast<double>(fa->filtered_updates());
-    } else if (const auto* sub = dynamic_cast<const SubFedAvg*>(algorithm.get())) {
+    } else if (const auto* sub = dynamic_cast<const SubFedAvg*>(algorithm)) {
       run.metrics["corrupted_updates"] = static_cast<double>(sub->corrupted_updates());
       run.metrics["filtered_updates"] = static_cast<double>(sub->filtered_updates());
     }

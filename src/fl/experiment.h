@@ -95,6 +95,13 @@ struct ExperimentSpec {
   // Checkpointing (fl/checkpoint.h).
   std::size_t checkpoint_every = 0;  ///< snapshot every N rounds; 0 → off
   std::string checkpoint_path;       ///< empty → derived from `out` (.ckpt)
+  // Resident service (serve/server.h): serve=1 turns the spec into a
+  // long-lived coordinator — no fixed `rounds` horizon; rounds tick whenever
+  // enough workers are connected, and the session checkpoints itself so a
+  // crash-restart resumes mid-federation. Start one with the serve tool.
+  std::size_t serve = 0;             ///< 1 = resident coordinator (tools/serve)
+  std::string status_listen;         ///< request-API bind "host:port" (serve=1)
+  std::size_t min_participants = 0;  ///< workers needed to tick a round; 0 → max(1, buffer_k)
 
   bool help_requested = false;       ///< set by parse_args on --help / -h
 

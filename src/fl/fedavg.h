@@ -28,6 +28,7 @@ class FedAvg : public FederatedAlgorithm {
   void restore_checkpoint_state(std::vector<StateDict> sections) override;
 
   const StateDict& global_state() const noexcept { return global_; }
+  StateDict global_model() override { return global_; }
 
   /// Robustness counters (ctx.corrupt_fraction / ctx.robust_filter): uploads
   /// the channel replaced by noise, and updates the norm filter discarded.

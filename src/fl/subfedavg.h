@@ -38,6 +38,7 @@ class SubFedAvg final : public FederatedAlgorithm {
   void restore_checkpoint_state(std::vector<StateDict> sections) override;
 
   const StateDict& global_state() const noexcept { return global_; }
+  StateDict global_model() override { return global_; }
   SubFedAvgClient& client(std::size_t k);
 
   /// Mean committed pruned fractions across clients.

@@ -11,34 +11,20 @@
 
 #include "fl/experiment.h"
 #include "net/socket.h"
+#include "serve/session.h"
 #include "util/check.h"
 
 namespace subfed {
 
 namespace {
 
-/// The worker's mirror of the coordinator's federation. The algorithm holds a
-/// pointer into `data`, so teardown order matters (algorithm first).
+/// The worker's mirror of the coordinator's federation, built through the
+/// same FederationSession::from_spec path the coordinator uses (via
+/// mirror_from_kv, which rewrites the coordinator-side fields first).
 struct Session {
   std::string kv;  ///< the spec blob this mirror was built from
-  std::unique_ptr<FederatedData> data;
-  std::unique_ptr<FederatedAlgorithm> algorithm;
+  std::unique_ptr<FederationSession> federation;
 };
-
-ExperimentSpec mirror_spec(const std::string& kv) {
-  ExperimentSpec spec = ExperimentSpec::from_kv(kv);
-  // The mirror's channel must materialize payloads exactly like the
-  // coordinator's tcp channel does — that's loopback, NOT memory (protocols
-  // like MTL put extra sections on a materialized wire) — and it must not
-  // open sockets or write the coordinator's files.
-  spec.transport = "loopback";
-  spec.listen.clear();
-  spec.connect.clear();
-  spec.out.clear();
-  spec.checkpoint_every = 0;
-  spec.checkpoint_path.clear();
-  return spec;
-}
 
 void build_session(Session& session, std::string kv) {
   // An empty blob is a run-only session (sweep sharding): the coordinator
@@ -46,14 +32,9 @@ void build_session(Session& session, std::string kv) {
   if (kv.empty()) return;
   // Reconnects re-send the same blob; keep the mirror instead of
   // re-synthesizing the dataset.
-  if (session.algorithm != nullptr && session.kv == kv) return;
-  session.algorithm.reset();
-  session.data.reset();
-  const ExperimentSpec spec = mirror_spec(kv);
-  spec.validate();
-  session.data = std::make_unique<FederatedData>(spec.dataset_spec(), spec.data_config());
-  const FlContext ctx = spec.make_context(*session.data);
-  session.algorithm = spec.make_algorithm(ctx);
+  if (session.federation != nullptr && session.kv == kv) return;
+  session.federation.reset();
+  session.federation = FederationSession::mirror_from_kv(kv);
   session.kv = std::move(kv);
 }
 
@@ -126,11 +107,11 @@ WorkerStats run_worker(const WorkerOptions& options) {
             return stats;
           }
           try {
-            SUBFEDAVG_CHECK(session.algorithm != nullptr,
+            SUBFEDAVG_CHECK(session.federation != nullptr,
                             "exchange received but the session carries no federation "
                             "(run-only setup blob)");
             const std::vector<std::uint8_t> reply =
-                session.algorithm->serve_remote(frame.payload);
+                session.federation->algorithm().serve_remote(frame.payload);
             ++stats.exchanges;
             alive = net::send_frame(conn, net::FrameKind::kReply, frame.tag, reply,
                                     rpc_deadline());
@@ -150,6 +131,9 @@ WorkerStats run_worker(const WorkerOptions& options) {
             spec.out.clear();
             spec.checkpoint_every = 0;
             spec.checkpoint_path.clear();
+            spec.serve = 0;
+            spec.status_listen.clear();
+            spec.min_participants = 0;
             const ExecutedRun run = execute_experiment(spec);
             const std::string json =
                 run_result_json(spec, run.algorithm_name, run.result, run.metrics);

@@ -14,6 +14,16 @@
 //   worker → coordinator   kRunResult  result JSON   tag echoes the request
 //   worker → coordinator   kError      error text    the tagged work threw
 //   coordinator → worker   kShutdown                 clean end of session
+//
+// The resident coordinator (serve/server.h) answers operator requests on a
+// separate listener with the same framing:
+//
+//   operator → coordinator kGetModel   client index (ASCII) or empty = global
+//   coordinator → operator kReply      u32 section count + encoded sections
+//   operator → coordinator kStatus                   live run metrics
+//   coordinator → operator kReply      JSON text     round counter, ledger, …
+//   operator → coordinator kCheckpointNow            snapshot the session now
+//   operator → coordinator kShutdown                 checkpoint + clean exit
 #pragma once
 
 #include <cstdint>
@@ -100,6 +110,9 @@ enum class FrameKind : std::uint8_t {
   kRunResult = 6,
   kError = 7,
   kShutdown = 8,
+  kGetModel = 9,
+  kStatus = 10,
+  kCheckpointNow = 11,
 };
 
 struct NetFrame {

@@ -1,0 +1,107 @@
+// ServerLoop: the resident federation coordinator.
+//
+// Batch mode runs a federation and exits; the ServerLoop keeps one alive. It
+// multiplexes three event sources over the shared net/io.h poller:
+//
+//   * worker joins on the tcp transport's listener — workers are admitted
+//     (kHello → kSetup handshake) whenever they arrive, exactly as they are
+//     between rounds of a batch tcp run;
+//   * round ticks — whenever at least `min_participants` workers are
+//     connected (and `max_rounds` hasn't been reached), the session advances
+//     one buffered round over whoever is present. There is no `rounds=`
+//     horizon: the federation runs until an operator stops it;
+//   * operator requests on a second listener (`status_listen=`), speaking the
+//     same magic+kind+tag framing as the worker protocol: kGetModel returns
+//     the current global (or a client's personalized/pruned) model, kStatus
+//     returns live run metrics as JSON, kCheckpointNow snapshots the session,
+//     kShutdown checkpoints and exits cleanly.
+//
+// The session checkpoints itself every `checkpoint_every=` rounds (spec-
+// validated ≥ 1 in serve mode) and once more on clean exit, atomically — so a
+// SIGKILL at any point loses at most the rounds since the last snapshot, and
+// a restart with the same spec restores mid-federation with the round counter
+// (and the served byte totals) continuing monotonically. Reconnecting workers
+// re-join the restarted coordinator with the ordinary reconnect-backoff path.
+//
+// The loop is deliberately single-threaded: rounds and requests interleave at
+// round boundaries, so every reply is computed against a consistent
+// federation state and the round stream stays deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "serve/session.h"
+
+namespace subfed {
+
+struct ServeOptions {
+  ExperimentSpec spec;         ///< serve=1, transport=tcp, checkpoint_every ≥ 1
+  std::size_t max_rounds = 0;  ///< stop after N rounds THIS process; 0 = run forever
+  long long idle_wait_ms = 200;  ///< poll granularity while waiting for workers
+};
+
+class ServerLoop {
+ public:
+  /// Builds (or, when the spec's checkpoint file already exists, restores)
+  /// the session and binds both listeners. Throws CheckError on a spec that
+  /// fails validation, an unusable address, or a checkpoint written by a
+  /// different spec.
+  explicit ServerLoop(ServeOptions options);
+
+  ServerLoop(const ServerLoop&) = delete;
+  ServerLoop& operator=(const ServerLoop&) = delete;
+
+  /// Runs until kShutdown, request_stop(), or max_rounds; snapshots the
+  /// session once more on the way out. `observer` (optional) receives the
+  /// session's round hooks — tests attach recorders here.
+  void run(RoundObserver* observer = nullptr);
+
+  /// Stops the loop at the next event-loop pass (signal-handler safe).
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Operator request endpoint ("host:port", ephemeral port resolved).
+  std::string request_endpoint() const { return request_listener_.endpoint(); }
+  /// Worker join endpoint (the tcp transport's listener).
+  std::string worker_endpoint() const;
+
+  FederationSession& session() noexcept { return *session_; }
+  bool resumed() const noexcept { return resumed_; }
+  std::size_t resumed_from() const noexcept { return resumed_from_; }
+  std::size_t rounds_this_process() const noexcept { return rounds_this_process_; }
+  std::uint64_t requests_served() const noexcept { return requests_served_; }
+  const std::string& checkpoint_path() const noexcept { return checkpoint_path_; }
+
+  /// The kStatus reply: live run metrics as a JSON object (util/json.h
+  /// parses it back). Public so tests can compare against the wire copy.
+  std::string status_json() const;
+
+ private:
+  void wait_for_events();
+  void tick_round(RoundObserver* observer);
+  void service_requests();
+  bool handle_request(net::TcpConn& conn, const net::NetFrame& frame);
+
+  ServeOptions options_;
+  std::unique_ptr<FederationSession> session_;
+  Transport* transport_ = nullptr;  ///< owned by the session's channel
+  net::TcpListener request_listener_;
+  std::vector<net::TcpConn> request_conns_;
+  std::string checkpoint_path_;
+  std::size_t min_participants_ = 1;
+  std::atomic<bool> stop_{false};
+  bool resumed_ = false;
+  std::size_t resumed_from_ = 0;
+  std::size_t rounds_this_process_ = 0;
+  std::uint64_t requests_served_ = 0;
+  std::size_t snapshots_ = 0;
+  double wall_seconds_ticking_ = 0.0;  ///< host time spent inside round ticks
+  std::size_t last_eval_round_ = 0;
+  double last_eval_accuracy_ = 0.0;
+};
+
+}  // namespace subfed

@@ -1,0 +1,336 @@
+#include "serve/session.h"
+
+#include <bit>
+#include <cstdio>
+#include <vector>
+
+#include "fl/checkpoint.h"
+#include "fl/fedavg.h"
+#include "fl/subfedavg.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace subfed {
+
+namespace {
+
+constexpr std::uint32_t kSessionMagic = 0x5346534E;  // "SFSN"
+constexpr std::uint32_t kSessionVersion = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_blob(std::vector<std::uint8_t>& out, std::span<const std::uint8_t> blob) {
+  put_u32(out, static_cast<std::uint32_t>(blob.size()));
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() {
+    SUBFEDAVG_CHECK(pos_ + 4 <= bytes_.size(), "truncated session checkpoint");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    SUBFEDAVG_CHECK(pos_ + 8 <= bytes_.size(), "truncated session checkpoint");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::span<const std::uint8_t> blob() {
+    const std::uint32_t n = u32();
+    SUBFEDAVG_CHECK(pos_ + n <= bytes_.size(), "truncated session checkpoint blob");
+    std::span<const std::uint8_t> out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  bool done() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  SUBFEDAVG_CHECK(f != nullptr, "cannot open session checkpoint: " << path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    SUBFEDAVG_CHECK(false, "cannot size session checkpoint: " << path);
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  const std::size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  SUBFEDAVG_CHECK(read == bytes.size(), "short session checkpoint read: " << path);
+  return bytes;
+}
+
+}  // namespace
+
+FederationSession::FederationSession(FederatedAlgorithm& algorithm, const DriverConfig& config)
+    : algorithm_(&algorithm), config_(config) {
+  init_streams();
+}
+
+std::unique_ptr<FederationSession> FederationSession::from_spec(
+    const ExperimentSpec& spec, const FederatedData* shared_data) {
+  spec.validate();  // fail fast, before the (expensive) dataset synthesis
+  std::unique_ptr<FederationSession> session(new FederationSession());
+  if (shared_data == nullptr) {
+    session->data_ =
+        std::make_unique<FederatedData>(spec.dataset_spec(), spec.data_config());
+    shared_data = session->data_.get();
+  }
+  const FlContext ctx = spec.make_context(*shared_data);
+  session->owned_algorithm_ = spec.make_algorithm(ctx);
+  session->algorithm_ = session->owned_algorithm_.get();
+
+  // Corruption is injected by the channel, but the norm-filter defense (and
+  // the corrupted/filtered accounting) lives in the FedAvg-family and
+  // Sub-FedAvg aggregation paths; silently running another algorithm "under
+  // corruption" at its clean accuracy would poison robustness tables, so
+  // reject the combination.
+  SUBFEDAVG_CHECK(
+      (spec.corrupt_fraction <= 0.0 && spec.robust_filter <= 0.0) ||
+          dynamic_cast<const FedAvg*>(session->algorithm_) != nullptr ||
+          dynamic_cast<const SubFedAvg*>(session->algorithm_) != nullptr,
+      "corrupt_fraction/robust_filter are only honored by the FedAvg "
+      "family and Sub-FedAvg; algorithm '"
+          << spec.algo << "' does not support them");
+
+  session->config_ = spec.driver_config();
+  session->spec_kv_ = spec.to_kv();
+  session->init_streams();
+  return session;
+}
+
+ExperimentSpec FederationSession::mirror_spec(const std::string& kv) {
+  ExperimentSpec spec = ExperimentSpec::from_kv(kv);
+  // The mirror's channel must materialize payloads exactly like the
+  // coordinator's tcp channel does — that's loopback, NOT memory (protocols
+  // like MTL put extra sections on a materialized wire) — and it must not
+  // open sockets, write the coordinator's files, or stand up its own
+  // resident service.
+  spec.transport = "loopback";
+  spec.listen.clear();
+  spec.connect.clear();
+  spec.out.clear();
+  spec.checkpoint_every = 0;
+  spec.checkpoint_path.clear();
+  spec.serve = 0;
+  spec.status_listen.clear();
+  spec.min_participants = 0;
+  return spec;
+}
+
+std::unique_ptr<FederationSession> FederationSession::mirror_from_kv(const std::string& kv) {
+  return from_spec(mirror_spec(kv));
+}
+
+void FederationSession::init_streams() {
+  SUBFEDAVG_CHECK(config_.sample_rate > 0.0 && config_.sample_rate <= 1.0,
+                  "sample rate " << config_.sample_rate);
+  SUBFEDAVG_CHECK(config_.link_spread >= 1.0, "link spread " << config_.link_spread);
+  const std::size_t n = algorithm_->num_clients();
+  per_round_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.sample_rate * static_cast<double>(n)));
+  sample_rng_ = Rng(config_.seed).split("client-sampling");
+  dropout_rng_ = Rng(config_.seed).split("client-dropout");
+  // The algorithm's channel owns the round-time model (it also needs it for
+  // buffered arrival ordering); honor the driver-level spread knob there.
+  // The default (1.0) defers to whatever FlContext.link_spread configured, so
+  // a direct-API caller's context setting survives a default DriverConfig.
+  if (config_.link_spread != 1.0) {
+    algorithm_->apply_link_spread(config_.link_spread, config_.seed);
+  }
+}
+
+std::uint64_t FederationSession::total_up_bytes() const noexcept {
+  return base_up_bytes_ + algorithm_->ledger().total_up();
+}
+
+std::uint64_t FederationSession::total_down_bytes() const noexcept {
+  return base_down_bytes_ + algorithm_->ledger().total_down();
+}
+
+bool FederationSession::advance_round(RoundObserver* observer) {
+  const std::size_t round_index = round_;  // 0-based, what run_round receives
+  ++round_;
+  const std::size_t n = algorithm_->num_clients();
+  std::vector<std::size_t> sampled =
+      sample_rng_.sample_without_replacement(n, per_round_);
+
+  if (config_.dropout_prob > 0.0) {
+    std::vector<std::size_t> alive;
+    for (const std::size_t k : sampled) {
+      if (dropout_rng_.bernoulli(config_.dropout_prob)) {
+        ++result_.dropped_clients;
+      } else {
+        alive.push_back(k);
+      }
+    }
+    sampled = std::move(alive);
+    if (sampled.empty()) {
+      // Nobody reported back; the server waits for the next round.
+      ++result_.skipped_rounds;
+      return false;
+    }
+  }
+  if (observer != nullptr) observer->on_round_begin(round_, sampled);
+  const std::uint64_t up_before = algorithm_->ledger().total_up();
+  const std::uint64_t down_before = algorithm_->ledger().total_down();
+  algorithm_->run_round(round_index, sampled);
+  const double simulated = algorithm_->last_round_seconds();
+  result_.simulated_seconds += simulated;
+  if (observer != nullptr) {
+    RoundEndInfo info;
+    info.round = round_;
+    info.sampled = sampled;
+    info.round_up_bytes = algorithm_->ledger().total_up() - up_before;
+    info.round_down_bytes = algorithm_->ledger().total_down() - down_before;
+    info.round_seconds = simulated;
+    observer->on_round_end(info);
+  }
+  return true;
+}
+
+double FederationSession::evaluate(RoundObserver* observer) {
+  const double avg = algorithm_->average_test_accuracy();
+  result_.curve.push_back({round_, avg});
+  if (config_.rounds > 0) {
+    SUBFEDAVG_LOG(kInfo) << algorithm_->name() << " round " << round_ << "/"
+                         << config_.rounds << " avg personalized acc = " << avg;
+  } else {
+    SUBFEDAVG_LOG(kInfo) << algorithm_->name() << " round " << round_
+                         << " avg personalized acc = " << avg;
+  }
+  if (observer != nullptr) observer->on_eval(round_, avg);
+  return avg;
+}
+
+RunResult FederationSession::finish(RoundObserver* observer) {
+  result_.final_per_client = algorithm_->all_test_accuracies();
+  result_.final_avg_accuracy = 0.0;
+  for (const double a : result_.final_per_client) result_.final_avg_accuracy += a;
+  if (!result_.final_per_client.empty()) {
+    result_.final_avg_accuracy /= static_cast<double>(result_.final_per_client.size());
+  }
+  result_.up_bytes = total_up_bytes();
+  result_.down_bytes = total_down_bytes();
+  if (observer != nullptr) observer->on_run_end(result_);
+  return result_;
+}
+
+RunResult FederationSession::run_to_completion(RoundObserver* observer) {
+  SUBFEDAVG_CHECK(config_.rounds > 0, "need at least one round");
+  while (round_ < config_.rounds) {
+    if (!advance_round(observer)) continue;
+    const bool last = round_ == config_.rounds;
+    const bool periodic = config_.eval_every > 0 && round_ % config_.eval_every == 0;
+    if (last || periodic) evaluate(observer);
+  }
+  return finish(observer);
+}
+
+void FederationSession::save(const std::string& path) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kSessionMagic);
+  put_u32(out, kSessionVersion);
+  put_blob(out, std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t*>(spec_kv_.data()), spec_kv_.size()));
+  put_u64(out, round_);
+  put_u64(out, result_.dropped_clients);
+  put_u64(out, result_.skipped_rounds);
+  put_f64(out, result_.simulated_seconds);
+  put_u64(out, total_up_bytes());
+  put_u64(out, total_down_bytes());
+  put_u32(out, static_cast<std::uint32_t>(result_.curve.size()));
+  for (const RoundPoint& point : result_.curve) {
+    put_u64(out, point.round);
+    put_f64(out, point.avg_accuracy);
+  }
+  put_blob(out, checkpoint_bytes(*algorithm_));
+
+  // Atomic publish: a SIGKILL mid-write must leave the previous checkpoint
+  // intact, so the bytes land in a sibling temp file first.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  SUBFEDAVG_CHECK(f != nullptr, "cannot open session checkpoint for writing: " << tmp);
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  SUBFEDAVG_CHECK(written == out.size(), "short session checkpoint write: " << tmp);
+  SUBFEDAVG_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "cannot publish session checkpoint " << tmp << " -> " << path);
+}
+
+void FederationSession::restore(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  Reader reader(bytes);
+  SUBFEDAVG_CHECK(reader.u32() == kSessionMagic, "bad session checkpoint magic");
+  SUBFEDAVG_CHECK(reader.u32() == kSessionVersion, "unsupported session checkpoint version");
+  const std::span<const std::uint8_t> kv = reader.blob();
+  const std::string saved_kv(kv.begin(), kv.end());
+  SUBFEDAVG_CHECK(spec_kv_.empty() || saved_kv.empty() || saved_kv == spec_kv_,
+                  "session checkpoint " << path
+                                        << " was written by a different spec — restart the "
+                                           "server with the spec it was started with, or "
+                                           "remove the checkpoint to begin a fresh federation");
+  round_ = reader.u64();
+  result_ = RunResult{};
+  result_.dropped_clients = reader.u64();
+  result_.skipped_rounds = reader.u64();
+  result_.simulated_seconds = reader.f64();
+  base_up_bytes_ = reader.u64();
+  base_down_bytes_ = reader.u64();
+  const std::uint32_t points = reader.u32();
+  result_.curve.reserve(points);
+  for (std::uint32_t i = 0; i < points; ++i) {
+    RoundPoint point;
+    point.round = reader.u64();
+    point.avg_accuracy = reader.f64();
+    result_.curve.push_back(point);
+  }
+  restore_checkpoint_bytes(*algorithm_, reader.blob());
+  SUBFEDAVG_CHECK(reader.done(), "trailing bytes in session checkpoint");
+
+  // Replay the sampling/dropout streams through the completed rounds: the
+  // engines are derived from the seed alone, so re-issuing the exact draw
+  // sequence leaves them in the same state the uninterrupted run's were in —
+  // which is what makes round k+1 of a restored session bit-identical.
+  init_streams();
+  const std::size_t n = algorithm_->num_clients();
+  for (std::size_t r = 0; r < round_; ++r) {
+    const std::vector<std::size_t> sampled =
+        sample_rng_.sample_without_replacement(n, per_round_);
+    if (config_.dropout_prob > 0.0) {
+      for (std::size_t i = 0; i < sampled.size(); ++i) {
+        (void)dropout_rng_.bernoulli(config_.dropout_prob);
+      }
+    }
+  }
+}
+
+}  // namespace subfed

@@ -1,0 +1,130 @@
+// Operator CLI for the resident federation server (tools/serve.cpp): the
+// curl-equivalent for the kGetModel/kStatus/kCheckpointNow/kShutdown request
+// API — one framed request per invocation, reply to stdout (or --out).
+//
+//   fedctl --connect host:port status                 # metrics JSON
+//   fedctl --connect host:port model                  # global model sections
+//   fedctl --connect host:port model --client 3       # client 3's personalized state
+//   fedctl --connect host:port checkpoint             # snapshot now
+//   fedctl --connect host:port shutdown               # checkpoint + clean exit
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "util/check.h"
+#include "util/parse.h"
+
+namespace {
+
+void print_usage() {
+  std::cout
+      << "usage: fedctl --connect host:port <command> [options]\n\n"
+         "commands:\n"
+         "  status                live run metrics as JSON\n"
+         "  model                 current global model (binary sections)\n"
+         "  checkpoint            snapshot the session now\n"
+         "  shutdown              checkpoint and stop the server\n\n"
+         "options:\n"
+         "  --connect host:port   server request address (required)\n"
+         "  --client K            model: client K's personalized state instead\n"
+         "  --out path            write the reply payload to a file instead of stdout\n"
+         "  --timeout-ms MS       per-request deadline [10000]\n"
+         "  --help                print this reference\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect;
+  std::string command;
+  std::string client;
+  std::string out_path;
+  long long timeout_ms = 10000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--help" || arg == "-h") {
+        print_usage();
+        return 0;
+      } else if (arg == "--connect" && i + 1 < argc) {
+        connect = argv[++i];
+      } else if (arg == "--client" && i + 1 < argc) {
+        client = std::to_string(subfed::parse_uint64_strict("client", argv[++i]));
+      } else if (arg == "--out" && i + 1 < argc) {
+        out_path = argv[++i];
+      } else if (arg == "--timeout-ms" && i + 1 < argc) {
+        timeout_ms =
+            static_cast<long long>(subfed::parse_uint64_strict("timeout-ms", argv[++i]));
+      } else if (!arg.empty() && arg[0] != '-' && command.empty()) {
+        command = arg;
+      } else {
+        std::cerr << "fedctl: unexpected argument '" << arg << "' (see --help)\n";
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "fedctl: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (connect.empty() || command.empty()) {
+    std::cerr << "fedctl: need --connect host:port and a command (see --help)\n";
+    return 2;
+  }
+
+  subfed::net::FrameKind kind;
+  std::vector<std::uint8_t> payload;
+  if (command == "status") {
+    kind = subfed::net::FrameKind::kStatus;
+  } else if (command == "model") {
+    kind = subfed::net::FrameKind::kGetModel;
+    payload.assign(client.begin(), client.end());
+  } else if (command == "checkpoint") {
+    kind = subfed::net::FrameKind::kCheckpointNow;
+  } else if (command == "shutdown") {
+    kind = subfed::net::FrameKind::kShutdown;
+  } else {
+    std::cerr << "fedctl: unknown command '" << command << "' (see --help)\n";
+    return 2;
+  }
+
+  try {
+    const auto deadline = [timeout_ms] {
+      return subfed::net::Deadline::after_ms(timeout_ms);
+    };
+    subfed::net::TcpConn conn =
+        subfed::net::TcpConn::connect(subfed::net::parse_host_port(connect), deadline());
+    SUBFEDAVG_CHECK(conn.valid(), "cannot reach server at " << connect);
+    SUBFEDAVG_CHECK(subfed::net::send_frame(conn, kind, 0, payload, deadline()),
+                    "request send failed (server gone?)");
+    subfed::net::NetFrame reply;
+    SUBFEDAVG_CHECK(subfed::net::recv_frame(conn, &reply, deadline()),
+                    "no reply within " << timeout_ms << " ms");
+    if (reply.kind == subfed::net::FrameKind::kError) {
+      std::cerr << "fedctl: server error: "
+                << std::string(reply.payload.begin(), reply.payload.end()) << "\n";
+      return 1;
+    }
+    SUBFEDAVG_CHECK(reply.kind == subfed::net::FrameKind::kReply,
+                    "unexpected reply kind " << static_cast<int>(reply.kind));
+    if (!out_path.empty()) {
+      std::FILE* f = std::fopen(out_path.c_str(), "wb");
+      SUBFEDAVG_CHECK(f != nullptr, "cannot open " << out_path << " for writing");
+      const std::size_t written =
+          std::fwrite(reply.payload.data(), 1, reply.payload.size(), f);
+      std::fclose(f);
+      SUBFEDAVG_CHECK(written == reply.payload.size(), "short write to " << out_path);
+      std::cerr << "fedctl: " << reply.payload.size() << " bytes -> " << out_path << "\n";
+    } else {
+      std::cout.write(reinterpret_cast<const char*>(reply.payload.data()),
+                      static_cast<std::streamsize>(reply.payload.size()));
+      if (!reply.payload.empty() && reply.payload.back() != '\n') std::cout << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "fedctl: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,120 @@
+// Resident federation server CLI: a long-lived coordinator.
+//
+// Where run_experiment runs a spec to its `rounds=` horizon and exits, serve
+// stays up: workers join (and rejoin) whenever they like, rounds tick
+// whenever enough of them are connected, the session checkpoints itself every
+// `--checkpoint-every` rounds, and operators query/control it over the
+// request port with the fedctl tool:
+//
+//   machine A:  serve --listen 0.0.0.0:9000 --status-listen 0.0.0.0:9100 \
+//               --checkpoint-path fed.ckpt --algo subfedavg_un ...
+//   machine B:  worker --connect a.example:9000 --reconnect 1000
+//   anywhere:   fedctl --connect a.example:9100 status
+//               fedctl --connect a.example:9100 model --out global.bin
+//               fedctl --connect a.example:9100 shutdown
+//
+// Kill -9 the server and start it again with the same flags: it restores the
+// session from the checkpoint and the round counter continues where it
+// stopped. All ordinary spec flags apply; serve pre-seeds the resident-mode
+// defaults (serve=1, transport=tcp, buffered aggregation, checkpoint every
+// round) and any explicit flag overrides them.
+#include <atomic>
+#include <csignal>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "serve/server.h"
+#include "util/parse.h"
+
+namespace {
+
+std::atomic<subfed::ServerLoop*> g_loop{nullptr};
+
+void handle_signal(int /*sig*/) {
+  if (subfed::ServerLoop* loop = g_loop.load()) loop->request_stop();
+}
+
+void print_usage() {
+  std::cout
+      << "usage: serve --listen host:port --status-listen host:port [spec flags]\n\n"
+         "Long-lived federation coordinator: accepts workers as they arrive,\n"
+         "runs continuous buffered rounds whenever >= min-participants are\n"
+         "connected, checkpoints itself, and serves model/status requests\n"
+         "(see the fedctl tool). Restarting with the same flags resumes the\n"
+         "federation from the latest checkpoint.\n\n"
+         "serve-specific flags:\n"
+         "  --max-rounds N        exit after N rounds this process; 0 = run forever [0]\n"
+         "  --idle-wait-ms MS     poll granularity while waiting for workers [200]\n\n"
+         "resident-mode defaults (override with the ordinary spec flags):\n"
+         "  serve=1 transport=tcp aggregation=buffered checkpoint_every=1\n"
+         "  status_listen=127.0.0.1:0 listen=127.0.0.1:0 min_participants=0\n"
+         "  (min_participants 0 = max(1, buffer_k))\n\n"
+      << subfed::ExperimentSpec::help_text();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  subfed::ServeOptions options;
+  // Resident-mode defaults; parse_args below lets every flag override them.
+  options.spec.serve = 1;
+  options.spec.transport = "tcp";
+  options.spec.listen = "127.0.0.1:0";
+  options.spec.status_listen = "127.0.0.1:0";
+  options.spec.aggregation = "buffered";
+  options.spec.checkpoint_every = 1;
+  options.spec.out.clear();
+
+  // Peel off the serve-specific flags, pass the rest to the spec parser.
+  std::vector<char*> spec_argv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    try {
+      if (flag == "--max-rounds" && i + 1 < argc) {
+        options.max_rounds = subfed::parse_uint64_strict("max-rounds", argv[++i]);
+      } else if (flag == "--idle-wait-ms" && i + 1 < argc) {
+        options.idle_wait_ms =
+            static_cast<long long>(subfed::parse_uint64_strict("idle-wait-ms", argv[++i]));
+      } else {
+        spec_argv.push_back(argv[i]);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "serve: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  try {
+    options.spec.parse_args(static_cast<int>(spec_argv.size()), spec_argv.data());
+  } catch (const std::exception& e) {
+    std::cerr << "serve: " << e.what() << "\n";
+    return 2;
+  }
+  if (options.spec.help_requested) {
+    print_usage();
+    return 0;
+  }
+
+  try {
+    subfed::ServerLoop loop(options);
+    g_loop.store(&loop);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    // The smoke test (and any operator script) needs the resolved endpoints
+    // on stdout before the loop blocks.
+    std::cout << "serve: workers join " << loop.worker_endpoint() << "\n"
+              << "serve: requests on " << loop.request_endpoint() << "\n"
+              << "serve: checkpoint at " << loop.checkpoint_path()
+              << (loop.resumed() ? " (resumed at round " +
+                                       std::to_string(loop.resumed_from()) + ")"
+                                 : "")
+              << std::endl;
+    loop.run();
+    g_loop.store(nullptr);
+    std::cout << "serve: stopped at round " << loop.session().round() << std::endl;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "serve: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,202 @@
+// Population-scaling bench: RSS and round throughput versus federation size
+// under the lazy client store (client_cache bounded) — the O(active)-memory
+// claim as a measured trajectory.
+//
+// Each cell runs in a FORKED child so its resident-set reading is the cell's
+// own: the child builds a FederationSession from the spec, advances a few
+// sampled rounds, reads VmRSS/VmHWM from /proc/self/status, and pipes one
+// JSON row back. Populations grow geometrically (×10) from 1k to the env cap;
+// the lazy rows share one small client_cache, so a flat rss_mb column IS the
+// O(active) property. The smallest population also runs eager
+// (client_cache=0) for a lazy-vs-eager rounds/sec ratio — the overhead the
+// on-demand synthesis and spill/refault machinery costs where eager fits.
+//
+//   ./bench_scale [dataset]                      (default mnist)
+//   SUBFEDAVG_SCALE_CLIENTS=1000000              largest population (default 100000)
+//   SUBFEDAVG_SCALE_ROUNDS=3                     timed rounds per cell
+//   SUBFEDAVG_SCALE_CACHE=64                     lazy-mode client_cache
+//   SUBFEDAVG_SCALE_COHORT=8                     sampled clients per round
+//   SUBFEDAVG_BENCH_SCALE_JSON=path              write rows as JSON
+//                                                (the CI perf-trajectory artifact)
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/session.h"
+
+using namespace subfed;
+using namespace subfed::bench;
+
+namespace {
+
+/// VmRSS / VmHWM of this process, in MiB, from /proc/self/status.
+double proc_status_mb(const char* key) {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind(key, 0) != 0) continue;
+    std::istringstream fields(line.substr(std::strlen(key) + 1));
+    double kb = 0.0;
+    fields >> kb;
+    return kb / 1024.0;
+  }
+  return 0.0;
+}
+
+struct Cell {
+  std::size_t clients = 0;
+  std::string mode;  ///< "lazy" | "eager"
+  std::size_t cache = 0;
+};
+
+struct Row {
+  Cell cell;
+  double rss_mb = 0.0;
+  double hwm_mb = 0.0;
+  double rounds_per_sec = 0.0;
+};
+
+ExperimentSpec cell_spec(const std::string& dataset, const Cell& cell, std::size_t cohort,
+                         std::size_t rounds, std::uint64_t seed) {
+  ExperimentSpec spec;
+  spec.dataset = dataset;
+  spec.clients = cell.clients;
+  spec.shard = 20;
+  spec.test_per_class = 4;
+  spec.epochs = static_cast<std::size_t>(env_int("SUBFEDAVG_BENCH_EPOCHS", 3));
+  spec.rounds = rounds;
+  spec.sample = static_cast<double>(cohort) / static_cast<double>(cell.clients);
+  spec.seed = seed;
+  spec.algo = "subfedavg_un";
+  spec.client_cache = cell.cache;
+  return spec;
+}
+
+/// The child half of a cell: build, step, measure, report, _exit. Uses
+/// advance_round (not run_to_completion) — finish() evaluates every client in
+/// the federation, which is exactly the O(population) pass this bench exists
+/// to avoid.
+void run_cell_child(const std::string& dataset, const Cell& cell, std::size_t cohort,
+                    std::size_t rounds, std::uint64_t seed, int out_fd) {
+  const ExperimentSpec spec = cell_spec(dataset, cell, cohort, rounds, seed);
+  auto session = FederationSession::from_spec(spec);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) session->advance_round();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  std::ostringstream row;
+  row.precision(std::numeric_limits<double>::max_digits10);
+  row << "{\"clients\": " << cell.clients << ", \"mode\": \"" << cell.mode
+      << "\", \"client_cache\": " << cell.cache << ", \"rounds\": " << rounds
+      << ", \"rss_mb\": " << proc_status_mb("VmRSS:")
+      << ", \"hwm_mb\": " << proc_status_mb("VmHWM:") << ", \"rounds_per_sec\": "
+      << (seconds > 0.0 ? static_cast<double>(rounds) / seconds : 0.0) << "}";
+  const std::string text = row.str();
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n = write(out_fd, text.data() + written, text.size() - written);
+    if (n <= 0) _exit(3);
+    written += static_cast<std::size_t>(n);
+  }
+  _exit(0);
+}
+
+Row run_cell(const std::string& dataset, const Cell& cell, std::size_t cohort,
+             std::size_t rounds, std::uint64_t seed) {
+  int fds[2];
+  SUBFEDAVG_CHECK(pipe(fds) == 0, "pipe failed");
+  const pid_t pid = fork();
+  SUBFEDAVG_CHECK(pid >= 0, "fork failed");
+  if (pid == 0) {
+    close(fds[0]);
+    run_cell_child(dataset, cell, cohort, rounds, seed, fds[1]);
+  }
+  close(fds[1]);
+  std::string text;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = read(fds[0], buffer, sizeof(buffer))) > 0) text.append(buffer, static_cast<std::size_t>(n));
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  SUBFEDAVG_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                  "scale cell (" << cell.clients << " clients, " << cell.mode
+                                 << ") child failed with status " << status);
+
+  // Pull the three numbers back out of the child's row for the table.
+  Row row;
+  row.cell = cell;
+  const auto field = [&text](const char* name) {
+    const std::size_t at = text.find(name);
+    SUBFEDAVG_CHECK(at != std::string::npos, "child row missing " << name << ": " << text);
+    return std::stod(text.substr(at + std::strlen(name)));
+  };
+  row.rss_mb = field("\"rss_mb\": ");
+  row.hwm_mb = field("\"hwm_mb\": ");
+  row.rounds_per_sec = field("\"rounds_per_sec\": ");
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  const std::string dataset = argc > 1 ? argv[1] : "mnist";
+  const std::size_t max_clients =
+      static_cast<std::size_t>(env_int("SUBFEDAVG_SCALE_CLIENTS", 100000));
+  const std::size_t rounds = static_cast<std::size_t>(env_int("SUBFEDAVG_SCALE_ROUNDS", 3));
+  const std::size_t cache = static_cast<std::size_t>(env_int("SUBFEDAVG_SCALE_CACHE", 64));
+  const std::size_t cohort = static_cast<std::size_t>(env_int("SUBFEDAVG_SCALE_COHORT", 8));
+  const std::uint64_t seed = static_cast<std::uint64_t>(env_int("SUBFEDAVG_BENCH_SEED", 1));
+
+  std::vector<Cell> cells;
+  cells.push_back({std::min<std::size_t>(1000, max_clients), "eager", 0});
+  for (std::size_t n = 1000; n < max_clients; n *= 10) cells.push_back({n, "lazy", cache});
+  cells.push_back({max_clients, "lazy", cache});
+
+  std::printf("== Population scaling — %s: cohort %zu, %zu timed rounds, cache %zu, "
+              "up to %zu clients ==\n",
+              dataset.c_str(), cohort, rounds, cache, max_clients);
+
+  TablePrinter table({"clients", "mode", "cache", "RSS", "peak RSS", "rounds/sec"});
+  std::ostringstream json;
+  json.precision(std::numeric_limits<double>::max_digits10);
+  json << "[";
+  bool first = true;
+  for (const Cell& cell : cells) {
+    const Row row = run_cell(dataset, cell, cohort, rounds, seed);
+    table.add_row({std::to_string(cell.clients), cell.mode, std::to_string(cell.cache),
+                   format_float(row.rss_mb, 1) + " MiB", format_float(row.hwm_mb, 1) + " MiB",
+                   format_float(row.rounds_per_sec, 2)});
+    json << (first ? "" : ",") << "\n  {\"clients\": " << cell.clients << ", \"mode\": \""
+         << cell.mode << "\", \"client_cache\": " << cell.cache
+         << ", \"rss_mb\": " << row.rss_mb << ", \"hwm_mb\": " << row.hwm_mb
+         << ", \"rounds_per_sec\": " << row.rounds_per_sec << "}";
+    first = false;
+  }
+  json << "\n]\n";
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("lazy rows share one client_cache=%zu; a flat RSS column across the "
+              "population axis is the O(active)-memory property\n", cache);
+
+  const std::string json_path = env_string("SUBFEDAVG_BENCH_SCALE_JSON", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    SUBFEDAVG_CHECK(out.good(), "cannot open '" << json_path << "'");
+    out << json.str();
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

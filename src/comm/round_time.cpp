@@ -7,26 +7,22 @@
 
 namespace subfed {
 
-LinkFleet::LinkFleet(std::size_t num_clients, LinkModel base, double spread, Rng rng) {
+LinkFleet::LinkFleet(std::size_t num_clients, LinkModel base, double spread, Rng rng)
+    : num_clients_(num_clients), base_(base), log_spread_(std::log(spread)), rng_(rng) {
   SUBFEDAVG_CHECK(spread >= 1.0, "link spread must be >= 1, got " << spread);
-  links_.reserve(num_clients);
-  for (std::size_t k = 0; k < num_clients; ++k) {
-    Rng client_rng = rng.split("link", k);
-    // Log-uniform slowdown in [1/spread, 1]: most mass near nominal speed,
-    // a long tail of slow devices.
-    const double factor = std::exp(-client_rng.uniform() * std::log(spread));
-    links_.push_back({base.uplink_bytes_per_s * factor,
-                      base.downlink_bytes_per_s * factor});
-  }
 }
 
-const ClientLink& LinkFleet::link(std::size_t k) const {
-  SUBFEDAVG_CHECK(k < links_.size(), "client " << k << " out of " << links_.size());
-  return links_[k];
+ClientLink LinkFleet::link(std::size_t k) const {
+  SUBFEDAVG_CHECK(k < num_clients_, "client " << k << " out of " << num_clients_);
+  Rng client_rng = rng_.split("link", k);
+  // Log-uniform slowdown in [1/spread, 1]: most mass near nominal speed,
+  // a long tail of slow devices.
+  const double factor = std::exp(-client_rng.uniform() * log_spread_);
+  return {base_.uplink_bytes_per_s * factor, base_.downlink_bytes_per_s * factor};
 }
 
 double client_seconds(const LinkFleet& fleet, const ClientRoundCost& cost) {
-  const ClientLink& link = fleet.link(cost.client);
+  const ClientLink link = fleet.link(cost.client);
   return static_cast<double>(cost.down_bytes) / link.down_bytes_per_s +
          cost.compute_seconds +
          static_cast<double>(cost.up_bytes) / link.up_bytes_per_s;

@@ -33,16 +33,23 @@ struct ClientLink {
 
 /// A fleet of clients with heterogeneous link speeds: each client's rates are
 /// the base rates scaled by a log-uniform factor in [1/spread, 1].
+///
+/// Links are computed on demand from (rng, k) — the fleet is O(1) memory
+/// regardless of population, so a million-client federation costs nothing to
+/// endow. `link(k)` is a pure function of the construction arguments.
 class LinkFleet {
  public:
   /// `spread` ≥ 1; spread == 1 makes all clients identical to `base`.
   LinkFleet(std::size_t num_clients, LinkModel base, double spread, Rng rng);
 
-  std::size_t size() const noexcept { return links_.size(); }
-  const ClientLink& link(std::size_t k) const;
+  std::size_t size() const noexcept { return num_clients_; }
+  ClientLink link(std::size_t k) const;
 
  private:
-  std::vector<ClientLink> links_;
+  std::size_t num_clients_ = 0;
+  LinkModel base_;
+  double log_spread_ = 0.0;
+  Rng rng_;
 };
 
 /// One client's contribution to a round.

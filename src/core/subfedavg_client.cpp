@@ -1,5 +1,6 @@
 #include "core/subfedavg_client.h"
 
+#include "core/eval.h"
 #include "pruning/unstructured.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -7,8 +8,13 @@
 namespace subfed {
 
 SubFedAvgClient::SubFedAvgClient(std::size_t id, const ModelSpec& spec,
-                                 SubFedAvgConfig config, const ClientData* data, Rng rng)
-    : id_(id), spec_(spec), config_(config), data_(data), rng_(rng), model_(spec.build()) {
+                                 SubFedAvgConfig config, ClientDataPtr data, Rng rng)
+    : id_(id),
+      spec_(spec),
+      config_(std::move(config)),
+      data_(std::move(data)),
+      rng_(rng),
+      model_(spec.build()) {
   SUBFEDAVG_CHECK(data_ != nullptr, "client needs data");
   if (config_.hybrid) model_.set_bn_l1(config_.bn_l1);
 
@@ -133,7 +139,7 @@ ClientUpdate SubFedAvgClient::run_round(const StateDict& global, std::size_t rou
 
 EvalStats SubFedAvgClient::evaluate_test() {
   model_.load_state(personal_state_);
-  return evaluate(model_, data_->test_images, data_->test_labels);
+  return evaluate_client_test(model_, *data_);
 }
 
 EvalStats SubFedAvgClient::evaluate_val() {

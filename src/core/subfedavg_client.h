@@ -52,7 +52,13 @@ struct ClientRoundReport {
 class SubFedAvgClient {
  public:
   SubFedAvgClient(std::size_t id, const ModelSpec& spec, SubFedAvgConfig config,
-                  const ClientData* data, Rng rng);
+                  ClientDataPtr data, Rng rng);
+  /// Convenience for call sites holding eager data by reference; the pointer
+  /// must outlive the client (non-owning).
+  SubFedAvgClient(std::size_t id, const ModelSpec& spec, SubFedAvgConfig config,
+                  const ClientData* data, Rng rng)
+      : SubFedAvgClient(id, spec, std::move(config), ClientDataPtr(ClientDataPtr{}, data),
+                        rng) {}
 
   /// Sets the client's personal model (used before round 0 so never-sampled
   /// clients evaluate the initial global model rather than a blank template).
@@ -85,7 +91,7 @@ class SubFedAvgClient {
   std::size_t id_;
   ModelSpec spec_;
   SubFedAvgConfig config_;
-  const ClientData* data_;
+  ClientDataPtr data_;  ///< pins lazily-materialized data while the client lives
   Rng rng_;
 
   Model model_;                 ///< reused across rounds/evals

@@ -33,68 +33,131 @@ FederatedData::FederatedData(DatasetSpec spec, FederatedDataConfig config)
     : spec_(std::move(spec)),
       config_(config),
       generator_(spec_, config.seed),
-      partitioner_(spec_, config.partition, Rng(config.seed).split("partition")) {
-  clients_.resize(partitioner_.num_clients());
+      partitioner_(spec_, config.partition, Rng(config.seed).split("partition"),
+                   /*lazy=*/config.client_cache > 0) {
+  if (lazy()) return;  // clients materialize on demand through client_ptr()
 
+  clients_.resize(partitioner_.num_clients());
   // Materialize clients in parallel; every image is a pure function of
   // (seed, label, index), so thread scheduling cannot change the data.
   ThreadPool::global().parallel_for(clients_.size(), [&](std::size_t k) {
-    const ClientShards& shards = partitioner_.client(k);
-    ClientData& cd = clients_[k];
-    cd.labels_present = shards.labels_present;
-
-    // Deterministic local shuffle, then split off the validation tail.
-    std::vector<std::size_t> order(shards.examples.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    Rng rng = Rng(config_.seed).split("client-split", k);
-    rng.shuffle(order);
-
-    std::size_t n_val = static_cast<std::size_t>(
-        static_cast<double>(order.size()) * config_.val_fraction);
-    n_val = std::max<std::size_t>(n_val, 1);
-    SUBFEDAVG_CHECK(n_val < order.size(), "validation split consumed all local data");
-    const std::size_t n_train = order.size() - n_val;
-
-    ImageStacker train_stack(n_train, spec_.channels, spec_.hw);
-    cd.train_labels.resize(n_train);
-    for (std::size_t i = 0; i < n_train; ++i) {
-      const ExampleRef& ref = shards.examples[order[i]];
-      train_stack.put(i, generator_.train_image(static_cast<std::size_t>(ref.label),
-                                                ref.index));
-      cd.train_labels[i] = ref.label;
-    }
-    cd.train_images = train_stack.take();
-
-    ImageStacker val_stack(n_val, spec_.channels, spec_.hw);
-    cd.val_labels.resize(n_val);
-    for (std::size_t i = 0; i < n_val; ++i) {
-      const ExampleRef& ref = shards.examples[order[n_train + i]];
-      val_stack.put(i, generator_.test_image(static_cast<std::size_t>(ref.label),
-                                             // offset the stream so val never
-                                             // collides with the shared test pool
-                                             config_.test_per_class + ref.index));
-      cd.val_labels[i] = ref.label;
-    }
-    cd.val_images = val_stack.take();
-
-    // Test set: the full test pool restricted to the client's labels.
-    const std::size_t n_test = cd.labels_present.size() * config_.test_per_class;
-    ImageStacker test_stack(n_test, spec_.channels, spec_.hw);
-    cd.test_labels.resize(n_test);
-    std::size_t t = 0;
-    for (const std::int32_t label : cd.labels_present) {
-      for (std::size_t i = 0; i < config_.test_per_class; ++i, ++t) {
-        test_stack.put(t, generator_.test_image(static_cast<std::size_t>(label), i));
-        cd.test_labels[t] = label;
-      }
-    }
-    cd.test_images = test_stack.take();
+    clients_[k] = build_client(k);
   });
 }
 
+ClientData FederatedData::build_client(std::size_t k) const {
+  const ClientShards shards = partitioner_.shards_for(k);
+  ClientData cd;
+  cd.labels_present = shards.labels_present;
+
+  // Deterministic local shuffle, then split off the validation tail.
+  std::vector<std::size_t> order(shards.examples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng = Rng(config_.seed).split("client-split", k);
+  rng.shuffle(order);
+
+  std::size_t n_val = static_cast<std::size_t>(
+      static_cast<double>(order.size()) * config_.val_fraction);
+  n_val = std::max<std::size_t>(n_val, 1);
+  SUBFEDAVG_CHECK(n_val < order.size(), "validation split consumed all local data");
+  const std::size_t n_train = order.size() - n_val;
+
+  ImageStacker train_stack(n_train, spec_.channels, spec_.hw);
+  cd.train_labels.resize(n_train);
+  for (std::size_t i = 0; i < n_train; ++i) {
+    const ExampleRef& ref = shards.examples[order[i]];
+    train_stack.put(i, generator_.train_image(static_cast<std::size_t>(ref.label),
+                                              ref.index));
+    cd.train_labels[i] = ref.label;
+  }
+  cd.train_images = train_stack.take();
+
+  ImageStacker val_stack(n_val, spec_.channels, spec_.hw);
+  cd.val_labels.resize(n_val);
+  for (std::size_t i = 0; i < n_val; ++i) {
+    const ExampleRef& ref = shards.examples[order[n_train + i]];
+    val_stack.put(i, generator_.test_image(static_cast<std::size_t>(ref.label),
+                                           // offset the stream so val never
+                                           // collides with the shared test pool
+                                           config_.test_per_class + ref.index));
+    cd.val_labels[i] = ref.label;
+  }
+  cd.val_images = val_stack.take();
+
+  // Test set: the shared per-label pool restricted to the client's labels.
+  cd.test.reserve(cd.labels_present.size());
+  for (const std::int32_t label : cd.labels_present) {
+    cd.test.push_back(test_slice(label));
+  }
+  return cd;
+}
+
+std::shared_ptr<const TestSlice> FederatedData::test_slice(std::int32_t label) const {
+  {
+    std::lock_guard<std::mutex> lock(test_mutex_);
+    const auto it = test_slices_.find(label);
+    if (it != test_slices_.end()) return it->second;
+  }
+  // Build outside the lock (concurrent duplicate builds are pure and cheap;
+  // the first insert wins below).
+  auto slice = std::make_shared<TestSlice>();
+  slice->label = label;
+  ImageStacker stack(config_.test_per_class, spec_.channels, spec_.hw);
+  for (std::size_t i = 0; i < config_.test_per_class; ++i) {
+    stack.put(i, generator_.test_image(static_cast<std::size_t>(label), i));
+  }
+  slice->images = stack.take();
+
+  std::lock_guard<std::mutex> lock(test_mutex_);
+  const auto [it, inserted] = test_slices_.emplace(label, std::move(slice));
+  return it->second;
+}
+
 const ClientData& FederatedData::client(std::size_t k) const {
+  SUBFEDAVG_CHECK(!lazy(),
+                  "client() needs eager data (client_cache=0); use client_ptr()");
   SUBFEDAVG_CHECK(k < clients_.size(), "client " << k << " out of " << clients_.size());
   return clients_[k];
+}
+
+ClientDataPtr FederatedData::client_ptr(std::size_t k) const {
+  SUBFEDAVG_CHECK(k < num_clients(), "client " << k << " out of " << num_clients());
+  if (!lazy()) {
+    // Non-owning alias into the resident table (the table outlives callers).
+    return ClientDataPtr(ClientDataPtr{}, &clients_[k]);
+  }
+
+  std::shared_ptr<Cell> cell;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cells_.find(k);
+    if (it != cells_.end()) {
+      ++hits_;
+      cell = it->second;
+      lru_.splice(lru_.begin(), lru_, lru_it_[k]);  // promote to MRU
+    } else {
+      ++misses_;
+      cell = std::make_shared<Cell>();
+      cells_.emplace(k, cell);
+      lru_.push_front(k);
+      lru_it_[k] = lru_.begin();
+      while (cells_.size() > config_.client_cache) {
+        const std::size_t victim = lru_.back();
+        if (victim == k) break;  // never evict the entry being materialized
+        lru_.pop_back();
+        lru_it_.erase(victim);
+        cells_.erase(victim);
+        ++evictions_;
+      }
+    }
+  }
+  // Materialize outside the cache lock; concurrent callers for the same
+  // client block on the cell, not on each other's builds. Handles returned
+  // earlier keep evicted tensors alive until released.
+  std::call_once(cell->once, [&] {
+    cell->data = std::make_shared<const ClientData>(build_client(k));
+  });
+  return cell->data;
 }
 
 }  // namespace subfed

@@ -33,123 +33,171 @@ double sample_gamma(Rng& rng, double shape) {
 }  // namespace
 
 ShardPartitioner::ShardPartitioner(const DatasetSpec& spec, PartitionConfig config,
-                                   Rng rng) {
+                                   Rng rng, bool lazy)
+    : kind_(config.kind),
+      lazy_(lazy),
+      num_clients_(config.num_clients),
+      shards_per_client_(config.shards_per_client),
+      num_classes_(spec.num_classes),
+      dirichlet_alpha_(config.dirichlet_alpha),
+      base_rng_(rng) {
   SUBFEDAVG_CHECK(config.num_clients > 0 && config.shards_per_client > 0,
                   "bad partition config");
   shard_size_ = config.shard_size == 0 ? spec.shard_size : config.shard_size;
   SUBFEDAVG_CHECK(shard_size_ > 0, "shard size must be positive");
+  per_client_ = shards_per_client_ * shard_size_;
 
-  clients_.resize(config.num_clients);
-  switch (config.kind) {
+  switch (kind_) {
     case PartitionKind::kShards:
-      build_shards(spec, config, rng);
+      build_shard_order(rng);
       break;
     case PartitionKind::kDirichlet:
-      build_dirichlet(spec, config, rng);
+      build_dirichlet(rng);
       break;
   }
-  finalize_labels();
+  if (!lazy_) {
+    clients_.resize(num_clients_);
+    for (std::size_t k = 0; k < num_clients_; ++k) {
+      clients_[k] = kind_ == PartitionKind::kShards ? synthesize_shards(k)
+                                                    : synthesize_dirichlet(k);
+    }
+  }
 }
 
-void ShardPartitioner::build_shards(const DatasetSpec& spec, const PartitionConfig& config,
-                                    Rng& rng) {
-  const std::size_t total_shards = config.num_clients * config.shards_per_client;
+void ShardPartitioner::build_shard_order(Rng& rng) {
+  const std::size_t total_shards = num_clients_ * shards_per_client_;
   const std::size_t total_examples = total_shards * shard_size_;
+  SUBFEDAVG_CHECK(total_shards <= 0xffffffffu, "too many shards for u32 deal");
   // Balanced pool: every class contributes ⌈total/num_classes⌉ examples; the
-  // label-sorted sequence is then cut into equal shards.
-  pool_per_class_ = (total_examples + spec.num_classes - 1) / spec.num_classes;
+  // label-sorted sequence is then cut into equal shards. The pool itself is
+  // never materialized: entry p of the label-major pool is
+  // {p / pool_per_class_, p % pool_per_class_} by construction.
+  pool_per_class_ = (total_examples + num_classes_ - 1) / num_classes_;
 
-  std::vector<ExampleRef> pool;
-  pool.reserve(pool_per_class_ * spec.num_classes);
-  for (std::size_t label = 0; label < spec.num_classes; ++label) {
-    for (std::size_t i = 0; i < pool_per_class_; ++i) {
-      pool.push_back({static_cast<std::int32_t>(label), static_cast<std::uint32_t>(i)});
-    }
+  shard_order_.resize(total_shards);
+  for (std::size_t s = 0; s < total_shards; ++s) {
+    shard_order_[s] = static_cast<std::uint32_t>(s);
   }
-  // pool is label-sorted by construction. Cut into shards and deal randomly.
-  std::vector<std::size_t> shard_order(total_shards);
-  for (std::size_t s = 0; s < total_shards; ++s) shard_order[s] = s;
   Rng shard_rng = rng.split("shard-deal");
-  shard_rng.shuffle(shard_order);
-
-  for (std::size_t k = 0; k < config.num_clients; ++k) {
-    ClientShards& cs = clients_[k];
-    for (std::size_t j = 0; j < config.shards_per_client; ++j) {
-      const std::size_t shard = shard_order[k * config.shards_per_client + j];
-      const std::size_t begin = shard * shard_size_;
-      for (std::size_t i = 0; i < shard_size_; ++i) {
-        SUBFEDAVG_CHECK(begin + i < pool.size(), "shard overruns pool");
-        cs.examples.push_back(pool[begin + i]);
-      }
-    }
-  }
+  shard_rng.shuffle(shard_order_);
 }
 
-void ShardPartitioner::build_dirichlet(const DatasetSpec& spec,
-                                       const PartitionConfig& config, Rng& rng) {
-  SUBFEDAVG_CHECK(config.dirichlet_alpha > 0.0,
-                  "dirichlet alpha " << config.dirichlet_alpha);
-  // Same per-client example budget as the shard split.
-  const std::size_t per_client = config.shards_per_client * shard_size_;
+std::vector<std::size_t> ShardPartitioner::dirichlet_counts(std::size_t k) const {
+  Rng client_rng = base_rng_.split("dirichlet", k);
+  // Mixture over classes ~ Dir(α·1).
+  std::vector<double> weights(num_classes_);
+  double total = 0.0;
+  for (double& w : weights) {
+    w = sample_gamma(client_rng, dirichlet_alpha_);
+    total += w;
+  }
+  SUBFEDAVG_CHECK(total > 0.0, "degenerate Dirichlet draw");
 
-  // Per-class generator cursors: each class hands out fresh pool indices, so
-  // no example is assigned twice across the federation.
-  std::vector<std::uint32_t> cursor(spec.num_classes, 0);
+  // Largest-remainder apportionment of the client's budget.
+  std::vector<std::size_t> counts(num_classes_, 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const double share = per_client_ * weights[c] / total;
+    counts[c] = static_cast<std::size_t>(std::floor(share));
+    assigned += counts[c];
+    remainders.emplace_back(share - std::floor(share), c);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t i = 0; assigned < per_client_; ++i, ++assigned) {
+    ++counts[remainders[i % remainders.size()].second];
+  }
+  return counts;
+}
+
+void ShardPartitioner::build_dirichlet(Rng& rng) {
+  SUBFEDAVG_CHECK(dirichlet_alpha_ > 0.0, "dirichlet alpha " << dirichlet_alpha_);
+  (void)rng;  // per-client streams split from base_rng_ (an identical copy)
+
+  // One pass over the population advancing the per-class cursors (each class
+  // hands out fresh pool indices, so no example is assigned twice across the
+  // federation). Snapshots every kCursorStride clients let shards_for(k)
+  // replay just a stride's worth of histograms instead of the whole prefix.
+  std::vector<std::uint32_t> cursor(num_classes_, 0);
   std::size_t max_index = 0;
-
-  for (std::size_t k = 0; k < config.num_clients; ++k) {
-    Rng client_rng = rng.split("dirichlet", k);
-    // Mixture over classes ~ Dir(α·1).
-    std::vector<double> weights(spec.num_classes);
-    double total = 0.0;
-    for (double& w : weights) {
-      w = sample_gamma(client_rng, config.dirichlet_alpha);
-      total += w;
-    }
-    SUBFEDAVG_CHECK(total > 0.0, "degenerate Dirichlet draw");
-
-    // Largest-remainder apportionment of the client's budget.
-    std::vector<std::size_t> counts(spec.num_classes, 0);
-    std::vector<std::pair<double, std::size_t>> remainders;
-    std::size_t assigned = 0;
-    for (std::size_t c = 0; c < spec.num_classes; ++c) {
-      const double share = per_client * weights[c] / total;
-      counts[c] = static_cast<std::size_t>(std::floor(share));
-      assigned += counts[c];
-      remainders.emplace_back(share - std::floor(share), c);
-    }
-    std::sort(remainders.rbegin(), remainders.rend());
-    for (std::size_t i = 0; assigned < per_client; ++i, ++assigned) {
-      ++counts[remainders[i % remainders.size()].second];
-    }
-
-    ClientShards& cs = clients_[k];
-    for (std::size_t c = 0; c < spec.num_classes; ++c) {
-      for (std::size_t i = 0; i < counts[c]; ++i) {
-        cs.examples.push_back({static_cast<std::int32_t>(c), cursor[c]});
-        max_index = std::max<std::size_t>(max_index, cursor[c]);
-        ++cursor[c];
-      }
+  cursor_snapshots_.clear();
+  cursor_snapshots_.reserve(num_clients_ / kCursorStride + 1);
+  for (std::size_t k = 0; k < num_clients_; ++k) {
+    if (k % kCursorStride == 0) cursor_snapshots_.push_back(cursor);
+    const std::vector<std::size_t> counts = dirichlet_counts(k);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      if (counts[c] == 0) continue;
+      max_index = std::max<std::size_t>(max_index, cursor[c] + counts[c] - 1);
+      cursor[c] += static_cast<std::uint32_t>(counts[c]);
     }
   }
   pool_per_class_ = max_index + 1;
 }
 
-void ShardPartitioner::finalize_labels() {
-  for (ClientShards& cs : clients_) {
-    for (const ExampleRef& ref : cs.examples) {
-      if (std::find(cs.labels_present.begin(), cs.labels_present.end(), ref.label) ==
-          cs.labels_present.end()) {
-        cs.labels_present.push_back(ref.label);
-      }
+ClientShards ShardPartitioner::synthesize_shards(std::size_t k) const {
+  ClientShards cs;
+  cs.examples.reserve(per_client_);
+  const std::size_t pool_size = pool_per_class_ * num_classes_;
+  for (std::size_t j = 0; j < shards_per_client_; ++j) {
+    const std::size_t shard = shard_order_[k * shards_per_client_ + j];
+    const std::size_t begin = shard * shard_size_;
+    for (std::size_t i = 0; i < shard_size_; ++i) {
+      const std::size_t p = begin + i;
+      SUBFEDAVG_CHECK(p < pool_size, "shard overruns pool");
+      cs.examples.push_back({static_cast<std::int32_t>(p / pool_per_class_),
+                             static_cast<std::uint32_t>(p % pool_per_class_)});
     }
-    std::sort(cs.labels_present.begin(), cs.labels_present.end());
   }
+  fill_labels(cs);
+  return cs;
+}
+
+ClientShards ShardPartitioner::synthesize_dirichlet(std::size_t k) const {
+  // Replay cursors from the nearest snapshot up to (but not including) k,
+  // then deal client k's histogram at the replayed cursor positions.
+  const std::size_t snap = k / kCursorStride;
+  SUBFEDAVG_CHECK(snap < cursor_snapshots_.size(), "dirichlet snapshot missing");
+  std::vector<std::uint32_t> cursor = cursor_snapshots_[snap];
+  for (std::size_t c0 = snap * kCursorStride; c0 < k; ++c0) {
+    const std::vector<std::size_t> counts = dirichlet_counts(c0);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      cursor[c] += static_cast<std::uint32_t>(counts[c]);
+    }
+  }
+  const std::vector<std::size_t> counts = dirichlet_counts(k);
+  ClientShards cs;
+  cs.examples.reserve(per_client_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    for (std::size_t i = 0; i < counts[c]; ++i) {
+      cs.examples.push_back(
+          {static_cast<std::int32_t>(c), cursor[c] + static_cast<std::uint32_t>(i)});
+    }
+  }
+  fill_labels(cs);
+  return cs;
+}
+
+void ShardPartitioner::fill_labels(ClientShards& cs) {
+  for (const ExampleRef& ref : cs.examples) {
+    if (std::find(cs.labels_present.begin(), cs.labels_present.end(), ref.label) ==
+        cs.labels_present.end()) {
+      cs.labels_present.push_back(ref.label);
+    }
+  }
+  std::sort(cs.labels_present.begin(), cs.labels_present.end());
 }
 
 const ClientShards& ShardPartitioner::client(std::size_t k) const {
+  SUBFEDAVG_CHECK(!lazy_, "client() needs an eager partitioner; use shards_for()");
   SUBFEDAVG_CHECK(k < clients_.size(), "client " << k << " out of " << clients_.size());
   return clients_[k];
+}
+
+ClientShards ShardPartitioner::shards_for(std::size_t k) const {
+  SUBFEDAVG_CHECK(k < num_clients_, "client " << k << " out of " << num_clients_);
+  if (!lazy_) return clients_[k];
+  return kind_ == PartitionKind::kShards ? synthesize_shards(k)
+                                         : synthesize_dirichlet(k);
 }
 
 }  // namespace subfed

@@ -49,22 +49,55 @@ struct ClientShards {
 /// classes, remainder spread over the first classes). When
 /// config.kind == kDirichlet, the same per-client example budget is instead
 /// allocated by per-client class mixtures drawn from Dir(α).
+///
+/// Two residency modes. Eager (default) materializes every client's shard
+/// list up front and `client(k)` hands out references — the historical
+/// behavior. Lazy keeps only O(population / stride) bookkeeping (the shuffled
+/// shard deal, or strided Dirichlet cursor snapshots) and `shards_for(k)`
+/// synthesizes a client's assignment on demand, bit-identical to what the
+/// eager build would have produced for the same (rng, config).
 class ShardPartitioner {
  public:
-  ShardPartitioner(const DatasetSpec& spec, PartitionConfig config, Rng rng);
+  ShardPartitioner(const DatasetSpec& spec, PartitionConfig config, Rng rng,
+                   bool lazy = false);
 
-  std::size_t num_clients() const noexcept { return clients_.size(); }
+  std::size_t num_clients() const noexcept { return num_clients_; }
+  /// Eager mode only: a reference into the materialized table.
   const ClientShards& client(std::size_t k) const;
+  /// Both modes: the client's shard assignment by value.
+  ClientShards shards_for(std::size_t k) const;
   /// Examples per label in the virtual train pool.
   std::size_t pool_per_class() const noexcept { return pool_per_class_; }
   std::size_t shard_size() const noexcept { return shard_size_; }
+  bool lazy() const noexcept { return lazy_; }
 
  private:
-  void build_shards(const DatasetSpec& spec, const PartitionConfig& config, Rng& rng);
-  void build_dirichlet(const DatasetSpec& spec, const PartitionConfig& config, Rng& rng);
-  void finalize_labels();
+  void build_shard_order(Rng& rng);
+  void build_dirichlet(Rng& rng);
+  /// One client's Dir(α) class histogram — a pure function of (rng, k).
+  std::vector<std::size_t> dirichlet_counts(std::size_t k) const;
+  ClientShards synthesize_shards(std::size_t k) const;
+  ClientShards synthesize_dirichlet(std::size_t k) const;
+  static void fill_labels(ClientShards& cs);
 
-  std::vector<ClientShards> clients_;
+  PartitionKind kind_ = PartitionKind::kShards;
+  bool lazy_ = false;
+  std::size_t num_clients_ = 0;
+  std::size_t shards_per_client_ = 0;
+  std::size_t num_classes_ = 0;
+  std::size_t per_client_ = 0;  ///< example budget per client (kDirichlet)
+  double dirichlet_alpha_ = 0.5;
+  Rng base_rng_;  ///< copy of the partition stream; split() never advances it
+
+  std::vector<ClientShards> clients_;  ///< eager mode only
+  /// kShards: the shuffled deal — client k holds shards
+  /// shard_order_[k·spc .. k·spc+spc-1]. Kept in both modes (O(shards)).
+  std::vector<std::uint32_t> shard_order_;
+  /// kDirichlet lazy mode: per-class cursor snapshot every kCursorStride
+  /// clients, so shards_for(k) replays at most a stride of histograms.
+  static constexpr std::size_t kCursorStride = 64;
+  std::vector<std::vector<std::uint32_t>> cursor_snapshots_;
+
   std::size_t pool_per_class_ = 0;
   std::size_t shard_size_ = 0;
 };

@@ -78,6 +78,12 @@ struct FlContext {
   std::size_t buffer_k = 0;
   double staleness_decay = 0.5;
   std::size_t max_staleness = 4;
+  /// Lazy-residency cap for per-client algorithm state (mirrors
+  /// FederatedDataConfig::client_cache): 0 keeps every touched client's
+  /// side-band state resident (the historical behavior); > 0 bounds resident
+  /// clients, spilling the rest through the checkpoint container
+  /// (fl/client_state.h) so memory is O(active), not O(population).
+  std::size_t client_cache = 0;
 };
 
 class FederatedAlgorithm {

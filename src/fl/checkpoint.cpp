@@ -113,13 +113,11 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
 
 }  // namespace
 
-std::vector<std::uint8_t> checkpoint_bytes(FederatedAlgorithm& algorithm) {
-  std::vector<StateDict> sections = algorithm.checkpoint_state();
-
+std::vector<std::uint8_t> encode_state_sections(std::string_view name,
+                                                const std::vector<StateDict>& sections) {
   std::vector<std::uint8_t> out;
   put_u32(out, kGenericMagic);
   put_u32(out, kGenericVersion);
-  const std::string name = algorithm.name();
   put_blob(out, std::vector<std::uint8_t>(name.begin(), name.end()));
   put_u32(out, static_cast<std::uint32_t>(sections.size()));
   for (const StateDict& section : sections) {
@@ -128,16 +126,16 @@ std::vector<std::uint8_t> checkpoint_bytes(FederatedAlgorithm& algorithm) {
   return out;
 }
 
-void restore_checkpoint_bytes(FederatedAlgorithm& algorithm,
-                              std::span<const std::uint8_t> bytes) {
+std::vector<StateDict> decode_state_sections(std::span<const std::uint8_t> bytes,
+                                             std::string_view expect_name) {
   Reader reader(bytes);
   SUBFEDAVG_CHECK(reader.u32() == kGenericMagic, "bad checkpoint magic");
   SUBFEDAVG_CHECK(reader.u32() == kGenericVersion, "unsupported checkpoint version");
   const std::vector<std::uint8_t> name_bytes = reader.blob();
   const std::string name(name_bytes.begin(), name_bytes.end());
-  SUBFEDAVG_CHECK(name == algorithm.name(),
-                  "checkpoint was written by '" << name << "', loading into '"
-                                                << algorithm.name() << "'");
+  SUBFEDAVG_CHECK(name == expect_name, "checkpoint was written by '"
+                                           << name << "', loading into '" << expect_name
+                                           << "'");
   const std::uint32_t count = reader.u32();
   std::vector<StateDict> sections;
   sections.reserve(count);
@@ -145,7 +143,16 @@ void restore_checkpoint_bytes(FederatedAlgorithm& algorithm,
     sections.push_back(decode_update(reader.blob()));
   }
   SUBFEDAVG_CHECK(reader.done(), "trailing bytes in checkpoint");
-  algorithm.restore_checkpoint_state(std::move(sections));
+  return sections;
+}
+
+std::vector<std::uint8_t> checkpoint_bytes(FederatedAlgorithm& algorithm) {
+  return encode_state_sections(algorithm.name(), algorithm.checkpoint_state());
+}
+
+void restore_checkpoint_bytes(FederatedAlgorithm& algorithm,
+                              std::span<const std::uint8_t> bytes) {
+  algorithm.restore_checkpoint_state(decode_state_sections(bytes, algorithm.name()));
 }
 
 void save_checkpoint(FederatedAlgorithm& algorithm, const std::string& path) {

@@ -26,12 +26,25 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fl/driver.h"
 #include "fl/subfedavg.h"
 
 namespace subfed {
+
+/// One SFCG (generic sections) container as bytes: magic + version + `name`
+/// + the sections. This is the building block under checkpoint_bytes, exposed
+/// so per-client state spilled to disk (fl/client_state.h) rides the same
+/// versioned format as full checkpoints.
+std::vector<std::uint8_t> encode_state_sections(std::string_view name,
+                                                const std::vector<StateDict>& sections);
+
+/// Inverse of encode_state_sections. Throws CheckError on magic/version
+/// mismatch, a name different from `expect_name`, or corrupt input.
+std::vector<StateDict> decode_state_sections(std::span<const std::uint8_t> bytes,
+                                             std::string_view expect_name);
 
 /// The generic checkpoint container (magic + version + algorithm name +
 /// checkpoint_state sections) as bytes, so callers that embed a federation

@@ -37,6 +37,15 @@ struct DriverConfig {
   /// about. 1.0 (the default) defers to FlContext.link_spread; any other
   /// value overrides it for the run.
   double link_spread = 1.0;
+  /// Event-driven population (serve/session.h): when > 0, clients ARRIVE over
+  /// simulated time as a Poisson-like process of this rate (one arrival per
+  /// client, in a pseudorandom order) and rounds sample only among arrived
+  /// clients; rounds before the first arrival fast-forward the clock. 0 = the
+  /// static population loop (bit-identical to previous behavior).
+  double arrival_rate = 0.0;
+  /// Mean simulated seconds an arrived client stays before departing for
+  /// good (exponential, per-client stream); 0 = arrived clients never leave.
+  double dwell = 0.0;
 };
 
 struct RoundPoint {

@@ -69,6 +69,7 @@ const Field kFields[] = {
     SUBFED_UINT_FIELD(buffer_k, "replies closing a buffered round; 0 = all sampled"),
     SUBFED_DOUBLE_FIELD(staleness_decay, "stale update weight = 1/(1+s)^decay"),
     SUBFED_UINT_FIELD(max_staleness, "evict updates parked more rounds than this"),
+    SUBFED_UINT_FIELD(client_cache, "resident per-client cap; 0 = keep all (eager)"),
     SUBFED_UINT_FIELD(epochs, "local epochs per round"),
     SUBFED_UINT_FIELD(batch, "local batch size"),
     SUBFED_DOUBLE_FIELD(lr, "SGD learning rate"),
@@ -77,6 +78,8 @@ const Field kFields[] = {
     SUBFED_DOUBLE_FIELD(sample, "client sampling rate per round"),
     SUBFED_UINT_FIELD(eval_every, "evaluate every N rounds; 0 = final only"),
     SUBFED_DOUBLE_FIELD(dropout, "per-round client dropout probability"),
+    SUBFED_DOUBLE_FIELD(arrivals, "client arrivals per simulated second; 0 = static"),
+    SUBFED_DOUBLE_FIELD(dwell, "mean seconds an arrived client stays; 0 = forever"),
     SUBFED_UINT_FIELD(seed, "master seed"),
     SUBFED_DOUBLE_FIELD(corrupt_fraction, "chance an upload is replaced by noise"),
     SUBFED_DOUBLE_FIELD(corrupt_noise, "stddev of the corruption noise"),
@@ -281,6 +284,20 @@ void ExperimentSpec::validate() const {
                     "listen=" << listen << " requires transport=tcp (got transport="
                               << transport << ")");
   }
+  // Event-driven population: dwell only means something once clients arrive
+  // over time, and an arrival-driven session has no save/restore replay yet —
+  // keep it out of the resident/checkpointing paths.
+  SUBFEDAVG_CHECK(arrivals >= 0.0, "arrivals " << arrivals << " must be >= 0");
+  SUBFEDAVG_CHECK(dwell >= 0.0, "dwell " << dwell << " must be >= 0");
+  SUBFEDAVG_CHECK(dwell == 0.0 || arrivals > 0.0,
+                  "dwell=" << dwell << " requires arrivals > 0 (an event-driven population)");
+  if (arrivals > 0.0) {
+    SUBFEDAVG_CHECK(serve == 0, "arrivals > 0 is not supported by the resident "
+                                "coordinator yet (serve=1)");
+    SUBFEDAVG_CHECK(checkpoint_every == 0,
+                    "arrivals > 0 does not checkpoint yet — the event queue has no "
+                    "save/restore replay (set checkpoint_every=0)");
+  }
   // Resident-service fields (serve/server.h).
   SUBFEDAVG_CHECK(serve <= 1, "serve=" << serve << " must be 0 or 1");
   if (serve == 1) {
@@ -318,6 +335,7 @@ FederatedDataConfig ExperimentSpec::data_config() const {
   config.partition = {clients, shards_per_client, shard, kind, alpha};
   config.test_per_class = test_per_class;
   config.seed = seed;
+  config.client_cache = client_cache;
   return config;
 }
 
@@ -373,6 +391,7 @@ FlContext ExperimentSpec::make_context(const FederatedData& data) const {
   ctx.buffer_k = buffer_k;
   ctx.staleness_decay = staleness_decay;
   ctx.max_staleness = max_staleness;
+  ctx.client_cache = client_cache;
   return ctx;
 }
 
@@ -384,6 +403,8 @@ DriverConfig ExperimentSpec::driver_config() const {
   config.seed = seed;
   config.dropout_prob = dropout;
   config.link_spread = link_spread;
+  config.arrival_rate = arrivals;
+  config.dwell = dwell;
   return config;
 }
 

@@ -69,6 +69,11 @@ struct ExperimentSpec {
   std::size_t buffer_k = 0;          ///< replies closing a buffered round; 0 → all
   double staleness_decay = 0.5;      ///< stale-update down-weight exponent
   std::size_t max_staleness = 4;     ///< parked updates older than this drop
+  // Scale (data/client_data.h, fl/client_state.h): bounds resident per-client
+  // data AND per-client algorithm state to the cache size, synthesizing /
+  // spilling the rest on demand — memory O(active set), not O(population).
+  // 0 keeps everything resident (the historical default, bit-identical).
+  std::size_t client_cache = 0;
   // Local training.
   std::size_t epochs = 3;
   std::size_t batch = 10;
@@ -79,6 +84,14 @@ struct ExperimentSpec {
   double sample = 0.4;
   std::size_t eval_every = 0;        ///< 0 → evaluate only after the last round
   double dropout = 0.0;
+  // Event-driven population (serve/session.h): when arrivals > 0 clients join
+  // the federation at exponential interarrival times (arrivals per simulated
+  // second, in a pseudorandom order) and each round samples only among
+  // clients that have arrived; dwell > 0 gives each arrival an exponential
+  // mean-dwell stay before it departs for good. 0 = the static population
+  // round loop (bit-identical to previous behavior).
+  double arrivals = 0.0;
+  double dwell = 0.0;
   std::uint64_t seed = 1;
   // Robustness (fl/robust.h; honored by the FedAvg family).
   double corrupt_fraction = 0.0;     ///< chance an upload is replaced by noise

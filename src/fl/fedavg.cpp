@@ -1,5 +1,6 @@
 #include "fl/fedavg.h"
 
+#include "core/eval.h"
 #include "fl/robust.h"
 #include "util/check.h"
 
@@ -41,26 +42,26 @@ void FedAvg::run_round(std::size_t round, std::span<const std::size_t> sampled) 
 ClientResult FedAvg::run_client(std::size_t round, const ClientJob& job,
                                 const StateDict& received, bool detached) {
   (void)detached;  // stateless client: the upload carries everything
-  const ClientData& data = ctx_.data->client(job.client);
+  const ClientDataPtr data = ctx_.data->client_ptr(job.client);
   Model model = ctx_.spec.build();
   model.load_state(received);
 
   Sgd optimizer(model.parameters(), ctx_.sgd);
   Rng rng = client_round_rng(job.client, round);
-  train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng, {},
+  train_local(model, optimizer, data->train_images, data->train_labels, ctx_.train, rng, {},
               make_grad_hook(received));
 
   ClientResult result;
   result.update.state = model.state();
-  result.update.num_examples = data.train_labels.size();
+  result.update.num_examples = data->train_labels.size();
   return result;
 }
 
 double FedAvg::client_test_accuracy(std::size_t k) {
-  const ClientData& data = ctx_.data->client(k);
+  const ClientDataPtr data = ctx_.data->client_ptr(k);
   Model model = ctx_.spec.build();
   model.load_state(global_);
-  return evaluate(model, data.test_images, data.test_labels).accuracy;
+  return evaluate_client_test(model, *data).accuracy;
 }
 
 FedProx::FedProx(FlContext ctx, double mu) : FedAvg(std::move(ctx)), mu_(mu) {}

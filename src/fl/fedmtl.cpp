@@ -1,5 +1,6 @@
 #include "fl/fedmtl.h"
 
+#include "core/eval.h"
 #include "util/check.h"
 
 namespace subfed {
@@ -22,18 +23,25 @@ StateDict with_dual_state(const StateDict& model_state) {
 
 FedMtl::FedMtl(FlContext ctx, double lambda)
     : FederatedAlgorithm(std::move(ctx)), lambda_(lambda) {
-  personal_.assign(num_clients(), initial_state());
+  store_.init(num_clients(), {initial_state()}, ctx_.client_cache);
   mean_ = initial_state();
 }
 
 void FedMtl::recompute_mean() {
-  StateDict next = personal_.front();
-  for (std::size_t e = 0; e < next.size(); ++e) {
-    Tensor& acc = next[e].second;
-    for (std::size_t k = 1; k < personal_.size(); ++k) {
-      acc.add_(personal_[k][e].second);
+  // peek() keeps the reduction cache-neutral and the k-order fixed, so the
+  // float summation sequence per entry — and therefore the mean — is
+  // bit-identical to the historical all-resident loop regardless of which
+  // clients happen to be hot.
+  StateDict next = (*store_.peek(0))[0];
+  for (std::size_t k = 1; k < store_.size(); ++k) {
+    const StateSectionsPtr sections = store_.peek(k);
+    const StateDict& personal = (*sections)[0];
+    for (std::size_t e = 0; e < next.size(); ++e) {
+      next[e].second.add_(personal[e].second);
     }
-    acc.scale_(1.0f / static_cast<float>(personal_.size()));
+  }
+  for (std::size_t e = 0; e < next.size(); ++e) {
+    next[e].second.scale_(1.0f / static_cast<float>(store_.size()));
   }
   mean_ = std::move(next);
 }
@@ -55,7 +63,9 @@ void FedMtl::run_round(std::size_t round, std::span<const std::size_t> sampled) 
   std::vector<Exchange> exchanges = exchange_round(round, jobs);
 
   for (Exchange& exchange : exchanges) {
-    if (!exchange.state.empty()) personal_[exchange.client] = std::move(exchange.state[0]);
+    if (!exchange.state.empty()) {
+      store_.put(exchange.client, {std::move(exchange.state[0])});
+    }
   }
   recompute_mean();
 }
@@ -67,13 +77,13 @@ ClientResult FedMtl::run_client(std::size_t round, const ClientJob& job,
   // `materialized` is true both here (the worker's mirror channel is
   // loopback) and on a tcp coordinator, so the wire payloads match loopback
   // byte-for-byte.
-  if (!job.state.empty()) personal_[k] = job.state[0];
+  if (!job.state.empty()) store_.put(k, {job.state[0]});
   const bool materialized = channel_->config().transport != "memory";
   const std::size_t copies = materialized ? 1 : 2;
   const float lambda = static_cast<float>(lambda_);
-  const ClientData& data = ctx_.data->client(k);
+  const ClientDataPtr data = ctx_.data->client_ptr(k);
   Model model = ctx_.spec.build();
-  model.load_state(personal_[k]);
+  model.load_state((*store_.read(k))[0]);
 
   // Task-relationship pull toward the federation mean as received.
   auto hook = [lambda, &received](Model& m) {
@@ -87,37 +97,48 @@ ClientResult FedMtl::run_client(std::size_t round, const ClientJob& job,
 
   Sgd optimizer(model.parameters(), ctx_.sgd);
   Rng rng = client_round_rng(k, round);
-  train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng, {},
+  train_local(model, optimizer, data->train_images, data->train_labels, ctx_.train, rng, {},
               hook);
-  personal_[k] = model.state();
+  StateDict trained = model.state();
 
   ClientResult result;
-  result.update.state = materialized ? with_dual_state(personal_[k]) : personal_[k];
-  result.update.num_examples = data.train_labels.size();
+  result.update.state = materialized ? with_dual_state(trained) : trained;
+  result.update.num_examples = data->train_labels.size();
   result.payload_copies = copies;
-  if (detached) result.state.push_back(personal_[k]);
+  if (detached) result.state.push_back(trained);
+  store_.put(k, {std::move(trained)});
   return result;
 }
 
 std::vector<StateDict> FedMtl::client_state_sections(std::size_t k) {
-  return {personal_[k]};
+  return {(*store_.read(k))[0]};
 }
 
 double FedMtl::client_test_accuracy(std::size_t k) {
-  const ClientData& data = ctx_.data->client(k);
+  const ClientDataPtr data = ctx_.data->client_ptr(k);
   Model model = ctx_.spec.build();
-  model.load_state(personal_[k]);
-  return evaluate(model, data.test_images, data.test_labels).accuracy;
+  model.load_state((*store_.read(k))[0]);
+  return evaluate_client_test(model, *data).accuracy;
 }
 
 
-std::vector<StateDict> FedMtl::checkpoint_state() { return personal_; }
+std::vector<StateDict> FedMtl::checkpoint_state() {
+  std::vector<StateDict> sections;
+  sections.reserve(store_.size());
+  for (std::size_t k = 0; k < store_.size(); ++k) {
+    sections.push_back((*store_.peek(k))[0]);
+  }
+  return sections;
+}
 
 void FedMtl::restore_checkpoint_state(std::vector<StateDict> sections) {
-  SUBFEDAVG_CHECK(sections.size() == personal_.size(),
+  SUBFEDAVG_CHECK(sections.size() == store_.size(),
                   "MTL checkpoint has " << sections.size() << " sections, federation has "
-                                        << personal_.size() << " clients");
-  personal_ = std::move(sections);
+                                        << store_.size() << " clients");
+  store_.reset();
+  for (std::size_t k = 0; k < sections.size(); ++k) {
+    store_.put(k, {std::move(sections[k])});
+  }
   recompute_mean();
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "fl/algorithm.h"
+#include "fl/client_state.h"
 
 namespace subfed {
 
@@ -36,7 +37,9 @@ class FedMtl final : public FederatedAlgorithm {
   void recompute_mean();
 
   double lambda_;
-  std::vector<StateDict> personal_;
+  /// Per-client personal models: one section per client, untouched clients
+  /// sharing the initial state, cold ones spilled past client_cache.
+  ClientStateStore store_;
   StateDict mean_;  ///< federation mean w̄ over all clients
 };
 

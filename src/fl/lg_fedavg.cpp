@@ -1,5 +1,6 @@
 #include "fl/lg_fedavg.h"
 
+#include "core/eval.h"
 #include "util/check.h"
 
 namespace subfed {
@@ -21,7 +22,7 @@ StateDict extract_head(const StateDict& full) {
 }  // namespace
 
 LgFedAvg::LgFedAvg(FlContext ctx) : FederatedAlgorithm(std::move(ctx)) {
-  personal_.assign(num_clients(), initial_state());
+  store_.init(num_clients(), {initial_state()}, ctx_.client_cache);
   global_head_ = extract_head(initial_state());
   SUBFEDAVG_CHECK(!global_head_.empty(), "model has no FC head to federate");
 }
@@ -46,7 +47,9 @@ void LgFedAvg::run_round(std::size_t round, std::span<const std::size_t> sampled
   std::vector<ClientUpdate> updates;
   updates.reserve(exchanges.size());
   for (Exchange& exchange : exchanges) {
-    if (!exchange.state.empty()) personal_[exchange.client] = std::move(exchange.state[0]);
+    if (!exchange.state.empty()) {
+      store_.put(exchange.client, {std::move(exchange.state[0])});
+    }
     updates.push_back(std::move(exchange.update));
   }
   global_head_ = fedavg_aggregate(updates);
@@ -56,10 +59,10 @@ ClientResult LgFedAvg::run_client(std::size_t round, const ClientJob& job,
                                   const StateDict& received, bool detached) {
   const std::size_t k = job.client;
   // Remote exchange: the client's full personal state arrives as side-band.
-  if (!job.state.empty()) personal_[k] = job.state[0];
-  const ClientData& data = ctx_.data->client(k);
+  if (!job.state.empty()) store_.put(k, {job.state[0]});
+  const ClientDataPtr data = ctx_.data->client_ptr(k);
 
-  StateDict start = personal_[k];
+  StateDict start = (*store_.read(k))[0];
   for (auto& [name, tensor] : start) {
     if (const Tensor* g = received.find(name)) tensor = *g;
   }
@@ -68,43 +71,51 @@ ClientResult LgFedAvg::run_client(std::size_t round, const ClientJob& job,
   model.load_state(start);
   Sgd optimizer(model.parameters(), ctx_.sgd);
   Rng rng = client_round_rng(k, round);
-  train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng);
+  train_local(model, optimizer, data->train_images, data->train_labels, ctx_.train, rng);
 
-  personal_[k] = model.state();
+  StateDict trained = model.state();
   ClientResult result;
-  result.update.state = extract_head(personal_[k]);
-  result.update.num_examples = data.train_labels.size();
-  if (detached) result.state.push_back(personal_[k]);
+  result.update.state = extract_head(trained);
+  result.update.num_examples = data->train_labels.size();
+  if (detached) result.state.push_back(trained);
+  store_.put(k, {std::move(trained)});
   return result;
 }
 
 std::vector<StateDict> LgFedAvg::client_state_sections(std::size_t k) {
-  return {personal_[k]};
+  return {(*store_.read(k))[0]};
 }
 
 double LgFedAvg::client_test_accuracy(std::size_t k) {
-  const ClientData& data = ctx_.data->client(k);
-  StateDict state = personal_[k];
+  const ClientDataPtr data = ctx_.data->client_ptr(k);
+  StateDict state = (*store_.read(k))[0];
   merge_head(state);
   Model model = ctx_.spec.build();
   model.load_state(state);
-  return evaluate(model, data.test_images, data.test_labels).accuracy;
+  return evaluate_client_test(model, *data).accuracy;
 }
 
 
 std::vector<StateDict> LgFedAvg::checkpoint_state() {
-  std::vector<StateDict> sections = personal_;
+  std::vector<StateDict> sections;
+  sections.reserve(store_.size() + 1);
+  for (std::size_t k = 0; k < store_.size(); ++k) {
+    sections.push_back((*store_.peek(k))[0]);
+  }
   sections.push_back(global_head_);
   return sections;
 }
 
 void LgFedAvg::restore_checkpoint_state(std::vector<StateDict> sections) {
-  SUBFEDAVG_CHECK(sections.size() == personal_.size() + 1,
-                  "LG-FedAvg checkpoint expects " << personal_.size() + 1 << " sections, got "
+  SUBFEDAVG_CHECK(sections.size() == store_.size() + 1,
+                  "LG-FedAvg checkpoint expects " << store_.size() + 1 << " sections, got "
                                                   << sections.size());
   global_head_ = std::move(sections.back());
   sections.pop_back();
-  personal_ = std::move(sections);
+  store_.reset();
+  for (std::size_t k = 0; k < sections.size(); ++k) {
+    store_.put(k, {std::move(sections[k])});
+  }
 }
 
 }  // namespace subfed

@@ -8,6 +8,7 @@
 
 #include "core/aggregate.h"
 #include "fl/algorithm.h"
+#include "fl/client_state.h"
 
 namespace subfed {
 
@@ -36,8 +37,10 @@ class LgFedAvg final : public FederatedAlgorithm {
   /// Overwrites the FC entries of `state` with the current global head.
   void merge_head(StateDict& state) const;
 
-  std::vector<StateDict> personal_;  ///< full per-client states (conv part is personal)
-  StateDict global_head_;            ///< FC entries only
+  /// Full per-client states (conv part is personal): one section per client,
+  /// untouched clients sharing the initial state, cold ones spilled.
+  ClientStateStore store_;
+  StateDict global_head_;  ///< FC entries only
 };
 
 }  // namespace subfed

@@ -1,11 +1,12 @@
 #include "fl/standalone.h"
 
+#include "core/eval.h"
 #include "util/check.h"
 
 namespace subfed {
 
 Standalone::Standalone(FlContext ctx) : FederatedAlgorithm(std::move(ctx)) {
-  personal_.assign(num_clients(), initial_state());
+  store_.init(num_clients(), {initial_state()}, ctx_.client_cache);
 }
 
 void Standalone::run_round(std::size_t round, std::span<const std::size_t> sampled) {
@@ -22,7 +23,9 @@ void Standalone::run_round(std::size_t round, std::span<const std::size_t> sampl
   std::vector<Exchange> exchanges = exchange_round(round, jobs);
 
   for (Exchange& exchange : exchanges) {
-    if (!exchange.state.empty()) personal_[exchange.client] = std::move(exchange.state[0]);
+    if (!exchange.state.empty()) {
+      store_.put(exchange.client, {std::move(exchange.state[0])});
+    }
   }
 }
 
@@ -31,39 +34,48 @@ ClientResult Standalone::run_client(std::size_t round, const ClientJob& job,
   (void)received;  // no federation: the broadcast is an empty ping
   const std::size_t k = job.client;
   // Remote exchange: the client's local model arrives as side-band.
-  if (!job.state.empty()) personal_[k] = job.state[0];
-  const ClientData& data = ctx_.data->client(k);
+  if (!job.state.empty()) store_.put(k, {job.state[0]});
+  const ClientDataPtr data = ctx_.data->client_ptr(k);
   Model model = ctx_.spec.build();
-  model.load_state(personal_[k]);
+  model.load_state((*store_.read(k))[0]);
   Sgd optimizer(model.parameters(), ctx_.sgd);
   Rng rng = client_round_rng(k, round);
-  train_local(model, optimizer, data.train_images, data.train_labels, ctx_.train, rng);
-  personal_[k] = model.state();
+  train_local(model, optimizer, data->train_images, data->train_labels, ctx_.train, rng);
+  StateDict trained = model.state();
 
   ClientResult result;
-  if (detached) result.state.push_back(personal_[k]);
+  if (detached) result.state.push_back(trained);
+  store_.put(k, {std::move(trained)});
   return result;
 }
 
 std::vector<StateDict> Standalone::client_state_sections(std::size_t k) {
-  return {personal_[k]};
+  return {(*store_.read(k))[0]};
 }
 
 double Standalone::client_test_accuracy(std::size_t k) {
-  const ClientData& data = ctx_.data->client(k);
+  const ClientDataPtr data = ctx_.data->client_ptr(k);
   Model model = ctx_.spec.build();
-  model.load_state(personal_[k]);
-  return evaluate(model, data.test_images, data.test_labels).accuracy;
+  model.load_state((*store_.read(k))[0]);
+  return evaluate_client_test(model, *data).accuracy;
 }
 
 
-std::vector<StateDict> Standalone::checkpoint_state() { return personal_; }
+std::vector<StateDict> Standalone::checkpoint_state() {
+  std::vector<StateDict> out;
+  out.reserve(store_.size());
+  for (std::size_t k = 0; k < store_.size(); ++k) out.push_back((*store_.peek(k))[0]);
+  return out;
+}
 
 void Standalone::restore_checkpoint_state(std::vector<StateDict> sections) {
-  SUBFEDAVG_CHECK(sections.size() == personal_.size(),
+  SUBFEDAVG_CHECK(sections.size() == store_.size(),
                   "Standalone checkpoint has " << sections.size() << " sections, federation has "
-                                               << personal_.size() << " clients");
-  personal_ = std::move(sections);
+                                               << store_.size() << " clients");
+  store_.reset();
+  for (std::size_t k = 0; k < sections.size(); ++k) {
+    store_.put(k, {std::move(sections[k])});
+  }
 }
 
 }  // namespace subfed

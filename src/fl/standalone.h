@@ -4,6 +4,7 @@
 #pragma once
 
 #include "fl/algorithm.h"
+#include "fl/client_state.h"
 
 namespace subfed {
 
@@ -26,7 +27,9 @@ class Standalone final : public FederatedAlgorithm {
   void restore_checkpoint_state(std::vector<StateDict> sections) override;
 
  private:
-  std::vector<StateDict> personal_;  ///< each client's persistent local model
+  /// Each client's persistent local model: one section per client, untouched
+  /// clients sharing the initial state, cold ones spilled past client_cache.
+  ClientStateStore store_;
 };
 
 }  // namespace subfed

@@ -220,7 +220,23 @@ bool ServerLoop::handle_request(net::TcpConn& conn, const net::NetFrame& frame) 
     case net::FrameKind::kGetModel: {
       try {
         if (frame.payload.empty()) {
-          return reply(encode_sections({session_->algorithm().global_model()}));
+          // Round-stamped byte cache: the global model is encoded at most
+          // once per round; every further request until the next round tick
+          // serves the identical bytes.
+          if (model_cache_round_ != session_->round()) {
+            model_cache_ = encode_sections({session_->algorithm().global_model()});
+            model_cache_round_ = session_->round();
+            ++model_encodes_;
+          }
+          const std::uint64_t stamp = static_cast<std::uint64_t>(session_->round()) + 1;
+          if ((frame.tag & kModelConditionalTag) != 0 &&
+              (frame.tag & ~kModelConditionalTag) == stamp) {
+            // Not modified: the requester already holds this round's model.
+            return net::send_frame(conn, net::FrameKind::kReply, stamp, {},
+                                   request_io_deadline());
+          }
+          return net::send_frame(conn, net::FrameKind::kReply, stamp, model_cache_,
+                                 request_io_deadline());
         }
         // Non-empty payload: an ASCII client index — that client's
         // personalized (pruned) side-band state, or its view of the global

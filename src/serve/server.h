@@ -47,6 +47,13 @@ struct ServeOptions {
 
 class ServerLoop {
  public:
+  /// kGetModel conditional fetch: a request tag with this bit set carries, in
+  /// the low bits, the round stamp of a model the client already holds; a
+  /// matching stamp earns an empty not-modified reply instead of the payload.
+  /// Full-model replies carry the current stamp (round + 1, never 0) as
+  /// their reply tag, so clients always learn the stamp to send back.
+  static constexpr std::uint64_t kModelConditionalTag = 1ULL << 63;
+
   /// Builds (or, when the spec's checkpoint file already exists, restores)
   /// the session and binds both listeners. Throws CheckError on a spec that
   /// fails validation, an unusable address, or a checkpoint written by a
@@ -74,6 +81,9 @@ class ServerLoop {
   std::size_t resumed_from() const noexcept { return resumed_from_; }
   std::size_t rounds_this_process() const noexcept { return rounds_this_process_; }
   std::uint64_t requests_served() const noexcept { return requests_served_; }
+  /// Times the global model was actually encoded for kGetModel — stays at
+  /// one per round however many requests arrive (the round-stamped cache).
+  std::size_t model_encodes() const noexcept { return model_encodes_; }
   const std::string& checkpoint_path() const noexcept { return checkpoint_path_; }
 
   /// The kStatus reply: live run metrics as a JSON object (util/json.h
@@ -102,6 +112,11 @@ class ServerLoop {
   double wall_seconds_ticking_ = 0.0;  ///< host time spent inside round ticks
   std::size_t last_eval_round_ = 0;
   double last_eval_accuracy_ = 0.0;
+  /// Round-stamped kGetModel byte cache: the global model encoded at
+  /// model_cache_round_, served verbatim until the session's round advances.
+  std::vector<std::uint8_t> model_cache_;
+  std::size_t model_cache_round_ = static_cast<std::size_t>(-1);
+  std::size_t model_encodes_ = 0;
 };
 
 }  // namespace subfed

@@ -1,7 +1,9 @@
 #include "serve/session.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
+#include <numeric>
 #include <vector>
 
 #include "fl/checkpoint.h"
@@ -166,6 +168,82 @@ void FederationSession::init_streams() {
   if (config_.link_spread != 1.0) {
     algorithm_->apply_link_spread(config_.link_spread, config_.seed);
   }
+
+  // Event-driven population: derive the arrival process. The arrival ORDER is
+  // an affine permutation of [0, N) — full-coverage, pseudorandom, and O(1)
+  // memory at any population size; interarrival gaps are exponential at
+  // arrival_rate per simulated second.
+  arrived_.clear();
+  position_.clear();
+  departures_ = {};
+  next_arrival_ = 0;
+  next_arrival_time_ = 0.0;
+  if (config_.arrival_rate > 0.0) {
+    SUBFEDAVG_CHECK(config_.dwell >= 0.0, "dwell " << config_.dwell << " must be >= 0");
+    arrival_rng_ = Rng(config_.seed).split("arrival-times");
+    Rng order_rng = Rng(config_.seed).split("arrival-order");
+    perm_a_ = 1 + order_rng.uniform_index(n);
+    while (std::gcd(perm_a_, static_cast<std::uint64_t>(n)) != 1) {
+      perm_a_ = 1 + order_rng.uniform_index(n);
+    }
+    perm_b_ = order_rng.uniform_index(n);
+    next_arrival_time_ = -std::log(1.0 - arrival_rng_.uniform()) / config_.arrival_rate;
+  }
+}
+
+std::size_t FederationSession::arrival_client(std::size_t i) const noexcept {
+  const std::uint64_t n = algorithm_->num_clients();
+  return static_cast<std::size_t>((perm_a_ * static_cast<std::uint64_t>(i) + perm_b_) % n);
+}
+
+void FederationSession::process_events(double now) {
+  const std::size_t n = algorithm_->num_clients();
+  while (next_arrival_ < n && next_arrival_time_ <= now) {
+    const std::size_t k = arrival_client(next_arrival_);
+    position_[k] = arrived_.size();
+    arrived_.push_back(k);
+    if (config_.dwell > 0.0) {
+      // Per-client stream so one client's stay never perturbs another's.
+      Rng dwell_rng = Rng(config_.seed).split("dwell", k);
+      const double stay = -config_.dwell * std::log(1.0 - dwell_rng.uniform());
+      departures_.push({next_arrival_time_ + stay, k});
+    }
+    ++next_arrival_;
+    if (next_arrival_ < n) {
+      next_arrival_time_ +=
+          -std::log(1.0 - arrival_rng_.uniform()) / config_.arrival_rate;
+    }
+  }
+  while (!departures_.empty() && departures_.top().first <= now) {
+    const std::size_t k = departures_.top().second;
+    departures_.pop();
+    const auto it = position_.find(k);
+    if (it == position_.end()) continue;
+    const std::size_t pos = it->second;
+    const std::size_t last = arrived_.back();
+    arrived_[pos] = last;
+    position_[last] = pos;
+    arrived_.pop_back();
+    position_.erase(k);
+  }
+}
+
+bool FederationSession::event_cohort(std::vector<std::size_t>& sampled) {
+  const std::size_t n = algorithm_->num_clients();
+  process_events(result_.simulated_seconds);
+  while (arrived_.empty()) {
+    if (next_arrival_ >= n) return false;  // population drained for good
+    // Nobody is present: fast-forward the simulated clock to the next
+    // arrival instead of burning empty rounds.
+    result_.simulated_seconds = next_arrival_time_;
+    process_events(result_.simulated_seconds);
+  }
+  const std::size_t want = std::min(per_round_, arrived_.size());
+  const std::vector<std::size_t> picks =
+      sample_rng_.sample_without_replacement(arrived_.size(), want);
+  sampled.reserve(want);
+  for (const std::size_t i : picks) sampled.push_back(arrived_[i]);
+  return true;
 }
 
 std::uint64_t FederationSession::total_up_bytes() const noexcept {
@@ -179,9 +257,16 @@ std::uint64_t FederationSession::total_down_bytes() const noexcept {
 bool FederationSession::advance_round(RoundObserver* observer) {
   const std::size_t round_index = round_;  // 0-based, what run_round receives
   ++round_;
-  const std::size_t n = algorithm_->num_clients();
-  std::vector<std::size_t> sampled =
-      sample_rng_.sample_without_replacement(n, per_round_);
+  std::vector<std::size_t> sampled;
+  if (config_.arrival_rate > 0.0) {
+    if (!event_cohort(sampled)) {
+      ++result_.skipped_rounds;
+      return false;
+    }
+  } else {
+    const std::size_t n = algorithm_->num_clients();
+    sampled = sample_rng_.sample_without_replacement(n, per_round_);
+  }
 
   if (config_.dropout_prob > 0.0) {
     std::vector<std::size_t> alive;
@@ -256,6 +341,8 @@ RunResult FederationSession::run_to_completion(RoundObserver* observer) {
 }
 
 void FederationSession::save(const std::string& path) {
+  SUBFEDAVG_CHECK(config_.arrival_rate == 0.0,
+                  "event-driven sessions (arrival_rate > 0) do not checkpoint yet");
   std::vector<std::uint8_t> out;
   put_u32(out, kSessionMagic);
   put_u32(out, kSessionVersion);
@@ -287,6 +374,8 @@ void FederationSession::save(const std::string& path) {
 }
 
 void FederationSession::restore(const std::string& path) {
+  SUBFEDAVG_CHECK(config_.arrival_rate == 0.0,
+                  "event-driven sessions (arrival_rate > 0) do not checkpoint yet");
   const std::vector<std::uint8_t> bytes = read_file(path);
   Reader reader(bytes);
   SUBFEDAVG_CHECK(reader.u32() == kSessionMagic, "bad session checkpoint magic");

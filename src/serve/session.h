@@ -23,7 +23,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <queue>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "fl/experiment.h"
 #include "util/rng.h"
@@ -64,6 +68,9 @@ class FederationSession {
   /// Rounds advanced so far (including dropout-skipped ones) — the 1-based
   /// number of the most recently finished round, monotone across restores.
   std::size_t round() const noexcept { return round_; }
+  /// Event-driven mode only: clients currently arrived and not departed
+  /// (always 0 in the static-population default).
+  std::size_t arrived_clients() const noexcept { return arrived_.size(); }
   /// Round-loop accounting so far (curve, dropout casualties, simulated
   /// clock). up/down byte totals are only filled in by finish().
   const RunResult& progress() const noexcept { return result_; }
@@ -111,6 +118,18 @@ class FederationSession {
 
   void init_streams();
 
+  /// Event-driven mode: drains arrival/departure events up to the simulated
+  /// clock (fast-forwarding to the next arrival when nobody is present) and
+  /// samples this round's cohort among arrived clients. Returns false when
+  /// the population has drained — every client arrived and departed.
+  bool event_cohort(std::vector<std::size_t>& sampled);
+  /// Applies every arrival, then every departure, with timestamp <= now
+  /// (arrivals first, so a client arriving as another departs is available).
+  void process_events(double now);
+  /// i-th arriving client: an affine permutation of [0, N) — O(1) memory at
+  /// any population size.
+  std::size_t arrival_client(std::size_t i) const noexcept;
+
   // Owned storage when built from a spec (teardown order: algorithm first —
   // it holds a pointer into data_).
   std::unique_ptr<const FederatedData> data_;
@@ -123,6 +142,20 @@ class FederationSession {
 
   Rng sample_rng_{0};
   Rng dropout_rng_{0};
+
+  // Event-driven population state (config_.arrival_rate > 0; all O(active)).
+  Rng arrival_rng_{0};            ///< exponential interarrival draws
+  std::uint64_t perm_a_ = 1;      ///< affine arrival-order permutation σ(i) = a·i + b mod N
+  std::uint64_t perm_b_ = 0;
+  std::size_t next_arrival_ = 0;  ///< arrivals issued so far
+  double next_arrival_time_ = 0.0;
+  std::vector<std::size_t> arrived_;  ///< present clients, swap-removed on departure
+  std::unordered_map<std::size_t, std::size_t> position_;  ///< client → arrived_ index
+  std::priority_queue<std::pair<double, std::size_t>,
+                      std::vector<std::pair<double, std::size_t>>,
+                      std::greater<std::pair<double, std::size_t>>>
+      departures_;
+
   std::size_t round_ = 0;
   RunResult result_;
   /// Traffic carried over from restored checkpoints (the live ledger restarts

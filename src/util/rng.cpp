@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <unordered_map>
 
 #include "util/check.h"
 
@@ -89,15 +90,24 @@ bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
   SUBFEDAVG_CHECK(k <= n, "cannot sample " << k << " from " << n);
-  std::vector<std::size_t> all(n);
-  for (std::size_t i = 0; i < n; ++i) all[i] = i;
-  // Partial Fisher–Yates: only the first k positions need to be randomized.
+  // Partial Fisher–Yates over a *virtual* identity array: only displaced
+  // entries are stored, so memory is O(k) instead of O(n) — sampling 100
+  // participants from a 10^6-client population costs a 100-entry map, not an
+  // 8 MB scratch vector per round. Draw sequence and results are identical
+  // to the dense version.
+  std::unordered_map<std::size_t, std::size_t> displaced;
+  displaced.reserve(2 * k);
+  const auto value_at = [&](std::size_t pos) {
+    const auto it = displaced.find(pos);
+    return it == displaced.end() ? pos : it->second;
+  };
+  std::vector<std::size_t> out(k);
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t j = i + static_cast<std::size_t>(uniform_index(n - i));
-    std::swap(all[i], all[j]);
+    out[i] = value_at(j);
+    displaced[j] = value_at(i);
   }
-  all.resize(k);
-  return all;
+  return out;
 }
 
 }  // namespace subfed

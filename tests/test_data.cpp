@@ -167,7 +167,8 @@ TEST(FederatedData, ClientTensorsSized) {
     EXPECT_EQ(cd.train_images.shape()[0], 54u);
     EXPECT_EQ(cd.train_labels.size(), 54u);
     EXPECT_EQ(cd.val_images.shape()[0], 6u);
-    EXPECT_EQ(cd.test_images.shape()[0], cd.labels_present.size() * 10);
+    EXPECT_EQ(cd.test_size(), cd.labels_present.size() * 10);
+    for (const auto& slice : cd.test) EXPECT_EQ(slice->images.shape()[0], 10u);
     EXPECT_EQ(cd.train_images.shape()[1], 1u);
     EXPECT_EQ(cd.train_images.shape()[2], 28u);
   }
@@ -183,7 +184,7 @@ TEST(FederatedData, TestSetOnlyClientLabels) {
   for (std::size_t k = 0; k < data.num_clients(); ++k) {
     const ClientData& cd = data.client(k);
     std::set<std::int32_t> allowed(cd.labels_present.begin(), cd.labels_present.end());
-    for (const std::int32_t l : cd.test_labels) EXPECT_TRUE(allowed.count(l));
+    for (const auto& slice : cd.test) EXPECT_TRUE(allowed.count(slice->label));
     for (const std::int32_t l : cd.train_labels) EXPECT_TRUE(allowed.count(l));
     for (const std::int32_t l : cd.val_labels) EXPECT_TRUE(allowed.count(l));
   }
@@ -198,7 +199,10 @@ TEST(FederatedData, DeterministicAcrossConstructions) {
   for (std::size_t k = 0; k < 3; ++k) {
     EXPECT_EQ(a.client(k).train_images, b.client(k).train_images);
     EXPECT_EQ(a.client(k).train_labels, b.client(k).train_labels);
-    EXPECT_EQ(a.client(k).test_images, b.client(k).test_images);
+    ASSERT_EQ(a.client(k).test.size(), b.client(k).test.size());
+    for (std::size_t s = 0; s < a.client(k).test.size(); ++s) {
+      EXPECT_EQ(a.client(k).test[s]->images, b.client(k).test[s]->images);
+    }
   }
 }
 
@@ -211,18 +215,15 @@ TEST(FederatedData, SharedTestPoolConsistentAcrossClients) {
   config.seed = 4;
   FederatedData data(DatasetSpec::mnist(), config);
 
-  std::map<std::int32_t, Tensor> first_seen;
+  std::map<std::int32_t, const TestSlice*> first_seen;
   for (std::size_t k = 0; k < data.num_clients(); ++k) {
     const ClientData& cd = data.client(k);
-    const std::size_t per = 4;
     for (std::size_t li = 0; li < cd.labels_present.size(); ++li) {
-      const std::int32_t label = cd.labels_present[li];
-      // Extract this label's first test image from the stacked tensor.
-      const std::size_t row = cd.test_images.numel() / cd.test_images.shape()[0];
-      Tensor img({1, 28, 28});
-      for (std::size_t i = 0; i < row; ++i) img[i] = cd.test_images[li * per * row + i];
-      auto [it, inserted] = first_seen.emplace(label, img);
-      if (!inserted) EXPECT_EQ(it->second, img) << "label " << label;
+      const TestSlice& slice = *cd.test[li];
+      EXPECT_EQ(slice.label, cd.labels_present[li]);
+      auto [it, inserted] = first_seen.emplace(slice.label, &slice);
+      // Dedup means shared labels point at the SAME immutable slice object.
+      if (!inserted) EXPECT_EQ(it->second, &slice) << "label " << slice.label;
     }
   }
 }

@@ -232,18 +232,25 @@ ExperimentSpec serve_spec(const std::string& checkpoint_path) {
   return spec;
 }
 
-/// One operator request, fedctl-style: connect, send, await the reply.
-net::NetFrame request(const std::string& endpoint, net::FrameKind kind,
-                      std::span<const std::uint8_t> payload = {}) {
+/// One operator request with an explicit request tag.
+net::NetFrame request_tagged(const std::string& endpoint, net::FrameKind kind,
+                             std::uint64_t tag,
+                             std::span<const std::uint8_t> payload = {}) {
   net::TcpConn conn =
       net::TcpConn::connect(net::parse_host_port(endpoint), net::Deadline::after_ms(5000));
   SUBFEDAVG_CHECK(conn.valid(), "cannot reach " << endpoint);
-  SUBFEDAVG_CHECK(net::send_frame(conn, kind, 7, payload, net::Deadline::after_ms(5000)),
+  SUBFEDAVG_CHECK(net::send_frame(conn, kind, tag, payload, net::Deadline::after_ms(5000)),
                   "request send failed");
   net::NetFrame reply;
   SUBFEDAVG_CHECK(net::recv_frame(conn, &reply, net::Deadline::after_ms(30000)),
                   "no reply from " << endpoint);
   return reply;
+}
+
+/// One operator request, fedctl-style: connect, send, await the reply.
+net::NetFrame request(const std::string& endpoint, net::FrameKind kind,
+                      std::span<const std::uint8_t> payload = {}) {
+  return request_tagged(endpoint, kind, 7, payload);
 }
 
 std::string text_of(const net::NetFrame& frame) {
@@ -357,6 +364,30 @@ TEST(ServerLoop, ServesStatusAndModelDuringLiveRoundsAndResumesAfterRestart) {
         decode_update(std::span<const std::uint8_t>(model.payload).subspan(8, len));
     EXPECT_GT(global.size(), 0u);
 
+    // Full-model replies are stamped with the serving round (round + 1, so
+    // never 0), and the stamp supports an ETag-style conditional fetch:
+    // echoing it back with kModelConditionalTag set earns an empty
+    // not-modified reply while the round holds, or a re-stamped full payload
+    // once it advanced (rounds are ticking live here, so either is legal).
+    EXPECT_GE(model.tag, 1u);
+    const net::NetFrame cond =
+        request_tagged(requests_at, net::FrameKind::kGetModel,
+                       ServerLoop::kModelConditionalTag | model.tag);
+    ASSERT_EQ(cond.kind, net::FrameKind::kReply);
+    if (cond.payload.empty()) {
+      EXPECT_EQ(cond.tag, model.tag);  // not modified
+    } else {
+      EXPECT_GT(cond.tag, model.tag);  // newer round, fresh stamp + payload
+      EXPECT_EQ(read_u32(cond.payload, 0), 1u);
+    }
+    // Hammer the endpoint: replies keep decoding and stamps never regress.
+    for (int i = 0; i < 6; ++i) {
+      const net::NetFrame again = request(requests_at, net::FrameKind::kGetModel);
+      ASSERT_EQ(again.kind, net::FrameKind::kReply);
+      EXPECT_GE(again.tag, model.tag);
+      EXPECT_EQ(read_u32(again.payload, 0), 1u);
+    }
+
     // A bad client index is an error reply, not a hangup or a crash.
     const std::string bogus = "999";
     const net::NetFrame err = request(
@@ -376,6 +407,10 @@ TEST(ServerLoop, ServesStatusAndModelDuringLiveRoundsAndResumesAfterRestart) {
     server.join();
     stopped_at = loop->session().round();
     EXPECT_GE(stopped_at, 3u);
+    // The round-stamped cache encodes the model at most once per round, no
+    // matter how many kGetModel requests landed.
+    EXPECT_GE(loop->model_encodes(), 1u);
+    EXPECT_LE(loop->model_encodes(), loop->session().round() + 1);
   }
 
   // The wire counters must match the observer-reported ledger at the round

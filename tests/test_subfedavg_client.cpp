@@ -184,7 +184,7 @@ TEST_F(SubFedAvgClientTest, SeedPersonalFixesNeverSampledEval) {
   // Without seeding, the template has zero weights → ~chance accuracy.
   client.seed_personal(initial_global());
   const EvalStats eval = client.evaluate_test();
-  EXPECT_EQ(eval.examples, data().client(0).test_labels.size());
+  EXPECT_EQ(eval.examples, data().client(0).test_size());
 }
 
 }  // namespace

@@ -1,0 +1,82 @@
+// Telemetry overhead gate: the same small in-memory federation run with
+// telemetry off and with the counters tier on, reported as a wall-clock
+// ratio. The disabled path is a relaxed atomic load per instrument, so the
+// ratio must stay ≈ 1; bench/baselines/BENCH_telemetry.json pins it.
+//
+//   SUBFEDAVG_BENCH_TELEMETRY_REPS   runs per mode, min taken   (default 3)
+//   SUBFEDAVG_BENCH_TELEMETRY_JSON   machine-readable output path
+//
+// Ordinary bench scale knobs (SUBFEDAVG_BENCH_CLIENTS/ROUNDS/...) apply.
+#include <chrono>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "bench_common.h"
+#include "telemetry/telemetry.h"
+
+namespace {
+
+using namespace subfed;
+using namespace subfed::bench;
+
+/// One full federation run, wall-clock timed with a raw steady_clock read
+/// (telemetry::StopWatch is itself level-gated, so it cannot time the off
+/// mode).
+double run_once(const FederatedData& data, const BenchScale& scale) {
+  FlContext ctx = make_ctx(data, scale);
+  std::unique_ptr<FederatedAlgorithm> algo =
+      make_algo("subfedavg_un", ctx, un_params(0.5, scale));
+  const DriverConfig driver = make_driver(scale);
+  const auto start = std::chrono::steady_clock::now();
+  run_federation(*algo, driver);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  const BenchScale scale = BenchScale::from_env(/*default_rounds=*/3);
+  const DatasetSpec dataset = DatasetSpec::mnist();
+  print_header("telemetry overhead", dataset, scale);
+  const FederatedData data = make_data(dataset, scale);
+
+  const std::size_t reps =
+      static_cast<std::size_t>(env_int("SUBFEDAVG_BENCH_TELEMETRY_REPS", 3));
+  double off_seconds = std::numeric_limits<double>::infinity();
+  double counters_seconds = std::numeric_limits<double>::infinity();
+  // Warm-up run (page cache, lazy allocations), then alternate modes so
+  // thermal drift hits both equally; min-over-reps discards the noise.
+  telemetry::set_level(telemetry::Level::kOff);
+  run_once(data, scale);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    telemetry::set_level(telemetry::Level::kOff);
+    off_seconds = std::min(off_seconds, run_once(data, scale));
+    telemetry::set_level(telemetry::Level::kCounters);
+    counters_seconds = std::min(counters_seconds, run_once(data, scale));
+  }
+  telemetry::set_level(telemetry::Level::kOff);
+
+  const double ratio = counters_seconds / off_seconds;
+  std::printf("telemetry off:      %.3f s (min of %zu)\n", off_seconds, reps);
+  std::printf("telemetry counters: %.3f s (min of %zu)\n", counters_seconds, reps);
+  std::printf("overhead ratio:     %.4f\n", ratio);
+
+  std::ostringstream json;
+  json.precision(std::numeric_limits<double>::max_digits10);
+  json << "[\n  {\"mode\": \"off\", \"seconds\": " << off_seconds
+       << ", \"reps\": " << reps << ", \"rounds\": " << scale.rounds
+       << ", \"clients\": " << scale.clients << "},\n"
+       << "  {\"mode\": \"counters\", \"seconds\": " << counters_seconds
+       << ", \"reps\": " << reps << ", \"rounds\": " << scale.rounds
+       << ", \"clients\": " << scale.clients << "}\n]\n";
+
+  const std::string json_path = env_string("SUBFEDAVG_BENCH_TELEMETRY_JSON", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    SUBFEDAVG_CHECK(out.good(), "cannot open '" << json_path << "'");
+    out << json.str();
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "comm/quantize.h"
 #include "comm/serialize.h"
 #include "fl/robust.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -195,8 +196,10 @@ Envelope decode_envelope(std::span<const std::uint8_t> bytes) {
 // ---------------------------------------------------------------------------
 // Payload codec
 
-std::vector<std::uint8_t> encode_payload(const StateDict& state, const ModelMask* mask,
-                                         QuantCodec quantize) {
+namespace {
+
+std::vector<std::uint8_t> encode_payload_impl(const StateDict& state, const ModelMask* mask,
+                                              QuantCodec quantize) {
   if (quantize == QuantCodec::kNone) return encode_update(state, mask);
 
   std::vector<std::uint8_t> out;
@@ -231,7 +234,7 @@ std::vector<std::uint8_t> encode_payload(const StateDict& state, const ModelMask
   return out;
 }
 
-StateDict decode_payload(std::span<const std::uint8_t> bytes, ModelMask* mask_out) {
+StateDict decode_payload_impl(std::span<const std::uint8_t> bytes, ModelMask* mask_out) {
   SUBFEDAVG_CHECK(bytes.size() >= 4, "truncated payload");
   std::uint32_t magic = 0;
   for (int i = 0; i < 4; ++i) magic |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
@@ -283,6 +286,37 @@ StateDict decode_payload(std::span<const std::uint8_t> bytes, ModelMask* mask_ou
     state.add(std::move(name), std::move(tensor));
   }
   SUBFEDAVG_CHECK(reader.done(), "trailing bytes in payload");
+  return state;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_payload(const StateDict& state, const ModelMask* mask,
+                                         QuantCodec quantize) {
+  const telemetry::StopWatch watch;
+  std::vector<std::uint8_t> out = encode_payload_impl(state, mask, quantize);
+  if (watch.armed()) {
+    static telemetry::Counter& encodes = telemetry::counter("codec.encodes");
+    static telemetry::Counter& bytes = telemetry::counter("codec.encoded_bytes");
+    static telemetry::Timer& time = telemetry::timer("codec.encode_seconds");
+    encodes.add();
+    bytes.add(out.size());
+    time.add_seconds(watch.seconds());
+  }
+  return out;
+}
+
+StateDict decode_payload(std::span<const std::uint8_t> bytes, ModelMask* mask_out) {
+  const telemetry::StopWatch watch;
+  StateDict state = decode_payload_impl(bytes, mask_out);
+  if (watch.armed()) {
+    static telemetry::Counter& decodes = telemetry::counter("codec.decodes");
+    static telemetry::Counter& decoded = telemetry::counter("codec.decoded_bytes");
+    static telemetry::Timer& time = telemetry::timer("codec.decode_seconds");
+    decodes.add();
+    decoded.add(bytes.size());
+    time.add_seconds(watch.seconds());
+  }
   return state;
 }
 
@@ -512,6 +546,9 @@ std::vector<Exchange> Channel::run_in_memory(std::size_t round,
   std::vector<std::size_t> up_bytes(jobs.size(), 0), down_bytes(jobs.size(), 0);
   std::vector<std::size_t> dense_scalars(jobs.size(), 0);
 
+  // The fast path fuses broadcast, compute, and collect into one pass, so the
+  // whole thing reports as the exchange phase (encode/collect stay zero).
+  const telemetry::StopWatch exchange_watch;
   ThreadPool::global().parallel_for(jobs.size(), [&](std::size_t i) {
     const ClientJob& job = jobs[i];
     down_bytes[i] = job.payload_copies * payload_bytes(*job.broadcast, job.mask);
@@ -524,6 +561,9 @@ std::vector<Exchange> Channel::run_in_memory(std::size_t round,
     exchanges[i].update = std::move(result.update);
     exchanges[i].state = std::move(result.state);
   });
+  last_phase_seconds_ = {};
+  last_phase_seconds_.exchange = exchange_watch.seconds();
+  telemetry::record_span("transport_exchange", exchange_watch);
 
   last_fresh_arrival_order_.clear();  // no transport: simulated arrival order
   last_order_simulated_ = true;
@@ -542,6 +582,7 @@ std::vector<Exchange> Channel::run_materialized(std::size_t round,
   std::vector<std::vector<std::uint8_t>> requests(jobs.size());
   std::vector<std::size_t> down_bytes(jobs.size(), 0);
   std::vector<StateDict> as_received(config_.delta ? jobs.size() : 0);
+  const telemetry::StopWatch encode_watch;
   ThreadPool::global().parallel_for(jobs.size(), [&](std::size_t i) {
     Envelope broadcast;
     broadcast.kind = MessageKind::kBroadcast;
@@ -560,6 +601,9 @@ std::vector<Exchange> Channel::run_materialized(std::size_t round,
     }
     requests[i] = encode_envelope(broadcast);
   });
+  last_phase_seconds_ = {};
+  last_phase_seconds_.encode = encode_watch.seconds();
+  telemetry::record_span("broadcast_encode", encode_watch);
 
   // Client side (possibly in a forked worker): decode the broadcast, compute,
   // encode the update through the same codec stack. `up_payload` records each
@@ -588,7 +632,12 @@ std::vector<Exchange> Channel::run_materialized(std::size_t round,
                                    std::size_t /*response_bytes*/) {
     return arrival_seconds({jobs[i].client, up_payload[i], down_bytes[i], 0.0});
   };
+  const telemetry::StopWatch exchange_watch;
   std::vector<TransportArrival> landed = transport_->collect(requests, handler, arrival);
+  last_phase_seconds_.exchange = exchange_watch.seconds();
+  telemetry::record_span("transport_exchange", exchange_watch);
+
+  const telemetry::StopWatch collect_watch;
   std::vector<std::vector<std::uint8_t>> responses(jobs.size());
   last_fresh_arrival_order_.clear();
   last_fresh_arrival_order_.reserve(landed.size());
@@ -650,6 +699,8 @@ std::vector<Exchange> Channel::run_materialized(std::size_t round,
   });
 
   finish_round(round, jobs, exchanges, up_bytes, down_bytes, dense_scalars);
+  last_phase_seconds_.collect = collect_watch.seconds();
+  telemetry::record_span("collect", collect_watch);
   return exchanges;
 }
 

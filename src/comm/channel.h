@@ -253,6 +253,18 @@ class Channel {
     return last_round_costs_;
   }
 
+  /// Wall-clock phase breakdown of the most recent run_round, in seconds.
+  /// All zeros when telemetry is off (the stopwatches never read the clock).
+  /// `encode` is the broadcast-encode fan-out, `exchange` the transport
+  /// round-trip, `collect` the reply decode + round bookkeeping; the memory
+  /// fast path reports its single fused pass as `exchange`.
+  struct PhaseSeconds {
+    double encode = 0.0;
+    double exchange = 0.0;
+    double collect = 0.0;
+  };
+  const PhaseSeconds& last_phase_seconds() const noexcept { return last_phase_seconds_; }
+
   /// Simulated duration of the most recent round under the link fleet: the
   /// slowest participant in sync mode, the K-th arrival in buffered mode.
   double last_round_seconds() const noexcept { return last_round_seconds_; }
@@ -333,6 +345,7 @@ class Channel {
   /// deaths); empty means every exchange delivered.
   std::vector<char> last_failed_;
   double last_round_seconds_ = 0.0;
+  PhaseSeconds last_phase_seconds_;
   std::vector<ParkedUpdate> parked_;
   std::size_t stale_updates_ = 0;
   std::size_t evicted_updates_ = 0;

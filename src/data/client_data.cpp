@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -133,10 +134,14 @@ ClientDataPtr FederatedData::client_ptr(std::size_t k) const {
     const auto it = cells_.find(k);
     if (it != cells_.end()) {
       ++hits_;
+      static telemetry::Counter& hits = telemetry::counter("data.cache_hits");
+      hits.add();
       cell = it->second;
       lru_.splice(lru_.begin(), lru_, lru_it_[k]);  // promote to MRU
     } else {
       ++misses_;
+      static telemetry::Counter& misses = telemetry::counter("data.cache_misses");
+      misses.add();
       cell = std::make_shared<Cell>();
       cells_.emplace(k, cell);
       lru_.push_front(k);
@@ -148,6 +153,8 @@ ClientDataPtr FederatedData::client_ptr(std::size_t k) const {
         lru_it_.erase(victim);
         cells_.erase(victim);
         ++evictions_;
+        static telemetry::Counter& evictions = telemetry::counter("data.cache_evictions");
+        evictions.add();
       }
     }
   }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "fl/checkpoint.h"
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace subfed {
@@ -45,6 +46,8 @@ StateSectionsPtr ClientStateStore::load_spilled_locked(std::size_t k) const {
   const std::size_t read = std::fread(bytes.data(), 1, bytes.size(), spill_file_);
   SUBFEDAVG_CHECK(read == bytes.size(), "short spill read for client " << k);
   ++refaults_;
+  static telemetry::Counter& refaults = telemetry::counter("state.refaults");
+  refaults.add();
   return std::make_shared<const StateSections>(
       decode_state_sections(bytes, record_name(k)));
 }
@@ -83,6 +86,10 @@ void ClientStateStore::evict_overflow_locked() {
     spilled_[victim] = {offset, bytes.size()};
     hot_.erase(it);
     ++spills_;
+    static telemetry::Counter& spills = telemetry::counter("state.spills");
+    static telemetry::Counter& spilled_bytes = telemetry::counter("state.spilled_bytes");
+    spills.add();
+    spilled_bytes.add(bytes.size());
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "fl/algorithm.h"
@@ -46,6 +47,12 @@ struct DriverConfig {
   /// Mean simulated seconds an arrived client stays before departing for
   /// good (exponential, per-client stream); 0 = arrived clients never leave.
   double dwell = 0.0;
+  /// Replay arrivals from a timestamp file (one non-decreasing simulated
+  /// second per line; '#' comments) instead of drawing the exponential
+  /// process: telemetry logs from one run become replayable input for the
+  /// next. Mutually exclusive with arrival_rate; the population is capped at
+  /// the file's line count.
+  std::string arrival_trace;
 };
 
 struct RoundPoint {

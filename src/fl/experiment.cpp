@@ -11,6 +11,7 @@
 #include "fl/subfedavg.h"
 #include "net/socket.h"
 #include "serve/session.h"
+#include "telemetry/telemetry.h"
 #include "tensor/backend.h"
 #include "util/check.h"
 #include "util/parse.h"
@@ -80,6 +81,8 @@ const Field kFields[] = {
     SUBFED_DOUBLE_FIELD(dropout, "per-round client dropout probability"),
     SUBFED_DOUBLE_FIELD(arrivals, "client arrivals per simulated second; 0 = static"),
     SUBFED_DOUBLE_FIELD(dwell, "mean seconds an arrived client stays; 0 = forever"),
+    SUBFED_STRING_FIELD(arrival_trace,
+                        "replay arrivals from a timestamp file; excludes arrivals > 0"),
     SUBFED_UINT_FIELD(seed, "master seed"),
     SUBFED_DOUBLE_FIELD(corrupt_fraction, "chance an upload is replaced by noise"),
     SUBFED_DOUBLE_FIELD(corrupt_noise, "stddev of the corruption noise"),
@@ -89,6 +92,7 @@ const Field kFields[] = {
     SUBFED_DOUBLE_FIELD(step, "per-round prune rate; 0 = adaptive"),
     SUBFED_STRING_FIELD(tag, "free-form run label"),
     SUBFED_STRING_FIELD(out, "JSON result path; empty = no file"),
+    SUBFED_STRING_FIELD(telemetry, "off | counters | trace; empty = SUBFEDAVG_TELEMETRY"),
     SUBFED_UINT_FIELD(checkpoint_every, "snapshot every N rounds; 0 = off"),
     SUBFED_STRING_FIELD(checkpoint_path, "snapshot path; empty = derive from out"),
     SUBFED_UINT_FIELD(serve, "1 = resident coordinator (see the serve tool)"),
@@ -289,15 +293,24 @@ void ExperimentSpec::validate() const {
   // keep it out of the resident/checkpointing paths.
   SUBFEDAVG_CHECK(arrivals >= 0.0, "arrivals " << arrivals << " must be >= 0");
   SUBFEDAVG_CHECK(dwell >= 0.0, "dwell " << dwell << " must be >= 0");
-  SUBFEDAVG_CHECK(dwell == 0.0 || arrivals > 0.0,
-                  "dwell=" << dwell << " requires arrivals > 0 (an event-driven population)");
-  if (arrivals > 0.0) {
-    SUBFEDAVG_CHECK(serve == 0, "arrivals > 0 is not supported by the resident "
-                                "coordinator yet (serve=1)");
+  SUBFEDAVG_CHECK(arrival_trace.empty() || arrivals == 0.0,
+                  "arrival_trace=" << arrival_trace << " and arrivals=" << arrivals
+                                   << " are mutually exclusive — the trace file IS the "
+                                      "arrival process");
+  SUBFEDAVG_CHECK(dwell == 0.0 || arrivals > 0.0 || !arrival_trace.empty(),
+                  "dwell=" << dwell << " requires arrivals > 0 or arrival_trace (an "
+                                       "event-driven population)");
+  if (arrivals > 0.0 || !arrival_trace.empty()) {
+    const char* knob = arrivals > 0.0 ? "arrivals > 0" : "arrival_trace";
+    SUBFEDAVG_CHECK(serve == 0, knob << " is not supported by the resident "
+                                        "coordinator yet (serve=1)");
     SUBFEDAVG_CHECK(checkpoint_every == 0,
-                    "arrivals > 0 does not checkpoint yet — the event queue has no "
-                    "save/restore replay (set checkpoint_every=0)");
+                    knob << " does not checkpoint yet — the event queue has no "
+                            "save/restore replay (set checkpoint_every=0)");
   }
+  // Telemetry is validated here but applied by FederationSession::from_spec —
+  // batch runs, serve, and remote workers all build through that one path.
+  if (!telemetry.empty()) telemetry::parse_level(telemetry);
   // Resident-service fields (serve/server.h).
   SUBFEDAVG_CHECK(serve <= 1, "serve=" << serve << " must be 0 or 1");
   if (serve == 1) {
@@ -405,6 +418,7 @@ DriverConfig ExperimentSpec::driver_config() const {
   config.link_spread = link_spread;
   config.arrival_rate = arrivals;
   config.dwell = dwell;
+  config.arrival_trace = arrival_trace;
   return config;
 }
 
@@ -504,6 +518,18 @@ ExecutedRun execute_experiment(const ExperimentSpec& spec, RoundObserver* observ
     run.metrics["stale_updates"] = static_cast<double>(channel.stale_updates());
     run.metrics["evicted_updates"] = static_cast<double>(channel.evicted_updates());
     run.metrics["parked_updates"] = static_cast<double>(channel.parked_updates());
+  }
+  // Telemetry phase totals: where the run's host wall-clock went, phase by
+  // phase. Scalar metrics flow through RunResult JSON into sweep tables, so
+  // grid sweeps get a per-run phase breakdown for free.
+  if (telemetry::enabled(telemetry::Level::kCounters)) {
+    const FederationSession::RoundPhases& phases = session->total_phases();
+    run.metrics["phase_sample_seconds"] = phases.sample;
+    run.metrics["phase_broadcast_encode_seconds"] = phases.broadcast_encode;
+    run.metrics["phase_transport_exchange_seconds"] = phases.transport_exchange;
+    run.metrics["phase_collect_seconds"] = phases.collect;
+    run.metrics["phase_aggregate_seconds"] = phases.aggregate;
+    run.metrics["phase_eval_seconds"] = phases.eval;
   }
 
   if (!spec.out.empty()) {

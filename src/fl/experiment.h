@@ -92,6 +92,11 @@ struct ExperimentSpec {
   // round loop (bit-identical to previous behavior).
   double arrivals = 0.0;
   double dwell = 0.0;
+  /// Replay arrivals from a timestamp file (one non-decreasing simulated
+  /// second per line, '#' comments) instead of the exponential process —
+  /// mutually exclusive with arrivals > 0; the population is capped at the
+  /// file's line count.
+  std::string arrival_trace;
   std::uint64_t seed = 1;
   // Robustness (fl/robust.h; honored by the FedAvg family).
   double corrupt_fraction = 0.0;     ///< chance an upload is replaced by noise
@@ -105,6 +110,12 @@ struct ExperimentSpec {
   // Output.
   std::string tag;                   ///< free-form run label, carried into results
   std::string out;                   ///< JSON result path; empty → no file
+  // Observability (telemetry/telemetry.h): off | counters | trace. Empty (the
+  // default) leaves the process level alone — i.e. whatever the
+  // SUBFEDAVG_TELEMETRY env var selected. Applied by FederationSession::
+  // from_spec, so batch runs, the resident server, and remote workers all
+  // share one switch. Never affects results: telemetry is timing-only.
+  std::string telemetry;
   // Checkpointing (fl/checkpoint.h).
   std::size_t checkpoint_every = 0;  ///< snapshot every N rounds; 0 → off
   std::string checkpoint_path;       ///< empty → derived from `out` (.ckpt)

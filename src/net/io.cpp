@@ -6,6 +6,7 @@
 
 #include <cerrno>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace subfed::net {
@@ -85,22 +86,46 @@ bool read_exact(int fd, void* data, std::size_t n, const Deadline& deadline) {
 }
 
 bool write_frame(int fd, std::span<const std::uint8_t> bytes, const Deadline& deadline) {
+  const telemetry::StopWatch watch;
   std::uint8_t prefix[4];
   const std::uint32_t size = static_cast<std::uint32_t>(bytes.size());
   for (int i = 0; i < 4; ++i) prefix[i] = static_cast<std::uint8_t>(size >> (8 * i));
-  return write_exact(fd, prefix, 4, deadline) &&
-         write_exact(fd, bytes.data(), bytes.size(), deadline);
+  const bool ok = write_exact(fd, prefix, 4, deadline) &&
+                  write_exact(fd, bytes.data(), bytes.size(), deadline);
+  if (ok && watch.armed()) {
+    static telemetry::Counter& frames = telemetry::counter("net.frames_sent");
+    static telemetry::Counter& sent = telemetry::counter("net.bytes_sent");
+    static telemetry::Histogram& sizes = telemetry::histogram("net.frame_bytes_sent");
+    static telemetry::Timer& time = telemetry::timer("net.write_seconds");
+    frames.add();
+    sent.add(bytes.size() + 4);
+    sizes.record(bytes.size());
+    time.add_seconds(watch.seconds());
+  }
+  return ok;
 }
 
 bool read_frame(int fd, std::vector<std::uint8_t>* out, const Deadline& deadline,
                 std::size_t max_bytes) {
+  const telemetry::StopWatch watch;
   std::uint8_t prefix[4];
   if (!read_exact(fd, prefix, 4, deadline)) return false;
   std::uint32_t size = 0;
   for (int i = 0; i < 4; ++i) size |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
   if (size > max_bytes) return false;  // reject before the allocation, not after
   out->resize(size);
-  return read_exact(fd, out->data(), size, deadline);
+  const bool ok = read_exact(fd, out->data(), size, deadline);
+  if (ok && watch.armed()) {
+    static telemetry::Counter& frames = telemetry::counter("net.frames_received");
+    static telemetry::Counter& received = telemetry::counter("net.bytes_received");
+    static telemetry::Histogram& sizes = telemetry::histogram("net.frame_bytes_received");
+    static telemetry::Timer& time = telemetry::timer("net.read_seconds");
+    frames.add();
+    received.add(size + 4ULL);
+    sizes.record(size);
+    time.add_seconds(watch.seconds());
+  }
+  return ok;
 }
 
 std::vector<std::size_t> wait_readable(std::span<const int> fds, int timeout_ms) {

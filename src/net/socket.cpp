@@ -199,7 +199,7 @@ bool recv_frame(const TcpConn& conn, NetFrame* out, const Deadline& deadline,
   if (magic != kNetMagic) return false;
   const std::uint8_t kind = header[4];
   if (kind < static_cast<std::uint8_t>(FrameKind::kHello) ||
-      kind > static_cast<std::uint8_t>(FrameKind::kCheckpointNow)) {
+      kind > static_cast<std::uint8_t>(FrameKind::kMetricsTail)) {
     return false;
   }
   out->kind = static_cast<FrameKind>(kind);

@@ -24,6 +24,16 @@
 //   coordinator → operator kReply      JSON text     round counter, ledger, …
 //   operator → coordinator kCheckpointNow            snapshot the session now
 //   operator → coordinator kShutdown                 checkpoint + clean exit
+//   operator → coordinator kMetrics                  telemetry registry snapshot
+//   coordinator → operator kReply      JSON text     counters/gauges/timers
+//   operator → coordinator kMetricsTail cursor (ASCII) page the JSONL event log
+//   coordinator → operator kReply      JSONL chunk   tag = next cursor
+//
+// kMetricsTail pages the coordinator's append-only event log by logical byte
+// offset: the request payload is an ASCII-decimal cursor (empty = 0), the
+// reply payload is a whole-lines JSONL chunk starting there, and the reply tag
+// is the cursor for the next request. An empty reply means caught up; cursors
+// are durable across server restarts and log rotation (telemetry/event_log.h).
 #pragma once
 
 #include <cstdint>
@@ -113,6 +123,8 @@ enum class FrameKind : std::uint8_t {
   kGetModel = 9,
   kStatus = 10,
   kCheckpointNow = 11,
+  kMetrics = 12,
+  kMetricsTail = 13,
 };
 
 struct NetFrame {

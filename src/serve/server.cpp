@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "comm/serialize.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -55,6 +57,45 @@ std::vector<std::uint8_t> encode_sections(const std::vector<StateDict>& sections
 
 net::Deadline request_io_deadline() { return net::Deadline::after_ms(5000); }
 
+/// Largest kMetricsTail reply chunk: big enough to drain thousands of round
+/// records per page, small enough to never stress the framing layer.
+constexpr std::size_t kTailChunkBytes = 256 * 1024;
+
+/// Captures the round-end/eval facts tick_round logs, chained in front of the
+/// caller's observer so recording never changes what tests/operators see.
+class RoundRecorder final : public RoundObserver {
+ public:
+  void on_round_end(const RoundEndInfo& info) override {
+    saw_round_ = true;
+    sampled_ = info.sampled.size();
+    up_bytes_ = info.round_up_bytes;
+    down_bytes_ = info.round_down_bytes;
+    round_seconds_ = info.round_seconds;
+  }
+  void on_eval(std::size_t round, double avg_accuracy) override {
+    (void)round;
+    saw_eval_ = true;
+    accuracy_ = avg_accuracy;
+  }
+
+  bool saw_round() const noexcept { return saw_round_; }
+  std::size_t sampled() const noexcept { return sampled_; }
+  std::uint64_t up_bytes() const noexcept { return up_bytes_; }
+  std::uint64_t down_bytes() const noexcept { return down_bytes_; }
+  double round_seconds() const noexcept { return round_seconds_; }
+  bool saw_eval() const noexcept { return saw_eval_; }
+  double accuracy() const noexcept { return accuracy_; }
+
+ private:
+  bool saw_round_ = false;
+  std::size_t sampled_ = 0;
+  std::uint64_t up_bytes_ = 0;
+  std::uint64_t down_bytes_ = 0;
+  double round_seconds_ = 0.0;
+  bool saw_eval_ = false;
+  double accuracy_ = 0.0;
+};
+
 }  // namespace
 
 ServerLoop::ServerLoop(ServeOptions options)
@@ -81,9 +122,38 @@ ServerLoop::ServerLoop(ServeOptions options)
     SUBFEDAVG_LOG(kInfo) << "serve: resumed federation at round " << resumed_from_
                          << " from " << checkpoint_path_;
   }
+  // Observability flags only ever RAISE the level: --telemetry-log needs the
+  // counters tier for phase stopwatches, --telemetry-trace the span buffers.
+  if (!options_.telemetry_trace.empty() &&
+      !telemetry::enabled(telemetry::Level::kTrace)) {
+    telemetry::set_level(telemetry::Level::kTrace);
+  }
+  if (!options_.telemetry_log.empty()) {
+    if (!telemetry::enabled(telemetry::Level::kCounters)) {
+      telemetry::set_level(telemetry::Level::kCounters);
+    }
+    event_log_ = std::make_unique<telemetry::EventLog>(options_.telemetry_log,
+                                                       options_.telemetry_log_rotate);
+    std::ostringstream os;
+    os << "{\"event\": " << (resumed_ ? "\"resume\"" : "\"start\"")
+       << ", \"round\": " << session_->round()
+       << ", \"checkpoint_path\": ";
+    append_json_string(os, checkpoint_path_);
+    os << "}";
+    log_event(os.str());
+  }
 }
 
 std::string ServerLoop::worker_endpoint() const { return transport_->endpoint(); }
+
+void ServerLoop::log_event(const std::string& line) noexcept {
+  if (!event_log_) return;
+  try {
+    event_log_->append(line);
+  } catch (const std::exception& e) {
+    SUBFEDAVG_LOG(kWarn) << "serve: telemetry log append failed: " << e.what();
+  }
+}
 
 std::string ServerLoop::status_json() const {
   const RunResult& progress = session_->progress();
@@ -116,6 +186,8 @@ std::string ServerLoop::status_json() const {
      << ",\n  \"snapshots\": " << snapshots_
      << ",\n  \"checkpoint_path\": ";
   append_json_string(os, checkpoint_path_);
+  os << ",\n  \"telemetry_level\": ";
+  append_json_string(os, telemetry::level_name(telemetry::level()));
   os << ",\n  \"requests_served\": " << requests_served_ << "\n}\n";
   return os.str();
 }
@@ -137,6 +209,20 @@ void ServerLoop::run(RoundObserver* observer) {
   // One last snapshot so a clean exit loses nothing, whatever the cadence.
   session_->save(checkpoint_path_);
   ++snapshots_;
+  if (event_log_) {
+    std::ostringstream os;
+    os << "{\"event\": \"stop\", \"round\": " << session_->round()
+       << ", \"rounds_this_process\": " << rounds_this_process_ << "}";
+    log_event(os.str());
+  }
+  if (!options_.telemetry_trace.empty()) {
+    try {
+      telemetry::write_chrome_trace(options_.telemetry_trace, telemetry::drain_spans());
+      SUBFEDAVG_LOG(kInfo) << "serve: wrote Chrome trace to " << options_.telemetry_trace;
+    } catch (const std::exception& e) {
+      SUBFEDAVG_LOG(kWarn) << "serve: Chrome trace export failed: " << e.what();
+    }
+  }
   SUBFEDAVG_LOG(kInfo) << "serve: stopped at round " << session_->round() << " ("
                        << rounds_this_process_ << " this process), checkpoint at "
                        << checkpoint_path_;
@@ -152,16 +238,47 @@ void ServerLoop::wait_for_events() {
 
 void ServerLoop::tick_round(RoundObserver* observer) {
   const auto start = std::chrono::steady_clock::now();
+  // The recorder rides in front of the caller's observer only when the event
+  // log is open — the no-telemetry tick stays exactly the historical path.
+  RoundRecorder recorder;
+  ObserverChain chain;
+  RoundObserver* effective = observer;
+  if (event_log_) {
+    chain.attach(&recorder);
+    if (observer != nullptr) chain.attach(observer);
+    effective = &chain;
+  }
   try {
-    session_->advance_round(observer);
+    session_->advance_round(effective);
     ++rounds_this_process_;
     if (options_.spec.eval_every > 0 && session_->round() % options_.spec.eval_every == 0) {
-      last_eval_accuracy_ = session_->evaluate(observer);
+      last_eval_accuracy_ = session_->evaluate(effective);
       last_eval_round_ = session_->round();
     }
     if (session_->round() % options_.spec.checkpoint_every == 0) {
       session_->save(checkpoint_path_);
       ++snapshots_;
+    }
+    if (event_log_) {
+      const FederationSession::RoundPhases& phases = session_->last_phases();
+      std::ostringstream os;
+      os.precision(std::numeric_limits<double>::max_digits10);
+      os << "{\"event\": \"round\", \"round\": " << session_->round()
+         << ", \"sampled\": " << recorder.sampled()
+         << ", \"skipped\": " << (recorder.saw_round() ? "false" : "true")
+         << ", \"up_bytes\": " << recorder.up_bytes()
+         << ", \"down_bytes\": " << recorder.down_bytes()
+         << ", \"round_seconds\": " << recorder.round_seconds()
+         << ", \"workers\": " << transport_->connected_peers()
+         << ", \"phases\": {\"sample\": " << phases.sample
+         << ", \"broadcast_encode\": " << phases.broadcast_encode
+         << ", \"transport_exchange\": " << phases.transport_exchange
+         << ", \"collect\": " << phases.collect
+         << ", \"aggregate\": " << phases.aggregate
+         << ", \"eval\": " << phases.eval << "}";
+      if (recorder.saw_eval()) os << ", \"eval_accuracy\": " << recorder.accuracy();
+      os << "}";
+      log_event(os.str());
     }
   } catch (const std::exception& e) {
     // A failed round (fleet died mid-exchange in fail-fast mode, say) must
@@ -170,31 +287,53 @@ void ServerLoop::tick_round(RoundObserver* observer) {
     // matching a dropout-skipped round — so the stream stays deterministic.
     ++rounds_this_process_;
     SUBFEDAVG_LOG(kWarn) << "serve: round " << session_->round() << " failed: " << e.what();
+    if (event_log_) {
+      std::ostringstream os;
+      os << "{\"event\": \"round_failed\", \"round\": " << session_->round()
+         << ", \"error\": ";
+      append_json_string(os, e.what());
+      os << "}";
+      log_event(os.str());
+    }
   }
   wall_seconds_ticking_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
 void ServerLoop::service_requests() {
-  // Admit operator connections (no handshake: the first frame is a request).
-  while (true) {
-    net::TcpConn conn = request_listener_.accept(net::Deadline::after_ms(1));
-    if (!conn.valid()) break;
-    request_conns_.push_back(std::move(conn));
-  }
-  if (request_conns_.empty()) return;
-  std::vector<int> fds;
-  fds.reserve(request_conns_.size());
-  for (const net::TcpConn& conn : request_conns_) fds.push_back(conn.fd());
-  for (const std::size_t i : net::wait_readable(fds, 0)) {
-    net::TcpConn& conn = request_conns_[i];
-    net::NetFrame frame;
-    if (!net::recv_frame(conn, &frame, request_io_deadline()) ||
-        !handle_request(conn, frame)) {
-      conn.close();
+  // Paging clients (fedctl tail) send one request per reply; if servicing ran
+  // exactly once per round tick, such a client could never catch up with an
+  // event log that gains a record every round. Keep draining while the
+  // conversation is hot — the follow-up request (or reconnect: the listener
+  // is part of the poll set) lands within a scheduling quantum on any sane
+  // link — bounded so a chatty operator cannot starve the rounds. Idle
+  // connections cost nothing (the first poll is non-blocking) and a finished
+  // conversation costs one trailing wait.
+  for (int spin = 0; spin < 64; ++spin) {
+    // Admit operator connections (no handshake: the first frame is a request).
+    while (true) {
+      net::TcpConn conn = request_listener_.accept(net::Deadline::after_ms(1));
+      if (!conn.valid()) break;
+      request_conns_.push_back(std::move(conn));
     }
+    if (stop_.load(std::memory_order_relaxed)) return;
+    std::vector<int> fds;
+    fds.reserve(request_conns_.size() + 1);
+    fds.push_back(request_listener_.fd());
+    for (const net::TcpConn& conn : request_conns_) fds.push_back(conn.fd());
+    const std::vector<std::size_t> ready = net::wait_readable(fds, spin == 0 ? 0 : 10);
+    if (ready.empty()) return;
+    for (const std::size_t i : ready) {
+      if (i == 0) continue;  // listener: accepted at the top of the next spin
+      net::TcpConn& conn = request_conns_[i - 1];
+      net::NetFrame frame;
+      if (!net::recv_frame(conn, &frame, request_io_deadline()) ||
+          !handle_request(conn, frame)) {
+        conn.close();
+      }
+    }
+    std::erase_if(request_conns_, [](const net::TcpConn& c) { return !c.valid(); });
   }
-  std::erase_if(request_conns_, [](const net::TcpConn& c) { return !c.valid(); });
 }
 
 bool ServerLoop::handle_request(net::TcpConn& conn, const net::NetFrame& frame) {
@@ -215,8 +354,46 @@ bool ServerLoop::handle_request(net::TcpConn& conn, const net::NetFrame& frame) 
   };
   ++requests_served_;
   switch (frame.kind) {
-    case net::FrameKind::kStatus:
-      return reply_text(status_json());
+    case net::FrameKind::kStatus: {
+      // Conditional poll (fedctl status --watch): same stamp protocol as
+      // kGetModel — an unchanged round earns an empty not-modified reply.
+      const std::uint64_t stamp = static_cast<std::uint64_t>(session_->round()) + 1;
+      if ((frame.tag & kModelConditionalTag) != 0 &&
+          (frame.tag & ~kModelConditionalTag) == stamp) {
+        return net::send_frame(conn, net::FrameKind::kReply, stamp, {},
+                               request_io_deadline());
+      }
+      const std::string text = status_json();
+      return net::send_frame(
+          conn, net::FrameKind::kReply, stamp,
+          std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(text.data()),
+                                        text.size()),
+          request_io_deadline());
+    }
+    case net::FrameKind::kMetrics:
+      return reply_text(telemetry::metrics_json());
+    case net::FrameKind::kMetricsTail: {
+      try {
+        SUBFEDAVG_CHECK(event_log_ != nullptr,
+                        "telemetry log not enabled (start serve with --telemetry-log)");
+        std::uint64_t cursor = 0;
+        if (!frame.payload.empty()) {
+          const std::string text(frame.payload.begin(), frame.payload.end());
+          std::size_t parsed = 0;
+          cursor = std::stoull(text, &parsed);
+          SUBFEDAVG_CHECK(parsed == text.size(), "tail cursor '" << text << "'");
+        }
+        std::uint64_t next = cursor;
+        const std::string chunk = event_log_->tail(cursor, kTailChunkBytes, &next);
+        return net::send_frame(
+            conn, net::FrameKind::kReply, next,
+            std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(chunk.data()), chunk.size()),
+            request_io_deadline());
+      } catch (const std::exception& e) {
+        return reply_error(e.what());
+      }
+    }
     case net::FrameKind::kGetModel: {
       try {
         if (frame.payload.empty()) {

@@ -13,8 +13,10 @@
 //   * operator requests on a second listener (`status_listen=`), speaking the
 //     same magic+kind+tag framing as the worker protocol: kGetModel returns
 //     the current global (or a client's personalized/pruned) model, kStatus
-//     returns live run metrics as JSON, kCheckpointNow snapshots the session,
-//     kShutdown checkpoints and exits cleanly.
+//     returns live run metrics as JSON, kMetrics the telemetry registry
+//     snapshot, kMetricsTail pages through the JSONL event log by logical
+//     cursor, kCheckpointNow snapshots the session, kShutdown checkpoints and
+//     exits cleanly.
 //
 // The session checkpoints itself every `checkpoint_every=` rounds (spec-
 // validated ≥ 1 in serve mode) and once more on clean exit, atomically — so a
@@ -36,6 +38,7 @@
 
 #include "net/socket.h"
 #include "serve/session.h"
+#include "telemetry/event_log.h"
 
 namespace subfed {
 
@@ -43,15 +46,24 @@ struct ServeOptions {
   ExperimentSpec spec;         ///< serve=1, transport=tcp, checkpoint_every ≥ 1
   std::size_t max_rounds = 0;  ///< stop after N rounds THIS process; 0 = run forever
   long long idle_wait_ms = 200;  ///< poll granularity while waiting for workers
+  /// Append-only JSONL event log (telemetry/event_log.h): one record per
+  /// round, served incrementally by kMetricsTail. Setting it raises the
+  /// telemetry level to at least counters. Empty = no log.
+  std::string telemetry_log;
+  std::uint64_t telemetry_log_rotate = 8ull << 20;  ///< rotation threshold, bytes
+  /// Chrome trace_event JSON written on clean exit from the drained span
+  /// buffers. Setting it raises the telemetry level to trace. Empty = none.
+  std::string telemetry_trace;
 };
 
 class ServerLoop {
  public:
-  /// kGetModel conditional fetch: a request tag with this bit set carries, in
-  /// the low bits, the round stamp of a model the client already holds; a
-  /// matching stamp earns an empty not-modified reply instead of the payload.
-  /// Full-model replies carry the current stamp (round + 1, never 0) as
-  /// their reply tag, so clients always learn the stamp to send back.
+  /// kGetModel/kStatus conditional fetch: a request tag with this bit set
+  /// carries, in the low bits, the round stamp of a reply the client already
+  /// holds; a matching stamp earns an empty not-modified reply instead of the
+  /// payload. Full replies carry the current stamp (round + 1, never 0) as
+  /// their reply tag, so clients always learn the stamp to send back —
+  /// `fedctl status --watch` polls on exactly this.
   static constexpr std::uint64_t kModelConditionalTag = 1ULL << 63;
 
   /// Builds (or, when the spec's checkpoint file already exists, restores)
@@ -90,17 +102,24 @@ class ServerLoop {
   /// parses it back). Public so tests can compare against the wire copy.
   std::string status_json() const;
 
+  /// The telemetry event log when --telemetry-log is set, else nullptr.
+  telemetry::EventLog* event_log() noexcept { return event_log_.get(); }
+
  private:
   void wait_for_events();
   void tick_round(RoundObserver* observer);
   void service_requests();
   bool handle_request(net::TcpConn& conn, const net::NetFrame& frame);
+  /// Appends one record to the event log when it is open (never throws: a
+  /// full disk degrades observability, not the federation).
+  void log_event(const std::string& line) noexcept;
 
   ServeOptions options_;
   std::unique_ptr<FederationSession> session_;
   Transport* transport_ = nullptr;  ///< owned by the session's channel
   net::TcpListener request_listener_;
   std::vector<net::TcpConn> request_conns_;
+  std::unique_ptr<telemetry::EventLog> event_log_;
   std::string checkpoint_path_;
   std::size_t min_participants_ = 1;
   std::atomic<bool> stop_{false};

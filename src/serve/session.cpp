@@ -3,14 +3,17 @@
 #include <bit>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <numeric>
 #include <vector>
 
 #include "fl/checkpoint.h"
 #include "fl/fedavg.h"
 #include "fl/subfedavg.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/parse.h"
 
 namespace subfed {
 
@@ -100,6 +103,12 @@ FederationSession::FederationSession(FederatedAlgorithm& algorithm, const Driver
 std::unique_ptr<FederationSession> FederationSession::from_spec(
     const ExperimentSpec& spec, const FederatedData* shared_data) {
   spec.validate();  // fail fast, before the (expensive) dataset synthesis
+  // The spec's telemetry knob overrides the process level (SUBFEDAVG_TELEMETRY)
+  // here — the one build path batch runs, the resident server, and tcp worker
+  // mirrors all share — so every piece the session builds is instrumented.
+  if (!spec.telemetry.empty()) {
+    telemetry::set_level(telemetry::parse_level(spec.telemetry));
+  }
   std::unique_ptr<FederationSession> session(new FederationSession());
   if (shared_data == nullptr) {
     session->data_ =
@@ -145,6 +154,12 @@ ExperimentSpec FederationSession::mirror_spec(const std::string& kv) {
   spec.serve = 0;
   spec.status_listen.clear();
   spec.min_participants = 0;
+  // The arrival process is coordinator-side state: the worker's mirror runs
+  // whatever cohort each exchange names, and a replay file may not even exist
+  // on the worker's machine.
+  spec.arrivals = 0.0;
+  spec.dwell = 0.0;
+  spec.arrival_trace.clear();
   return spec;
 }
 
@@ -171,23 +186,50 @@ void FederationSession::init_streams() {
 
   // Event-driven population: derive the arrival process. The arrival ORDER is
   // an affine permutation of [0, N) — full-coverage, pseudorandom, and O(1)
-  // memory at any population size; interarrival gaps are exponential at
-  // arrival_rate per simulated second.
+  // memory at any population size; interarrival TIMES come from either the
+  // exponential process (arrival_rate) or an arrival_trace replay file.
   arrived_.clear();
   position_.clear();
   departures_ = {};
   next_arrival_ = 0;
   next_arrival_time_ = 0.0;
-  if (config_.arrival_rate > 0.0) {
+  trace_times_.clear();
+  event_driven_ = config_.arrival_rate > 0.0 || !config_.arrival_trace.empty();
+  if (!config_.arrival_trace.empty()) {
+    SUBFEDAVG_CHECK(config_.arrival_rate == 0.0,
+                    "arrival_trace and arrival_rate are mutually exclusive");
+    std::ifstream file(config_.arrival_trace);
+    SUBFEDAVG_CHECK(file.good(),
+                    "cannot read arrival trace '" << config_.arrival_trace << "'");
+    std::string line;
+    while (std::getline(file, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+      const std::size_t start = line.find_first_not_of(' ');
+      if (start == std::string::npos || line[start] == '#') continue;
+      const double t = parse_double_strict("arrival_trace", line.substr(start));
+      SUBFEDAVG_CHECK(t >= 0.0 && (trace_times_.empty() || t >= trace_times_.back()),
+                      "arrival trace '" << config_.arrival_trace
+                                        << "' timestamps must be non-negative and "
+                                           "non-decreasing; offending entry: " << t);
+      trace_times_.push_back(t);
+    }
+    SUBFEDAVG_CHECK(!trace_times_.empty(),
+                    "arrival trace '" << config_.arrival_trace << "' has no timestamps");
+  }
+  if (event_driven_) {
     SUBFEDAVG_CHECK(config_.dwell >= 0.0, "dwell " << config_.dwell << " must be >= 0");
-    arrival_rng_ = Rng(config_.seed).split("arrival-times");
     Rng order_rng = Rng(config_.seed).split("arrival-order");
     perm_a_ = 1 + order_rng.uniform_index(n);
     while (std::gcd(perm_a_, static_cast<std::uint64_t>(n)) != 1) {
       perm_a_ = 1 + order_rng.uniform_index(n);
     }
     perm_b_ = order_rng.uniform_index(n);
-    next_arrival_time_ = -std::log(1.0 - arrival_rng_.uniform()) / config_.arrival_rate;
+    if (trace_times_.empty()) {
+      arrival_rng_ = Rng(config_.seed).split("arrival-times");
+      next_arrival_time_ = -std::log(1.0 - arrival_rng_.uniform()) / config_.arrival_rate;
+    } else {
+      next_arrival_time_ = trace_times_.front();
+    }
   }
 }
 
@@ -196,9 +238,14 @@ std::size_t FederationSession::arrival_client(std::size_t i) const noexcept {
   return static_cast<std::size_t>((perm_a_ * static_cast<std::uint64_t>(i) + perm_b_) % n);
 }
 
-void FederationSession::process_events(double now) {
+std::size_t FederationSession::arrival_budget() const noexcept {
   const std::size_t n = algorithm_->num_clients();
-  while (next_arrival_ < n && next_arrival_time_ <= now) {
+  return trace_times_.empty() ? n : std::min(n, trace_times_.size());
+}
+
+void FederationSession::process_events(double now) {
+  const std::size_t budget = arrival_budget();
+  while (next_arrival_ < budget && next_arrival_time_ <= now) {
     const std::size_t k = arrival_client(next_arrival_);
     position_[k] = arrived_.size();
     arrived_.push_back(k);
@@ -209,9 +256,12 @@ void FederationSession::process_events(double now) {
       departures_.push({next_arrival_time_ + stay, k});
     }
     ++next_arrival_;
-    if (next_arrival_ < n) {
-      next_arrival_time_ +=
-          -std::log(1.0 - arrival_rng_.uniform()) / config_.arrival_rate;
+    if (next_arrival_ < budget) {
+      next_arrival_time_ =
+          trace_times_.empty()
+              ? next_arrival_time_ -
+                    std::log(1.0 - arrival_rng_.uniform()) / config_.arrival_rate
+              : trace_times_[next_arrival_];
     }
   }
   while (!departures_.empty() && departures_.top().first <= now) {
@@ -229,10 +279,10 @@ void FederationSession::process_events(double now) {
 }
 
 bool FederationSession::event_cohort(std::vector<std::size_t>& sampled) {
-  const std::size_t n = algorithm_->num_clients();
+  const std::size_t budget = arrival_budget();
   process_events(result_.simulated_seconds);
   while (arrived_.empty()) {
-    if (next_arrival_ >= n) return false;  // population drained for good
+    if (next_arrival_ >= budget) return false;  // population drained for good
     // Nobody is present: fast-forward the simulated clock to the next
     // arrival instead of burning empty rounds.
     result_.simulated_seconds = next_arrival_time_;
@@ -257,8 +307,10 @@ std::uint64_t FederationSession::total_down_bytes() const noexcept {
 bool FederationSession::advance_round(RoundObserver* observer) {
   const std::size_t round_index = round_;  // 0-based, what run_round receives
   ++round_;
+  last_phases_ = {};  // the round's evaluate() adds its eval share afterwards
+  const telemetry::StopWatch sample_watch;
   std::vector<std::size_t> sampled;
-  if (config_.arrival_rate > 0.0) {
+  if (event_driven_) {
     if (!event_cohort(sampled)) {
       ++result_.skipped_rounds;
       return false;
@@ -284,10 +336,38 @@ bool FederationSession::advance_round(RoundObserver* observer) {
       return false;
     }
   }
+  last_phases_.sample = sample_watch.seconds();
+  telemetry::record_span("sample", sample_watch);
   if (observer != nullptr) observer->on_round_begin(round_, sampled);
   const std::uint64_t up_before = algorithm_->ledger().total_up();
   const std::uint64_t down_before = algorithm_->ledger().total_down();
+  const telemetry::StopWatch round_watch;
   algorithm_->run_round(round_index, sampled);
+  // The aggregate phase is the round's wall time NOT spent inside the
+  // channel's three phases — i.e. the algorithm's server-side work (mask
+  // bookkeeping, aggregation rules). The span is emitted flush against the
+  // round's end; the interleaved slices are summed into one block.
+  if (round_watch.armed()) {
+    const Channel::PhaseSeconds& channel = algorithm_->channel().last_phase_seconds();
+    last_phases_.broadcast_encode = channel.encode;
+    last_phases_.transport_exchange = channel.exchange;
+    last_phases_.collect = channel.collect;
+    const double wall = round_watch.seconds();
+    last_phases_.aggregate =
+        std::max(0.0, wall - channel.encode - channel.exchange - channel.collect);
+    if (telemetry::enabled(telemetry::Level::kTrace)) {
+      const auto end = std::chrono::steady_clock::now();
+      const auto aggregate_span =
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(last_phases_.aggregate));
+      telemetry::record_span("aggregate", end - aggregate_span, end);
+    }
+    total_phases_.sample += last_phases_.sample;
+    total_phases_.broadcast_encode += last_phases_.broadcast_encode;
+    total_phases_.transport_exchange += last_phases_.transport_exchange;
+    total_phases_.collect += last_phases_.collect;
+    total_phases_.aggregate += last_phases_.aggregate;
+  }
   const double simulated = algorithm_->last_round_seconds();
   result_.simulated_seconds += simulated;
   if (observer != nullptr) {
@@ -303,7 +383,12 @@ bool FederationSession::advance_round(RoundObserver* observer) {
 }
 
 double FederationSession::evaluate(RoundObserver* observer) {
+  const telemetry::StopWatch eval_watch;
   const double avg = algorithm_->average_test_accuracy();
+  const double eval_seconds = eval_watch.seconds();
+  last_phases_.eval += eval_seconds;
+  total_phases_.eval += eval_seconds;
+  telemetry::record_span("eval", eval_watch);
   result_.curve.push_back({round_, avg});
   if (config_.rounds > 0) {
     SUBFEDAVG_LOG(kInfo) << algorithm_->name() << " round " << round_ << "/"
@@ -341,8 +426,13 @@ RunResult FederationSession::run_to_completion(RoundObserver* observer) {
 }
 
 void FederationSession::save(const std::string& path) {
-  SUBFEDAVG_CHECK(config_.arrival_rate == 0.0,
-                  "event-driven sessions (arrival_rate > 0) do not checkpoint yet");
+  SUBFEDAVG_CHECK(!event_driven_,
+                  "event-driven sessions (arrivals > 0 or arrival_trace) do not "
+                  "checkpoint yet");
+  static telemetry::Counter& writes = telemetry::counter("checkpoint.writes");
+  static telemetry::Timer& write_time = telemetry::timer("checkpoint.write_seconds");
+  writes.add();
+  const telemetry::ScopedSpan span("checkpoint_write", &write_time);
   std::vector<std::uint8_t> out;
   put_u32(out, kSessionMagic);
   put_u32(out, kSessionVersion);
@@ -374,8 +464,9 @@ void FederationSession::save(const std::string& path) {
 }
 
 void FederationSession::restore(const std::string& path) {
-  SUBFEDAVG_CHECK(config_.arrival_rate == 0.0,
-                  "event-driven sessions (arrival_rate > 0) do not checkpoint yet");
+  SUBFEDAVG_CHECK(!event_driven_,
+                  "event-driven sessions (arrivals > 0 or arrival_trace) do not "
+                  "checkpoint yet");
   const std::vector<std::uint8_t> bytes = read_file(path);
   Reader reader(bytes);
   SUBFEDAVG_CHECK(reader.u32() == kSessionMagic, "bad session checkpoint magic");

@@ -71,6 +71,28 @@ class FederationSession {
   /// Event-driven mode only: clients currently arrived and not departed
   /// (always 0 in the static-population default).
   std::size_t arrived_clients() const noexcept { return arrived_.size(); }
+  /// True when arrivals come over simulated time — from the exponential
+  /// process (arrivals > 0) or an arrival_trace replay file.
+  bool event_driven() const noexcept { return event_driven_; }
+
+  /// Host wall-clock phase breakdown of the round loop, in seconds — the six
+  /// phases the telemetry trace spans record. All zeros when telemetry is off
+  /// (the stopwatches never read the clock), so the accounting itself is
+  /// near-free when disabled. `aggregate` is the round's wall time not spent
+  /// in the channel's encode/exchange/collect phases — i.e. the algorithm's
+  /// server-side work.
+  struct RoundPhases {
+    double sample = 0.0;             ///< cohort sampling + dropout draws
+    double broadcast_encode = 0.0;   ///< channel broadcast-encode fan-out
+    double transport_exchange = 0.0; ///< transport round-trip (client compute)
+    double collect = 0.0;            ///< reply decode + round bookkeeping
+    double aggregate = 0.0;          ///< algorithm server-side aggregation
+    double eval = 0.0;               ///< full-federation evaluation passes
+  };
+  /// Most recent round (its evaluation included when one ran after it).
+  const RoundPhases& last_phases() const noexcept { return last_phases_; }
+  /// Accumulated across every round this session advanced.
+  const RoundPhases& total_phases() const noexcept { return total_phases_; }
   /// Round-loop accounting so far (curve, dropout casualties, simulated
   /// clock). up/down byte totals are only filled in by finish().
   const RunResult& progress() const noexcept { return result_; }
@@ -129,6 +151,9 @@ class FederationSession {
   /// i-th arriving client: an affine permutation of [0, N) — O(1) memory at
   /// any population size.
   std::size_t arrival_client(std::size_t i) const noexcept;
+  /// Total arrivals this session will ever issue: the population, capped at
+  /// the arrival-trace line count when replaying a trace.
+  std::size_t arrival_budget() const noexcept;
 
   // Owned storage when built from a spec (teardown order: algorithm first —
   // it holds a pointer into data_).
@@ -143,7 +168,9 @@ class FederationSession {
   Rng sample_rng_{0};
   Rng dropout_rng_{0};
 
-  // Event-driven population state (config_.arrival_rate > 0; all O(active)).
+  // Event-driven population state (event_driven_; all O(active)).
+  bool event_driven_ = false;     ///< arrivals > 0 or an arrival_trace replay
+  std::vector<double> trace_times_;  ///< arrival_trace timestamps (sorted)
   Rng arrival_rng_{0};            ///< exponential interarrival draws
   std::uint64_t perm_a_ = 1;      ///< affine arrival-order permutation σ(i) = a·i + b mod N
   std::uint64_t perm_b_ = 0;
@@ -158,6 +185,8 @@ class FederationSession {
 
   std::size_t round_ = 0;
   RunResult result_;
+  RoundPhases last_phases_;
+  RoundPhases total_phases_;
   /// Traffic carried over from restored checkpoints (the live ledger restarts
   /// at zero after a crash; these keep the served counters monotone).
   std::uint64_t base_up_bytes_ = 0;

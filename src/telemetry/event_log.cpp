@@ -1,0 +1,163 @@
+#include "telemetry/event_log.h"
+
+#include <sys/stat.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace subfed::telemetry {
+
+namespace {
+
+/// File size in bytes, or -1 when the file does not exist.
+long long file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<long long>(st.st_size);
+}
+
+/// Reads the first line of `path` and returns the "base" field of its
+/// log_open header, or -1 when the file is missing/empty/not a log.
+long long read_header_base(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return -1;
+  std::string line;
+  int c;
+  while ((c = std::fgetc(f)) != EOF && c != '\n') line.push_back(static_cast<char>(c));
+  std::fclose(f);
+  if (line.empty()) return -1;
+  try {
+    const JsonValue header = parse_json(line);
+    if (header.string_or("event", "") != "log_open") return -1;
+    const JsonValue* base = header.find("base");
+    if (base == nullptr || !base->is_number() || base->number < 0) return -1;
+    return static_cast<long long>(base->number);
+  } catch (const CheckError&) {
+    return -1;
+  }
+}
+
+/// Reads up to `max_bytes` from `path` starting at byte `offset`.
+std::string read_chunk(const std::string& path, std::uint64_t offset, std::size_t max_bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0) {
+    out.resize(max_bytes);
+    const std::size_t got = std::fread(out.data(), 1, max_bytes, f);
+    out.resize(got);
+  }
+  std::fclose(f);
+  return out;
+}
+
+/// Trims `chunk` to end on a line boundary so readers always receive whole
+/// JSONL records. A chunk with no newline at all is returned as-is — the
+/// record is longer than the page, and returning nothing would stall the
+/// cursor forever.
+void trim_to_lines(std::string* chunk) {
+  const std::size_t last = chunk->rfind('\n');
+  if (last != std::string::npos) chunk->resize(last + 1);
+}
+
+}  // namespace
+
+EventLog::EventLog(std::string path, std::uint64_t rotate_bytes)
+    : path_(std::move(path)), rotate_bytes_(rotate_bytes) {
+  SUBFEDAVG_CHECK(!path_.empty(), "event log path must be non-empty");
+  SUBFEDAVG_CHECK(rotate_bytes_ >= 512, "rotate_bytes too small: " << rotate_bytes_);
+  const long long existing_base = read_header_base(path_);
+  const long long existing_size = file_size(path_);
+  if (existing_base >= 0 && existing_size > 0) {
+    // Reopen after a restart (possibly kill-9): the header gives the logical
+    // offset of the file's first byte, the size gives everything since.
+    base_ = static_cast<std::uint64_t>(existing_base);
+    size_ = static_cast<std::uint64_t>(existing_size);
+    file_ = std::fopen(path_.c_str(), "ab");
+    SUBFEDAVG_CHECK(file_ != nullptr, "cannot open event log '" << path_ << "'");
+  } else {
+    open_fresh(0);
+  }
+}
+
+EventLog::~EventLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void EventLog::open_fresh(std::uint64_t base) {
+  base_ = base;
+  size_ = 0;
+  file_ = std::fopen(path_.c_str(), "wb");
+  SUBFEDAVG_CHECK(file_ != nullptr, "cannot open event log '" << path_ << "'");
+  std::string header = "{\"event\": \"log_open\", \"base\": ";
+  header += std::to_string(base_);
+  header += "}\n";
+  const std::size_t wrote = std::fwrite(header.data(), 1, header.size(), file_);
+  SUBFEDAVG_CHECK(wrote == header.size(), "short write to event log '" << path_ << "'");
+  std::fflush(file_);
+  size_ += header.size();
+}
+
+void EventLog::rotate() {
+  std::fclose(file_);
+  file_ = nullptr;
+  // Overwrites any older path.1 — the log keeps exactly two generations.
+  SUBFEDAVG_CHECK(std::rename(path_.c_str(), rotated_path().c_str()) == 0,
+                  "cannot rotate '" << path_ << "' to '" << rotated_path() << "'");
+  open_fresh(base_ + size_);
+}
+
+void EventLog::append(const std::string& line) {
+  SUBFEDAVG_CHECK(line.find('\n') == std::string::npos,
+                  "event log records must be single lines");
+  if (size_ + line.size() + 1 > rotate_bytes_) rotate();
+  const std::size_t wrote = std::fwrite(line.data(), 1, line.size(), file_);
+  SUBFEDAVG_CHECK(wrote == line.size(), "short write to event log '" << path_ << "'");
+  SUBFEDAVG_CHECK(std::fputc('\n', file_) == '\n',
+                  "short write to event log '" << path_ << "'");
+  std::fflush(file_);
+  size_ += line.size() + 1;
+}
+
+std::string EventLog::tail(std::uint64_t cursor, std::size_t max_bytes,
+                           std::uint64_t* next) const {
+  SUBFEDAVG_CHECK(next != nullptr, "tail needs a next-cursor out parameter");
+  SUBFEDAVG_CHECK(max_bytes > 0, "tail page size must be positive");
+  // Oldest retained logical byte: the rotated predecessor when it is still
+  // part of this log's logical stream, else the current file's base.
+  std::uint64_t oldest = base_;
+  std::uint64_t prev_base = 0;
+  bool have_prev = false;
+  if (base_ > 0) {
+    const long long pb = read_header_base(rotated_path());
+    if (pb >= 0) {
+      const long long psize = file_size(rotated_path());
+      if (psize > 0 && static_cast<std::uint64_t>(pb) + static_cast<std::uint64_t>(psize) == base_) {
+        prev_base = static_cast<std::uint64_t>(pb);
+        have_prev = true;
+        oldest = prev_base;
+      }
+    }
+  }
+  if (cursor < oldest) cursor = oldest;          // data rotated away under the reader
+  const std::uint64_t end = end_cursor();
+  if (cursor >= end) {                            // caught up (or stale over-run cursor)
+    *next = end;
+    return {};
+  }
+  std::string chunk;
+  if (have_prev && cursor < base_) {
+    chunk = read_chunk(rotated_path(), cursor - prev_base, max_bytes);
+  } else {
+    chunk = read_chunk(path_, cursor - base_, max_bytes);
+    if (chunk.size() > end - cursor) chunk.resize(end - cursor);
+  }
+  trim_to_lines(&chunk);
+  *next = cursor + chunk.size();
+  return chunk;
+}
+
+}  // namespace subfed::telemetry

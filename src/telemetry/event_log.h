@@ -1,0 +1,67 @@
+// Append-only JSONL event log with size-based rotation and durable cursors.
+//
+// The ServerLoop appends one JSON record per line each round; readers page
+// through the stream with logical byte offsets via tail() — the same cursor a
+// kMetricsTail client passes over the wire. Offsets are *logical*: cursor N
+// means "N bytes ever appended to this log", independent of rotation, so a
+// client that saved a cursor keeps its place across server restarts and log
+// rotations.
+//
+// Rotation keeps exactly two files: `path` (current) and `path.1` (previous).
+// Every file opens with a header record `{"event":"log_open","base":N}`
+// recording the logical offset of its first byte; reopening an existing log
+// (kill-9 restart) recovers the logical position from that header plus the
+// file size, so no sidecar state is needed.
+//
+// Single-owner by design: EventLog is NOT thread-safe. The ServerLoop owns it
+// and appends from its own thread only; tail() is called from the same
+// request-servicing thread.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace subfed::telemetry {
+
+class EventLog {
+ public:
+  /// Opens (or reopens) the log at `path`. Rotates to `path.1` whenever the
+  /// current file would exceed `rotate_bytes` after an append.
+  EventLog(std::string path, std::uint64_t rotate_bytes);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends one JSON record as a line (a trailing '\n' is added) and flushes.
+  /// `line` must be a single line of valid JSON without embedded newlines.
+  void append(const std::string& line);
+
+  /// Logical offset one past the last appended byte — the cursor a reader
+  /// that is fully caught up would hold.
+  std::uint64_t end_cursor() const noexcept { return base_ + size_; }
+
+  /// Reads up to `max_bytes` starting at logical offset `cursor`, trimmed to
+  /// whole lines, and stores the cursor for the next call in `*next`. A
+  /// cursor pointing at rotated-away data is clamped forward to the oldest
+  /// retained byte. Returns an empty string (with *next == cursor clamped)
+  /// when the reader is caught up.
+  std::string tail(std::uint64_t cursor, std::size_t max_bytes, std::uint64_t* next) const;
+
+  const std::string& path() const noexcept { return path_; }
+  /// Path of the rotated-out predecessor file ("<path>.1").
+  std::string rotated_path() const { return path_ + ".1"; }
+
+ private:
+  void open_fresh(std::uint64_t base);
+  void rotate();
+
+  std::string path_;
+  std::uint64_t rotate_bytes_ = 0;
+  std::FILE* file_ = nullptr;
+  std::uint64_t base_ = 0;  // logical offset of current file's first byte
+  std::uint64_t size_ = 0;  // bytes in the current file
+};
+
+}  // namespace subfed::telemetry

@@ -1,0 +1,169 @@
+// Process-wide telemetry: a registry of named counters, gauges, log2-bucketed
+// histograms, and timers with cheap atomic updates and a no-op fast path.
+//
+// The subsystem has three cost tiers, selected by the global Level:
+//
+//   off      — every instrument is a single relaxed atomic load and a branch;
+//              nothing is recorded. The disabled path changes no RNG stream,
+//              no payload byte, and no output file, so every bit-identity
+//              suite holds with telemetry compiled in.
+//   counters — instruments record (one relaxed fetch_add per event); phase
+//              stopwatches in the channel/session run. Overhead is pinned by
+//              bench_telemetry + bench/baselines/BENCH_telemetry.json.
+//   trace    — counters plus per-thread span buffers (telemetry/trace.h) for
+//              the Chrome trace_event exporter.
+//
+// The level comes from the SUBFEDAVG_TELEMETRY env var (off | counters |
+// trace) and can be overridden by the spec's `telemetry=` field or raised by
+// serve's --telemetry-log/--telemetry-trace flags. Call sites hold static
+// references (`static Counter& c = telemetry::counter("net.frames_sent")`) so
+// the name lookup happens once per call site, not per event.
+//
+// Instruments returned by the registry live for the process lifetime;
+// references never dangle. All operations are thread-safe.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace subfed::telemetry {
+
+enum class Level : int { kOff = 0, kCounters = 1, kTrace = 2 };
+
+/// Current process-wide level (relaxed read — safe from any thread).
+Level level() noexcept;
+void set_level(Level level) noexcept;
+/// Parses "off" | "counters" | "trace" (throws CheckError otherwise).
+Level parse_level(const std::string& name);
+const char* level_name(Level level) noexcept;
+
+/// True when the current level is at least `at_least` — the one-load fast
+/// path every instrument gates on.
+bool enabled(Level at_least) noexcept;
+
+// ---------------------------------------------------------------------------
+// Instruments
+
+/// Monotone event count. add() is a no-op below kCounters.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (enabled(Level::kCounters)) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins level (queue depths, connected workers, resident bytes).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (enabled(Level::kCounters)) value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    if (enabled(Level::kCounters)) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log2-bucketed magnitude distribution: sample n lands in bucket
+/// floor(log2(n)) (0 in bucket 0), so 64 buckets cover the full u64 range —
+/// the right shape for byte sizes and payload counts.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t sample) noexcept {
+    if (!enabled(Level::kCounters)) return;
+    const int bucket = sample == 0 ? 0 : 64 - std::countl_zero(sample) - 1;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Accumulated duration (nanosecond ticks) + event count.
+class Timer {
+ public:
+  void add_seconds(double seconds) noexcept {
+    if (!enabled(Level::kCounters) || seconds <= 0.0) return;
+    total_ns_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                        std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  double total_seconds() const noexcept {
+    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  void reset() noexcept {
+    total_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Reads the monotonic clock only when telemetry is on: seconds() is exactly
+/// 0.0 at kOff, so a disabled stopwatch costs one relaxed load and no clock
+/// syscalls. Phase accounting throughout the stack uses this.
+class StopWatch {
+ public:
+  StopWatch() : armed_(enabled(Level::kCounters)) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  bool armed() const noexcept { return armed_; }
+  std::chrono::steady_clock::time_point start() const noexcept { return start_; }
+  double seconds() const noexcept {
+    if (!armed_) return 0.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+
+/// Looks up (creating on first use) the named instrument. References stay
+/// valid for the process lifetime; hold them in function-local statics.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+Timer& timer(const std::string& name);
+
+/// Snapshot of every registered instrument as one JSON object — counters and
+/// gauges as numbers, timers as {seconds, count}, histograms as {count, sum,
+/// buckets: {"2^k": n, ...}} — parseable by util/json.h. The kMetrics request
+/// serves exactly this.
+std::string metrics_json();
+
+/// Zeroes every registered instrument (tests and benches; the registry keeps
+/// its entries, so held references stay valid).
+void reset_all();
+
+}  // namespace subfed::telemetry

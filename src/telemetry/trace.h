@@ -1,0 +1,78 @@
+// Scoped trace spans on the monotonic clock, buffered per thread.
+//
+// At Level::kTrace, record_span / ScopedSpan append {name, start, dur, tid}
+// records to a thread-local buffer; the owner (ServerLoop, a bench, a test)
+// drains every thread's buffer with drain_spans() and exports the timeline as
+// Chrome trace_event JSON — open chrome://tracing (or https://ui.perfetto.dev)
+// and load the file to see a round's phase breakdown:
+//
+//   sample → broadcast_encode → transport_exchange → collect → aggregate → eval
+//
+// plus codec, framed-I/O, client-store, and checkpoint spans. Below kTrace
+// everything here is a no-op; spans never touch RNG streams or payload bytes,
+// so enabling them cannot change any federation result.
+//
+// Buffers are owned jointly by the thread and the global registry, so a
+// worker thread that exits before the drain loses nothing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace subfed::telemetry {
+
+/// One completed span. Times are microseconds on the process-local monotonic
+/// epoch (first telemetry use) — exactly what trace_event's "ts"/"dur" want.
+struct Span {
+  std::string name;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint64_t tid = 0;
+};
+
+/// Microseconds since the process-local monotonic epoch.
+std::uint64_t trace_now_us() noexcept;
+
+/// Records a completed span (no-op below kTrace).
+void record_span(const char* name, std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point end);
+/// Convenience: records [watch.start(), now] when the watch was armed and the
+/// level is kTrace. Pairs with the StopWatch phase accounting — one clock
+/// read serves both the Timer and the span.
+void record_span(const char* name, const StopWatch& watch);
+
+/// RAII span: times construction → destruction. When `timer` is non-null the
+/// duration also accumulates there at kCounters and above.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Timer* timer = nullptr)
+      : name_(name), timer_(timer) {
+    if (enabled(Level::kCounters)) start_ = std::chrono::steady_clock::now();
+    else start_ = {};
+  }
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Collects and clears every thread's span buffer (any thread may call).
+std::vector<Span> drain_spans();
+
+/// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds) for
+/// chrome://tracing or Perfetto.
+std::string chrome_trace_json(const std::vector<Span>& spans);
+/// Writes chrome_trace_json to `path` (overwrites). Throws CheckError on I/O
+/// failure.
+void write_chrome_trace(const std::string& path, const std::vector<Span>& spans);
+
+}  // namespace subfed::telemetry

@@ -451,5 +451,153 @@ TEST(ServerLoop, ServesStatusAndModelDuringLiveRoundsAndResumesAfterRestart) {
   std::filesystem::remove(checkpoint);
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry over the request API: kMetrics, kMetricsTail, conditional kStatus
+
+TEST(ServerLoop, ServesMetricsAndEventLogTailAcrossRestart) {
+  const std::string checkpoint = fresh_path("telemetry.session");
+  const std::string log_path = fresh_path("telemetry.jsonl");
+  std::filesystem::remove(log_path + ".1");
+
+  std::uint64_t first_life_cursor = 0;
+  std::size_t stopped_at = 0;
+  {
+    // --- first life: poll the new endpoints while rounds tick -------------
+    ServeOptions options;
+    options.spec = serve_spec(checkpoint);
+    options.telemetry_log = log_path;
+    auto loop = std::make_unique<ServerLoop>(options);
+    ASSERT_NE(loop->event_log(), nullptr);
+    std::vector<std::thread> fleet = spawn_fleet(loop->worker_endpoint(), 2);
+    std::thread server;
+    Teardown teardown{loop, server, fleet};
+    const std::string requests_at = loop->request_endpoint();
+    server = std::thread([&] { loop->run(); });
+
+    for (;;) {
+      const net::NetFrame reply = request(requests_at, net::FrameKind::kStatus);
+      ASSERT_EQ(reply.kind, net::FrameKind::kReply);
+      if (parse_json(text_of(reply)).number_or("round", 0.0) >= 2.0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+
+    // kMetrics: the registry snapshot parses and reports the raised level
+    // (--telemetry-log turned counters on for this process).
+    const net::NetFrame metrics = request(requests_at, net::FrameKind::kMetrics);
+    ASSERT_EQ(metrics.kind, net::FrameKind::kReply);
+    const JsonValue snapshot = parse_json(text_of(metrics));
+    ASSERT_TRUE(snapshot.is_object());
+    EXPECT_EQ(snapshot.string_or("telemetry_level", ""), "counters");
+
+    // Conditional kStatus: replies are stamped; echoing the stamp back with
+    // the conditional bit earns an empty not-modified reply while the round
+    // holds, or a newer-stamped payload once it advanced (rounds tick live).
+    const net::NetFrame status = request(requests_at, net::FrameKind::kStatus);
+    ASSERT_EQ(status.kind, net::FrameKind::kReply);
+    EXPECT_GE(status.tag, 1u);
+    const net::NetFrame cond =
+        request_tagged(requests_at, net::FrameKind::kStatus,
+                       ServerLoop::kModelConditionalTag | status.tag);
+    ASSERT_EQ(cond.kind, net::FrameKind::kReply);
+    if (cond.payload.empty()) {
+      EXPECT_EQ(cond.tag, status.tag);
+    } else {
+      EXPECT_GT(cond.tag, status.tag);
+      EXPECT_NO_THROW(parse_json(text_of(cond)));
+    }
+
+    // kMetricsTail pages the JSONL stream from 0: every line is valid JSON,
+    // the lifecycle start record and at least one round record (with the
+    // six-phase breakdown) are present, and the cursor lands at the end.
+    std::string tailed;
+    std::uint64_t cursor = 0;
+    for (;;) {
+      const std::string text = std::to_string(cursor);
+      const net::NetFrame page = request_tagged(
+          requests_at, net::FrameKind::kMetricsTail, 0,
+          std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+      ASSERT_EQ(page.kind, net::FrameKind::kReply);
+      if (page.payload.empty()) {
+        EXPECT_GE(page.tag, cursor);
+        cursor = page.tag;
+        break;
+      }
+      tailed += text_of(page);
+      cursor = page.tag;
+    }
+    first_life_cursor = cursor;
+    EXPECT_NE(tailed.find("\"event\": \"start\""), std::string::npos);
+    EXPECT_NE(tailed.find("\"event\": \"round\""), std::string::npos);
+    EXPECT_NE(tailed.find("\"phases\": {\"sample\": "), std::string::npos);
+    std::size_t start = 0;
+    while (start < tailed.size()) {
+      const std::size_t end = tailed.find('\n', start);
+      ASSERT_NE(end, std::string::npos) << "tail chunks must be whole lines";
+      EXPECT_NO_THROW(parse_json(tailed.substr(start, end - start)));
+      start = end + 1;
+    }
+
+    const net::NetFrame bye = request(requests_at, net::FrameKind::kShutdown);
+    ASSERT_EQ(bye.kind, net::FrameKind::kReply);
+    server.join();
+    stopped_at = loop->session().round();
+  }
+
+  {
+    // --- second life: the log reopens and the full history replays --------
+    ServeOptions options;
+    options.spec = serve_spec(checkpoint);
+    options.max_rounds = 2;
+    options.telemetry_log = log_path;
+    auto loop = std::make_unique<ServerLoop>(options);
+    EXPECT_TRUE(loop->resumed());
+    std::vector<std::thread> fleet = spawn_fleet(loop->worker_endpoint(), 2);
+    std::thread server;  // unused: this life runs on the main thread
+    Teardown teardown{loop, server, fleet};
+    loop->run();
+
+    // A reader from cursor 0 replays BOTH lives: the first life's start and
+    // rounds survive the restart, the resume marker separates the lives, and
+    // the second life's rounds continue the counter.
+    telemetry::EventLog* log = loop->event_log();
+    ASSERT_NE(log, nullptr);
+    std::string all;
+    std::uint64_t cursor = 0;
+    while (cursor < log->end_cursor()) {
+      std::uint64_t next = cursor;
+      const std::string chunk = log->tail(cursor, 1 << 20, &next);
+      ASSERT_GT(next, cursor);
+      all += chunk;
+      cursor = next;
+    }
+    EXPECT_NE(all.find("\"event\": \"start\""), std::string::npos);
+    EXPECT_NE(all.find("\"event\": \"resume\""), std::string::npos);
+    EXPECT_NE(all.find("\"event\": \"stop\""), std::string::npos);
+    EXPECT_NE(all.find("\"event\": \"round\", \"round\": " +
+                       std::to_string(stopped_at + 2)),
+              std::string::npos)
+        << "second-life rounds must continue the counter";
+
+    // And the cursor an operator saved before the restart yields only newer
+    // records: the resume marker and the second life, never the old start.
+    std::uint64_t next = 0;
+    std::string newer;
+    cursor = first_life_cursor;
+    while (cursor < log->end_cursor()) {
+      const std::string chunk = log->tail(cursor, 1 << 20, &next);
+      ASSERT_GT(next, cursor);
+      newer += chunk;
+      cursor = next;
+    }
+    EXPECT_EQ(newer.find("\"event\": \"start\""), std::string::npos);
+    EXPECT_NE(newer.find("\"event\": \"resume\""), std::string::npos);
+  }
+
+  std::filesystem::remove(checkpoint);
+  std::filesystem::remove(log_path);
+  std::filesystem::remove(log_path + ".1");
+}
+
 }  // namespace
 }  // namespace subfed

@@ -1,16 +1,23 @@
 // Operator CLI for the resident federation server (tools/serve.cpp): the
-// curl-equivalent for the kGetModel/kStatus/kCheckpointNow/kShutdown request
-// API — one framed request per invocation, reply to stdout (or --out).
+// curl-equivalent for the kGetModel/kStatus/kMetrics/kMetricsTail/
+// kCheckpointNow/kShutdown request API — one framed request per invocation
+// (tail/--watch loop on one connection), reply to stdout (or --out).
 //
-//   fedctl --connect host:port status                 # metrics JSON
+//   fedctl --connect host:port status                 # run status JSON
+//   fedctl --connect host:port status --watch 2       # conditional 2 s poll
+//   fedctl --connect host:port metrics                # telemetry registry JSON
+//   fedctl --connect host:port tail                   # JSONL event log from 0
+//   fedctl --connect host:port tail --cursor N --follow
 //   fedctl --connect host:port model                  # global model sections
 //   fedctl --connect host:port model --client 3       # client 3's personalized state
 //   fedctl --connect host:port checkpoint             # snapshot now
 //   fedctl --connect host:port shutdown               # checkpoint + clean exit
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/socket.h"
@@ -19,17 +26,27 @@
 
 namespace {
 
+/// Mirror of ServerLoop::kModelConditionalTag (serve/server.h): a request tag
+/// with this bit set carries the stamp of the reply the client already holds.
+constexpr std::uint64_t kConditionalTag = 1ULL << 63;
+
 void print_usage() {
   std::cout
       << "usage: fedctl --connect host:port <command> [options]\n\n"
          "commands:\n"
          "  status                live run metrics as JSON\n"
+         "  metrics               telemetry instrument registry as JSON\n"
+         "  tail                  page through the server's JSONL event log\n"
          "  model                 current global model (binary sections)\n"
          "  checkpoint            snapshot the session now\n"
          "  shutdown              checkpoint and stop the server\n\n"
          "options:\n"
          "  --connect host:port   server request address (required)\n"
          "  --client K            model: client K's personalized state instead\n"
+         "  --watch SECS          status: poll every SECS seconds, printing only\n"
+         "                        when the round advances (conditional requests)\n"
+         "  --cursor N            tail: start at logical offset N [0]\n"
+         "  --follow              tail: keep polling for new records when caught up\n"
          "  --out path            write the reply payload to a file instead of stdout\n"
          "  --timeout-ms MS       per-request deadline [10000]\n"
          "  --help                print this reference\n";
@@ -43,6 +60,9 @@ int main(int argc, char** argv) {
   std::string client;
   std::string out_path;
   long long timeout_ms = 10000;
+  long long watch_secs = -1;
+  std::uint64_t cursor = 0;
+  bool follow = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     try {
@@ -53,6 +73,12 @@ int main(int argc, char** argv) {
         connect = argv[++i];
       } else if (arg == "--client" && i + 1 < argc) {
         client = std::to_string(subfed::parse_uint64_strict("client", argv[++i]));
+      } else if (arg == "--watch" && i + 1 < argc) {
+        watch_secs = static_cast<long long>(subfed::parse_uint64_strict("watch", argv[++i]));
+      } else if (arg == "--cursor" && i + 1 < argc) {
+        cursor = subfed::parse_uint64_strict("cursor", argv[++i]);
+      } else if (arg == "--follow") {
+        follow = true;
       } else if (arg == "--out" && i + 1 < argc) {
         out_path = argv[++i];
       } else if (arg == "--timeout-ms" && i + 1 < argc) {
@@ -78,6 +104,10 @@ int main(int argc, char** argv) {
   std::vector<std::uint8_t> payload;
   if (command == "status") {
     kind = subfed::net::FrameKind::kStatus;
+  } else if (command == "metrics") {
+    kind = subfed::net::FrameKind::kMetrics;
+  } else if (command == "tail") {
+    kind = subfed::net::FrameKind::kMetricsTail;
   } else if (command == "model") {
     kind = subfed::net::FrameKind::kGetModel;
     payload.assign(client.begin(), client.end());
@@ -97,18 +127,68 @@ int main(int argc, char** argv) {
     subfed::net::TcpConn conn =
         subfed::net::TcpConn::connect(subfed::net::parse_host_port(connect), deadline());
     SUBFEDAVG_CHECK(conn.valid(), "cannot reach server at " << connect);
-    SUBFEDAVG_CHECK(subfed::net::send_frame(conn, kind, 0, payload, deadline()),
-                    "request send failed (server gone?)");
-    subfed::net::NetFrame reply;
-    SUBFEDAVG_CHECK(subfed::net::recv_frame(conn, &reply, deadline()),
-                    "no reply within " << timeout_ms << " ms");
-    if (reply.kind == subfed::net::FrameKind::kError) {
-      std::cerr << "fedctl: server error: "
-                << std::string(reply.payload.begin(), reply.payload.end()) << "\n";
-      return 1;
+
+    const auto request = [&](std::uint64_t tag, const std::vector<std::uint8_t>& body,
+                             subfed::net::NetFrame* reply) {
+      SUBFEDAVG_CHECK(subfed::net::send_frame(conn, kind, tag, body, deadline()),
+                      "request send failed (server gone?)");
+      SUBFEDAVG_CHECK(subfed::net::recv_frame(conn, reply, deadline()),
+                      "no reply within " << timeout_ms << " ms");
+      if (reply->kind == subfed::net::FrameKind::kError) {
+        std::cerr << "fedctl: server error: "
+                  << std::string(reply->payload.begin(), reply->payload.end()) << "\n";
+        return false;
+      }
+      SUBFEDAVG_CHECK(reply->kind == subfed::net::FrameKind::kReply,
+                      "unexpected reply kind " << static_cast<int>(reply->kind));
+      return true;
+    };
+
+    if (command == "tail") {
+      // Cursor paging on one connection: each reply's tag is the next logical
+      // offset. An empty chunk means caught up — stop, or keep polling under
+      // --follow. The final cursor goes to stderr so scripts can save it.
+      while (true) {
+        const std::string text = std::to_string(cursor);
+        subfed::net::NetFrame reply;
+        if (!request(0, std::vector<std::uint8_t>(text.begin(), text.end()), &reply)) {
+          return 1;
+        }
+        if (!reply.payload.empty()) {
+          std::cout.write(reinterpret_cast<const char*>(reply.payload.data()),
+                          static_cast<std::streamsize>(reply.payload.size()));
+          std::cout.flush();
+          cursor = reply.tag;
+          continue;
+        }
+        cursor = reply.tag;
+        if (!follow) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      }
+      std::cerr << "fedctl: tail cursor " << cursor << "\n";
+      return 0;
     }
-    SUBFEDAVG_CHECK(reply.kind == subfed::net::FrameKind::kReply,
-                    "unexpected reply kind " << static_cast<int>(reply.kind));
+
+    if (command == "status" && watch_secs >= 0) {
+      // Conditional poll: send back the stamp of the last reply we printed;
+      // an unchanged round earns an empty not-modified reply and no output.
+      std::uint64_t stamp = 0;
+      while (true) {
+        const std::uint64_t tag = stamp == 0 ? 0 : (kConditionalTag | stamp);
+        subfed::net::NetFrame reply;
+        if (!request(tag, {}, &reply)) return 1;
+        if (!reply.payload.empty()) {
+          std::cout.write(reinterpret_cast<const char*>(reply.payload.data()),
+                          static_cast<std::streamsize>(reply.payload.size()));
+          std::cout.flush();
+        }
+        stamp = reply.tag;
+        std::this_thread::sleep_for(std::chrono::seconds(watch_secs));
+      }
+    }
+
+    subfed::net::NetFrame reply;
+    if (!request(0, payload, &reply)) return 1;
     if (!out_path.empty()) {
       std::FILE* f = std::fopen(out_path.c_str(), "wb");
       SUBFEDAVG_CHECK(f != nullptr, "cannot open " << out_path << " for writing");

@@ -45,7 +45,14 @@ void print_usage() {
          "federation from the latest checkpoint.\n\n"
          "serve-specific flags:\n"
          "  --max-rounds N        exit after N rounds this process; 0 = run forever [0]\n"
-         "  --idle-wait-ms MS     poll granularity while waiting for workers [200]\n\n"
+         "  --idle-wait-ms MS     poll granularity while waiting for workers [200]\n"
+         "  --telemetry-log PATH  append-only JSONL round log (served by fedctl tail);\n"
+         "                        raises telemetry to at least counters\n"
+         "  --telemetry-log-rotate BYTES\n"
+         "                        rotate the JSONL log past this size [8388608]\n"
+         "  --telemetry-trace PATH\n"
+         "                        Chrome trace_event JSON written on exit;\n"
+         "                        raises telemetry to trace\n\n"
          "resident-mode defaults (override with the ordinary spec flags):\n"
          "  serve=1 transport=tcp aggregation=buffered checkpoint_every=1\n"
          "  status_listen=127.0.0.1:0 listen=127.0.0.1:0 min_participants=0\n"
@@ -76,6 +83,13 @@ int main(int argc, char** argv) {
       } else if (flag == "--idle-wait-ms" && i + 1 < argc) {
         options.idle_wait_ms =
             static_cast<long long>(subfed::parse_uint64_strict("idle-wait-ms", argv[++i]));
+      } else if (flag == "--telemetry-log" && i + 1 < argc) {
+        options.telemetry_log = argv[++i];
+      } else if (flag == "--telemetry-log-rotate" && i + 1 < argc) {
+        options.telemetry_log_rotate =
+            subfed::parse_uint64_strict("telemetry-log-rotate", argv[++i]);
+      } else if (flag == "--telemetry-trace" && i + 1 < argc) {
+        options.telemetry_trace = argv[++i];
       } else {
         spec_argv.push_back(argv[i]);
       }

@@ -5,7 +5,7 @@
 //
 // The backend GEMM matrix is the perf-trajectory record for the kernel layer;
 // CI runs it as
-//   ./bench_micro --benchmark_filter='GemmBackend|ConvForward' \
+//   ./bench_micro --benchmark_filter='GemmBackend|GemmDevice|ConvForward' \
 //       --benchmark_out=BENCH_gemm.json --benchmark_out_format=json
 // and uploads BENCH_gemm.json, so regressions show up run over run.
 #include <benchmark/benchmark.h>
@@ -15,6 +15,7 @@
 #include "nn/model_zoo.h"
 #include "pruning/unstructured.h"
 #include "tensor/backend.h"
+#include "tensor/device.h"
 #include "util/rng.h"
 
 namespace subfed {
@@ -78,6 +79,27 @@ BENCHMARK(BM_GemmBackend)
     ->Args({256, 1, 10})
     ->Args({256, 2, 10});
 
+/// args: {size, dtype index (0 = fp32, 1 = fp16)} — GEMM routed through the
+/// Device API. After the first iteration every call is a plan-cache hit, so
+/// against BM_GemmBackend (a direct, pre-planned kernel call) this row prices
+/// the cache lookup; the fp16 rows price the half-precision staging on top.
+void BM_GemmDevice(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Device& dev = get_device(
+      "blocked", state.range(1) == 1 ? ComputeDType::kFp16 : ComputeDType::kFp32);
+  Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& x : a) x = static_cast<float>(rng.normal());
+  for (auto& x : b) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    dev.gemm(GemmOp::kNN, a.data(), b.data(), c.data(), n, n, n, /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(dev.name());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmDevice)->Args({128, 0})->Args({128, 1})->Args({256, 0})->Args({256, 1});
+
 void BM_LeNetForward(benchmark::State& state) {
   Rng rng(2);
   Model model = ModelSpec::lenet5(10).build_init(rng);
@@ -123,6 +145,26 @@ BENCHMARK(BM_ConvForwardBackend)
     ->Args({2, 100})
     ->Args({1, 15})
     ->Args({2, 15});
+
+/// args: {fused} — whole-model eval forward (blocked backend) with the
+/// conv→bn→relu epilogue fused into the GEMM store-back vs the layer-by-layer
+/// chain. The two are bit-identical; the fused row should never be slower.
+void BM_ConvForwardFused(benchmark::State& state) {
+  Rng rng(2);
+  ModelSpec spec = ModelSpec::lenet5(10);
+  spec.backend = "blocked";
+  Model model = spec.build_init(rng);
+  model.set_fusion(state.range(0) != 0);
+  Tensor batch({10, 3, 32, 32});
+  batch.fill_normal(rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor out = model.forward(batch, /*train=*/false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(state.range(0) != 0 ? "fused" : "unfused");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10);
+}
+BENCHMARK(BM_ConvForwardFused)->Arg(0)->Arg(1);
 
 void BM_MagnitudeMaskDerivation(benchmark::State& state) {
   Rng rng(3);

@@ -13,6 +13,7 @@
 #include "serve/session.h"
 #include "telemetry/telemetry.h"
 #include "tensor/backend.h"
+#include "tensor/device.h"
 #include "util/check.h"
 #include "util/parse.h"
 
@@ -57,6 +58,7 @@ const Field kFields[] = {
     SUBFED_UINT_FIELD(test_per_class, "test pool size per class"),
     SUBFED_STRING_FIELD(model, "auto | cnn5 | lenet5 | cnn_deep"),
     SUBFED_STRING_FIELD(backend, "math backend: auto | naive | blocked | sparse"),
+    SUBFED_STRING_FIELD(compute, "GEMM compute dtype: auto | fp32 | fp16"),
     SUBFED_UINT_FIELD(math_threads, "GEMM row-panel cap; 0 = process setting"),
     SUBFED_STRING_FIELD(transport, "channel transport: memory | loopback | subprocess | tcp"),
     SUBFED_STRING_FIELD(codec, "uplink codec: sparse | delta"),
@@ -367,11 +369,17 @@ ModelSpec ExperimentSpec::model_spec() const {
 }
 
 FlContext ExperimentSpec::make_context(const FederatedData& data) const {
-  SUBFEDAVG_CHECK(backend == "auto" || has_math_backend(backend),
-                  "unknown backend '" << backend << "' (auto | naive | blocked | sparse)");
-  // "auto" resolves SUBFEDAVG_BACKEND lazily — force it here so a bad env
-  // value fails before training instead of deep inside the first forward.
-  if (backend == "auto") default_math_backend();
+  if (backend != "auto" && !has_device(backend)) {
+    std::string known = "auto";
+    for (const std::string& name : list_devices()) known += " | " + name;
+    SUBFEDAVG_CHECK(false, "unknown backend '" << backend << "' (" << known << ")");
+  }
+  SUBFEDAVG_CHECK(compute == "auto" || compute == "fp32" || compute == "fp16",
+                  "unknown compute '" << compute << "' (auto | fp32 | fp16)");
+  // "auto" resolves SUBFEDAVG_BACKEND/SUBFEDAVG_COMPUTE lazily — force it
+  // here so a bad env value fails before training instead of deep inside the
+  // first forward.
+  if (backend == "auto" || compute == "auto") default_device();
   FlContext ctx;
   ctx.data = &data;
   ctx.spec = model_spec();
@@ -379,6 +387,7 @@ FlContext ExperimentSpec::make_context(const FederatedData& data) const {
   ctx.sgd = {static_cast<float>(lr), static_cast<float>(momentum), /*weight_decay=*/0.0f};
   ctx.seed = seed;
   ctx.backend = backend;
+  ctx.compute = compute;
   ctx.math_threads = math_threads;
   ctx.corrupt_fraction = corrupt_fraction;
   ctx.corrupt_noise = corrupt_noise;

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <cstring>
 
-#include "tensor/backend.h"
+#include "tensor/device.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -29,6 +29,15 @@ void Conv2d::init(Rng& rng) {
 }
 
 Tensor Conv2d::forward(const Tensor& input, bool train) {
+  return forward_impl(input, train, nullptr);
+}
+
+Tensor Conv2d::forward_fused(const Tensor& input, GemmEpilogue epilogue) {
+  epilogue.bias = bias_.value.data();
+  return forward_impl(input, /*train=*/false, &epilogue);
+}
+
+Tensor Conv2d::forward_impl(const Tensor& input, bool train, const GemmEpilogue* epilogue) {
   SUBFEDAVG_CHECK(input.shape().rank() == 4, "conv input must be NCHW, got "
                                                  << input.shape().to_string());
   const std::size_t batch = input.shape()[0];
@@ -43,27 +52,33 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   cached_input_ = train ? input : Tensor();
   Tensor output({batch, out_channels_, oh, ow});
 
-  const MathBackend& backend = math();
+  const Device& dev = device();
   const std::size_t cols = batch * spatial;  // one column per output pixel of the batch
   const std::size_t in_plane = in_channels_ * g.in_h * g.in_w;
-  ws_.columns.resize(g.patch_size() * cols);
-  ws_.gemm_out.resize(out_channels_ * cols);
+  if (columns_.size() < g.patch_size() * cols) {
+    columns_.reset();
+    columns_ = dev.lease(g.patch_size() * cols);
+  }
+  WorkspaceLease gemm_out = dev.lease(out_channels_ * cols);
 
   // Unroll every sample into one wide patch matrix, then convolve the whole
   // batch with a single GEMM: out[oc, n·spatial] = W[oc, ckk] · cols[ckk, n·spatial].
+  // With an epilogue, bias/bn/activation are applied per element at GEMM
+  // store-back (row = output channel), so the regroup below is a pure copy.
   for (std::size_t n = 0; n < batch; ++n) {
-    backend.im2col(input.data() + n * in_plane, g, ws_.columns.data(), cols, n * spatial);
+    dev.im2col(input.data() + n * in_plane, g, columns_.data(), cols, n * spatial);
   }
-  backend.gemm_nn(weight_.value.data(), ws_.columns.data(), ws_.gemm_out.data(),
-                  out_channels_, g.patch_size(), cols, /*accumulate=*/false);
+  dev.gemm(GemmOp::kNN, weight_.value.data(), columns_.data(), gemm_out.data(),
+           out_channels_, g.patch_size(), cols, /*accumulate=*/false, WeightSide::kA,
+           weight_.uid, weight_.mask_epoch, epilogue);
 
-  // Regroup [oc, N·spatial] → [N, oc, spatial] and add the bias.
+  // Regroup [oc, N·spatial] → [N, oc, spatial] and (unfused only) add the bias.
   for (std::size_t n = 0; n < batch; ++n) {
     float* out_n = output.data() + n * out_channels_ * spatial;
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const float* src = ws_.gemm_out.data() + oc * cols + n * spatial;
+      const float* src = gemm_out.data() + oc * cols + n * spatial;
       float* dst = out_n + oc * spatial;
-      const float b = bias_.value[oc];
+      const float b = epilogue == nullptr ? bias_.value[oc] : 0.0f;
       if (b == 0.0f) {
         std::memcpy(dst, src, spatial * sizeof(float));
       } else {
@@ -85,45 +100,44 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
                   "grad_output shape " << grad_output.shape().to_string());
 
   Tensor grad_input(input.shape());
-  const MathBackend& backend = math();
+  const Device& dev = device();
   const std::size_t cols = batch * spatial;
   const std::size_t in_plane = in_channels_ * g.in_h * g.in_w;
-  ws_.columns.resize(g.patch_size() * cols);
-  ws_.grad_columns.resize(g.patch_size() * cols);
-  ws_.grad_packed.resize(out_channels_ * cols);
+  WorkspaceLease grad_columns = dev.lease(g.patch_size() * cols);
+  WorkspaceLease grad_packed = dev.lease(out_channels_ * cols);
 
   // Regroup dY [N, oc, spatial] → [oc, N·spatial] so both weight and input
-  // gradients are single whole-batch GEMMs. ws_.columns still holds this
+  // gradients are single whole-batch GEMMs. columns_ still holds this
   // batch's patches: only the train-mode forward that set cached_input_
   // fills them, and eval forwards clear cached_input_ (failing the check
   // above), so backward never needs to re-unroll.
   for (std::size_t n = 0; n < batch; ++n) {
     const float* go_n = grad_output.data() + n * out_channels_ * spatial;
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      std::memcpy(ws_.grad_packed.data() + oc * cols + n * spatial, go_n + oc * spatial,
+      std::memcpy(grad_packed.data() + oc * cols + n * spatial, go_n + oc * spatial,
                   spatial * sizeof(float));
     }
   }
 
   // dW[oc, ckk] += dY[oc, N·spatial] · colsᵀ — accumulated straight into the
-  // gradient, no per-sample temporary.
-  backend.gemm_nt(ws_.grad_packed.data(), ws_.columns.data(), weight_.grad.data(),
-                  out_channels_, cols, g.patch_size(), /*accumulate=*/true);
+  // gradient, no per-sample temporary. Neither operand is a weight.
+  dev.gemm(GemmOp::kNT, grad_packed.data(), columns_.data(), weight_.grad.data(),
+           out_channels_, cols, g.patch_size(), /*accumulate=*/true);
 
   // db[oc] += sum over the batch's spatial positions of dY.
   for (std::size_t oc = 0; oc < out_channels_; ++oc) {
     float acc = 0.0f;
-    const float* row = ws_.grad_packed.data() + oc * cols;
+    const float* row = grad_packed.data() + oc * cols;
     for (std::size_t s = 0; s < cols; ++s) acc += row[s];
     bias_.grad[oc] += acc;
   }
 
   // dCols[ckk, N·spatial] = Wᵀ[ckk, oc] · dY[oc, N·spatial]; scatter per sample.
-  backend.gemm_tn(weight_.value.data(), ws_.grad_packed.data(), ws_.grad_columns.data(),
-                  g.patch_size(), out_channels_, cols, /*accumulate=*/false);
+  dev.gemm(GemmOp::kTN, weight_.value.data(), grad_packed.data(), grad_columns.data(),
+           g.patch_size(), out_channels_, cols, /*accumulate=*/false, WeightSide::kA,
+           weight_.uid, weight_.mask_epoch);
   for (std::size_t n = 0; n < batch; ++n) {
-    backend.col2im(ws_.grad_columns.data(), g, grad_input.data() + n * in_plane, cols,
-                   n * spatial);
+    dev.col2im(grad_columns.data(), g, grad_input.data() + n * in_plane, cols, n * spatial);
   }
   return grad_input;
 }

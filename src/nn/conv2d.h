@@ -1,11 +1,12 @@
 // 2-D convolution (square kernel) via batched im2col + GEMM: the whole batch
 // is unrolled into one [C·K·K, N·outH·outW] patch matrix so each pass is a
-// single large GEMM on the layer's MathBackend instead of a per-sample loop.
+// single large GEMM on the layer's Device instead of a per-sample loop.
 #pragma once
 
 #include <vector>
 
 #include "nn/layer.h"
+#include "tensor/device.h"
 #include "tensor/gemm.h"
 
 namespace subfed {
@@ -22,6 +23,11 @@ class Conv2d final : public Layer {
   void init(Rng& rng);
 
   Tensor forward(const Tensor& input, bool train) override;
+  /// Eval-only fused conv→bn→activation forward: the epilogue's per-channel
+  /// terms are applied inside the GEMM store-back (this layer's bias is added
+  /// automatically). Driven by Model's fused eval forward; never caches the
+  /// input, so a subsequent backward fails loudly like any eval forward.
+  Tensor forward_fused(const Tensor& input, GemmEpilogue epilogue);
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string kind() const override { return "Conv2d"; }
@@ -36,25 +42,19 @@ class Conv2d final : public Layer {
   Parameter& bias() noexcept { return bias_; }
 
  private:
-  /// Scratch buffers sized on first use and reused across every subsequent
-  /// batch/epoch — resize() only grows capacity, so steady-state training does
-  /// no per-call allocation in the conv hot path.
-  struct Workspace {
-    /// im2col patches [patch × N·spatial]. Invariant: whenever cached_input_
-    /// is non-empty (only train-mode forwards set it, and eval forwards clear
-    /// it), `columns` holds exactly that input's patches — so backward never
-    /// recomputes the im2col.
-    std::vector<float> columns;
-    std::vector<float> gemm_out;      ///< forward GEMM result [oc × N·spatial]
-    std::vector<float> grad_columns;  ///< backward column grads [patch × N·spatial]
-    std::vector<float> grad_packed;   ///< dY regrouped as [oc × N·spatial]
-  };
+  Tensor forward_impl(const Tensor& input, bool train, const GemmEpilogue* epilogue);
 
   std::size_t in_channels_, out_channels_, kernel_, stride_, pad_;
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;  // [N, C, H, W] saved by forward for backward
-  Workspace ws_;
+  /// im2col patches [patch × N·spatial], leased from the layer's device and
+  /// held across calls. Invariant: whenever cached_input_ is non-empty (only
+  /// train-mode forwards set it, and eval forwards clear it), `columns_`
+  /// holds exactly that input's patches — so backward never recomputes the
+  /// im2col. Other scratch (forward GEMM output, backward column/packed
+  /// grads) is leased per call and returned to the device pool on scope exit.
+  WorkspaceLease columns_;
 };
 
 }  // namespace subfed

@@ -12,6 +12,7 @@
 
 #include "nn/parameter.h"
 #include "tensor/backend.h"
+#include "tensor/device.h"
 #include "tensor/tensor.h"
 
 namespace subfed {
@@ -20,14 +21,22 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Selects the kernel set this layer's forward/backward run on; nullptr
+  /// Selects the device this layer's forward/backward run on; nullptr
   /// restores the process default. Only GEMM-backed layers (Conv2d, Linear)
-  /// consult it, but it lives on the base so Model::set_backend is uniform.
-  void set_backend(const MathBackend* backend) noexcept { backend_ = backend; }
-  /// The active backend: the explicit one, else default_math_backend().
-  const MathBackend& math() const {
-    return backend_ != nullptr ? *backend_ : default_math_backend();
+  /// consult it, but it lives on the base so Model::set_device is uniform.
+  void set_device(const Device* device) noexcept { device_ = device; }
+  /// The active device: the explicit one, else default_device().
+  const Device& device() const {
+    return device_ != nullptr ? *device_ : default_device();
   }
+
+  /// Deprecated MathBackend seam, aliased onto the Device registry: resolves
+  /// the fp32 device wrapping `backend`. Prefer set_device().
+  void set_backend(const MathBackend* backend) {
+    device_ = backend != nullptr ? &device_for(*backend) : nullptr;
+  }
+  /// Deprecated: the active device's raw kernel set. Prefer device().
+  const MathBackend& math() const { return device().kernels(); }
 
   /// Computes the layer output. `train` toggles training-time behaviour
   /// (BatchNorm batch statistics). Implementations cache what backward needs.
@@ -48,7 +57,7 @@ class Layer {
   virtual std::string kind() const = 0;
 
  private:
-  const MathBackend* backend_ = nullptr;  ///< nullptr → default_math_backend()
+  const Device* device_ = nullptr;  ///< nullptr → default_device()
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

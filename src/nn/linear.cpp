@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "tensor/backend.h"
+#include "tensor/device.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -31,8 +31,9 @@ Tensor Linear::forward(const Tensor& input, bool train) {
 
   Tensor output({batch, out_features_});
   // y[N, out] = x[N, in] · Wᵀ
-  math().gemm_nt(input.data(), weight_.value.data(), output.data(), batch, in_features_,
-                 out_features_, /*accumulate=*/false);
+  device().gemm(GemmOp::kNT, input.data(), weight_.value.data(), output.data(), batch,
+                in_features_, out_features_, /*accumulate=*/false, WeightSide::kB,
+                weight_.uid, weight_.mask_epoch);
   for (std::size_t n = 0; n < batch; ++n) {
     float* row = output.data() + n * out_features_;
     for (std::size_t o = 0; o < out_features_; ++o) row[o] += bias_.value[o];
@@ -47,9 +48,9 @@ Tensor Linear::backward(const Tensor& grad_output) {
                   "grad_output shape " << grad_output.shape().to_string());
 
   // dW[out, in] += dYᵀ[out, N] · x[N, in], accumulated straight into the
-  // gradient — no per-batch dw temporary.
-  math().gemm_tn(grad_output.data(), cached_input_.data(), weight_.grad.data(),
-                 out_features_, batch, in_features_, /*accumulate=*/true);
+  // gradient — no per-batch dw temporary. Neither operand is a weight.
+  device().gemm(GemmOp::kTN, grad_output.data(), cached_input_.data(), weight_.grad.data(),
+                out_features_, batch, in_features_, /*accumulate=*/true);
 
   // db[out] += column sums of dY
   for (std::size_t n = 0; n < batch; ++n) {
@@ -59,8 +60,9 @@ Tensor Linear::backward(const Tensor& grad_output) {
 
   // dX[N, in] = dY[N, out] · W[out, in]
   Tensor grad_input({batch, in_features_});
-  math().gemm_nn(grad_output.data(), weight_.value.data(), grad_input.data(), batch,
-                 out_features_, in_features_, /*accumulate=*/false);
+  device().gemm(GemmOp::kNN, grad_output.data(), weight_.value.data(), grad_input.data(),
+                batch, out_features_, in_features_, /*accumulate=*/false, WeightSide::kB,
+                weight_.uid, weight_.mask_epoch);
   return grad_input;
 }
 

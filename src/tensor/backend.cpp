@@ -1,13 +1,8 @@
 #include "tensor/backend.h"
 
-#include <algorithm>
-#include <atomic>
-#include <cstdint>
-#include <cstring>
-
+#include "tensor/kernels.h"
 #include "util/check.h"
 #include "util/env.h"
-#include "util/thread_pool.h"
 
 namespace subfed {
 
@@ -23,19 +18,7 @@ void MathBackend::col2im(const float* columns, const ConvGeometry& g, float* ima
 
 namespace {
 
-// -- shared helpers ----------------------------------------------------------
-
-/// Degenerate shapes every kernel handles up front: an empty output needs no
-/// work; k == 0 means C is zeroed (or untouched when accumulating).
-bool handle_trivial(float* c, std::size_t m, std::size_t k, std::size_t n,
-                    bool accumulate) noexcept {
-  if (m == 0 || n == 0) return true;
-  if (k == 0) {
-    if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
-    return true;
-  }
-  return false;
-}
+using kern::handle_trivial;
 
 // -- naive backend -----------------------------------------------------------
 // The seed kernels (tensor/gemm.cpp) plus the accumulate variants the layer
@@ -96,293 +79,8 @@ class NaiveBackend final : public MathBackend {
 };
 
 // -- blocked backend ---------------------------------------------------------
-// Register-tiled kMr×kNr micro-kernel: the C tile lives in registers across
-// the whole k loop (the naive kernel re-streams the C row from cache for
-// every k step), and the j dimension vectorizes over unit-stride B rows.
-// Row panels are distributed over the global thread pool for large problems.
-//
-// The baseline x86-64 ISA (SSE2) has too few/too narrow registers for the
-// tile, so every panel entry point is compiled twice — a portable build and
-// an AVX2+FMA build — and dispatched once per call on a cached cpuid check.
-// The hot loops must live inside those entry points (marked always-inline),
-// not behind a std::function boundary, so each build vectorizes end to end.
-//
-// Determinism: each output element is accumulated in ascending-k order no
-// matter how panels are split, so any math_threads value produces
-// bit-identical results.
-
-#if defined(__GNUC__) || defined(__clang__)
-#define SUBFED_ALWAYS_INLINE inline __attribute__((always_inline))
-#else
-#define SUBFED_ALWAYS_INLINE inline
-#endif
-
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-#define SUBFED_X86_DISPATCH 1
-#define SUBFED_AVX2_TARGET __attribute__((target("avx2,fma")))
-bool cpu_has_avx2_fma() noexcept {
-  static const bool has =
-      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
-  return has;
-}
-#else
-#define SUBFED_AVX2_TARGET
-#endif
-
-constexpr std::size_t kMr = 4;
-constexpr std::size_t kNr = 16;
-/// Below this many FLOPs (2·m·k·n) a GEMM runs on the calling thread; pool
-/// dispatch would cost more than it saves on LeNet-scale tiles.
-constexpr std::size_t kMinParallelFlops = std::size_t{1} << 21;
-
-std::atomic<std::size_t> g_math_threads{
-    static_cast<std::size_t>(std::max<std::int64_t>(0, env_int("SUBFEDAVG_MATH_THREADS", 0)))};
-
-/// Row panels a GEMM of `flops` total work over `m` rows may fan out to.
-std::size_t plan_chunks(std::size_t m, std::size_t flops) noexcept {
-  if (flops < kMinParallelFlops) return 1;
-  // Inside a pool task (client training fans over the same global pool) the
-  // pool is saturated: queued panels would only be drained by this thread
-  // anyway, so skip the dispatch overhead and run sequentially.
-  if (ThreadPool::current_thread_in_pool()) return 1;
-  std::size_t threads = g_math_threads.load(std::memory_order_relaxed);
-  const std::size_t pool = ThreadPool::global().size();
-  if (threads == 0 || threads > pool) threads = pool;
-  const std::size_t panels = (m + kMr - 1) / kMr;
-  return std::max<std::size_t>(1, std::min(threads, panels));
-}
-
-/// Runs fn(i_begin, i_end) over [0, m) split into kMr-aligned chunks. The
-/// alignment keeps the micro-kernel/edge-kernel boundary independent of the
-/// chunk layout (see determinism note above).
-template <typename Fn>
-void for_row_chunks(std::size_t m, std::size_t flops, const Fn& fn) {
-  const std::size_t chunks = plan_chunks(m, flops);
-  if (chunks <= 1) {
-    fn(0, m);
-    return;
-  }
-  const std::size_t panels = (m + kMr - 1) / kMr;
-  const std::size_t panels_per_chunk = (panels + chunks - 1) / chunks;
-  ThreadPool::global().parallel_for(chunks, [&](std::size_t chunk) {
-    const std::size_t i0 = chunk * panels_per_chunk * kMr;
-    const std::size_t i1 = std::min(m, i0 + panels_per_chunk * kMr);
-    if (i0 < m) fn(i0, i1);
-  });
-}
-
-// GCC/Clang generic vector extensions: the autovectorizer does not keep the
-// register tile live across the k loop on its own, so the accumulators are
-// explicit 8-wide vectors. The default clone lowers them to SSE pairs; other
-// compilers get the scalar tile (correct, slower).
-#if defined(__GNUC__) || defined(__clang__)
-#define SUBFED_VECTOR_TILE 1
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wpsabi"  // load8/store8 are always inlined
-typedef float v8sf __attribute__((vector_size(32)));
-SUBFED_ALWAYS_INLINE v8sf load8(const float* p) noexcept {
-  v8sf v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;
-}
-SUBFED_ALWAYS_INLINE void store8(float* p, v8sf v) noexcept {
-  std::memcpy(p, &v, sizeof(v));
-}
-#endif
-
-/// One MR×kNr register tile: rows i..i+MR of A against a kNr-wide B panel
-/// (`bpanel`, row stride ldb — either b + j inside the full matrix, or a
-/// packed zero-padded [k×kNr] buffer). Writes back the first `nr` columns to
-/// cpanel (= c + j). Every output element accumulates in ascending-k order.
-template <std::size_t MR, bool kTransposedA>
-SUBFED_ALWAYS_INLINE void micro_tile(const float* a, std::size_t i, std::size_t lda,
-                                     const float* bpanel, std::size_t ldb, float* cpanel,
-                                     std::size_t ldc, std::size_t k, std::size_t nr,
-                                     bool accumulate) noexcept {
-#if SUBFED_VECTOR_TILE
-  static_assert(kNr == 16, "tile uses two 8-wide vectors per row");
-  v8sf acc0[MR] = {}, acc1[MR] = {};
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* brow = bpanel + p * ldb;
-    const v8sf b0 = load8(brow), b1 = load8(brow + 8);
-    for (std::size_t r = 0; r < MR; ++r) {
-      // A stored [k×m] keeps the panel's row values contiguous.
-      const float value = kTransposedA ? a[p * lda + i + r] : a[(i + r) * lda + p];
-      const v8sf av = v8sf{} + value;  // broadcast
-      acc0[r] += av * b0;
-      acc1[r] += av * b1;
-    }
-  }
-  for (std::size_t r = 0; r < MR; ++r) {
-    float* crow = cpanel + (i + r) * ldc;
-    if (nr == kNr) {
-      if (accumulate) {
-        store8(crow, load8(crow) + acc0[r]);
-        store8(crow + 8, load8(crow + 8) + acc1[r]);
-      } else {
-        store8(crow, acc0[r]);
-        store8(crow + 8, acc1[r]);
-      }
-    } else {
-      float tile[kNr];
-      store8(tile, acc0[r]);
-      store8(tile + 8, acc1[r]);
-      for (std::size_t jj = 0; jj < nr; ++jj) {
-        crow[jj] = accumulate ? crow[jj] + tile[jj] : tile[jj];
-      }
-    }
-  }
-#else
-  float acc[MR][kNr] = {};
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* brow = bpanel + p * ldb;
-    for (std::size_t r = 0; r < MR; ++r) {
-      const float av = kTransposedA ? a[p * lda + i + r] : a[(i + r) * lda + p];
-      for (std::size_t jj = 0; jj < kNr; ++jj) acc[r][jj] += av * brow[jj];
-    }
-  }
-  for (std::size_t r = 0; r < MR; ++r) {
-    float* crow = cpanel + (i + r) * ldc;
-    for (std::size_t jj = 0; jj < nr; ++jj) {
-      crow[jj] = accumulate ? crow[jj] + acc[r][jj] : acc[r][jj];
-    }
-  }
-#endif
-}
-
-#if SUBFED_VECTOR_TILE
-#pragma GCC diagnostic pop
-#endif
-
-/// Per-thread packing scratch for partial/transposed B panels, grown on
-/// demand and reused across calls so the tail path does no steady-state
-/// allocation (matching the conv workspace's no-per-call-allocation goal).
-std::vector<float>& packing_scratch(std::size_t size) {
-  thread_local std::vector<float> scratch;
-  if (scratch.size() < size) scratch.resize(size);
-  return scratch;
-}
-
-/// Rows [i0, i1) of C against one B panel: full kMr tiles plus single-row
-/// tiles for the tail. Which rows take the tail path depends only on i1
-/// (always the matrix edge or a kMr-aligned chunk boundary), and both tile
-/// widths accumulate identically, so threading cannot change results.
-template <bool kTransposedA>
-SUBFED_ALWAYS_INLINE void tile_rows(const float* a, std::size_t lda, const float* bpanel,
-                                    std::size_t ldb, float* cpanel, std::size_t ldc,
-                                    std::size_t i0, std::size_t i1, std::size_t k,
-                                    std::size_t nr, bool accumulate) noexcept {
-  std::size_t i = i0;
-  for (; i + kMr <= i1; i += kMr) {
-    micro_tile<kMr, kTransposedA>(a, i, lda, bpanel, ldb, cpanel, ldc, k, nr, accumulate);
-  }
-  for (; i < i1; ++i) {
-    micro_tile<1, kTransposedA>(a, i, lda, bpanel, ldb, cpanel, ldc, k, nr, accumulate);
-  }
-}
-
-/// nn/tn panel body: B is row-major [k×n]; full kNr column panels run
-/// against B in place, the column tail is packed zero-padded so the same
-/// micro-tile applies. Always-inline so the multiversioned wrappers below
-/// compile the whole loop nest per ISA (target_clones cannot attach to
-/// templates directly).
-template <bool kTransposedA>
-SUBFED_ALWAYS_INLINE void gemm_panel(const float* a, const float* b, float* c,
-                                     std::size_t lda, std::size_t k, std::size_t n,
-                                     std::size_t i0, std::size_t i1, bool accumulate) {
-  const std::size_t tail = n % kNr;
-  const std::size_t j_end = n - tail;
-  for (std::size_t j = 0; j < j_end; j += kNr) {
-    tile_rows<kTransposedA>(a, lda, b + j, n, c + j, n, i0, i1, k, kNr, accumulate);
-  }
-  if (tail != 0) {
-    std::vector<float>& packed = packing_scratch(k * kNr);
-    for (std::size_t p = 0; p < k; ++p) {
-      for (std::size_t jj = 0; jj < tail; ++jj) {
-        packed[p * kNr + jj] = b[p * n + j_end + jj];
-      }
-      for (std::size_t jj = tail; jj < kNr; ++jj) packed[p * kNr + jj] = 0.0f;
-    }
-    tile_rows<kTransposedA>(a, lda, packed.data(), kNr, c + j_end, n, i0, i1, k, tail,
-                            accumulate);
-  }
-}
-
-/// nt panel body: B is stored [n×k], so every kNr-column panel is packed
-/// transposed (zero-padded) into [k×kNr]; packing costs k·n per chunk and
-/// amortizes over the chunk's rows.
-SUBFED_ALWAYS_INLINE void gemm_panel_nt_body(const float* a, const float* b, float* c,
-                                             std::size_t k, std::size_t n, std::size_t i0,
-                                             std::size_t i1, bool accumulate) {
-  std::vector<float>& packed = packing_scratch(k * kNr);
-  for (std::size_t j = 0; j < n; j += kNr) {
-    const std::size_t nr = std::min(kNr, n - j);
-    if (nr < kNr) std::fill_n(packed.begin(), k * kNr, 0.0f);
-    for (std::size_t jj = 0; jj < nr; ++jj) {
-      const float* brow = b + (j + jj) * k;
-      for (std::size_t p = 0; p < k; ++p) packed[p * kNr + jj] = brow[p];
-    }
-    tile_rows<false>(a, k, packed.data(), kNr, c + j, n, i0, i1, k, nr, accumulate);
-  }
-}
-
-// Dispatched entry points: the AVX2+FMA variants recompile the same inlined
-// loop nests with wider registers and fused multiply-adds; the plain variants
-// are the portable fallback (and the only build on non-x86 targets).
-#if SUBFED_X86_DISPATCH
-SUBFED_AVX2_TARGET void gemm_panel_nn_avx2(const float* a, const float* b, float* c,
-                                           std::size_t lda, std::size_t k, std::size_t n,
-                                           std::size_t i0, std::size_t i1,
-                                           bool accumulate) {
-  gemm_panel<false>(a, b, c, lda, k, n, i0, i1, accumulate);
-}
-SUBFED_AVX2_TARGET void gemm_panel_tn_avx2(const float* a, const float* b, float* c,
-                                           std::size_t lda, std::size_t k, std::size_t n,
-                                           std::size_t i0, std::size_t i1,
-                                           bool accumulate) {
-  gemm_panel<true>(a, b, c, lda, k, n, i0, i1, accumulate);
-}
-SUBFED_AVX2_TARGET void gemm_panel_nt_avx2(const float* a, const float* b, float* c,
-                                           std::size_t k, std::size_t n, std::size_t i0,
-                                           std::size_t i1, bool accumulate) {
-  gemm_panel_nt_body(a, b, c, k, n, i0, i1, accumulate);
-}
-#endif
-
-void gemm_panel_nn(const float* a, const float* b, float* c, std::size_t lda,
-                   std::size_t k, std::size_t n, std::size_t i0, std::size_t i1,
-                   bool accumulate) {
-#if SUBFED_X86_DISPATCH
-  if (cpu_has_avx2_fma()) {
-    gemm_panel_nn_avx2(a, b, c, lda, k, n, i0, i1, accumulate);
-    return;
-  }
-#endif
-  gemm_panel<false>(a, b, c, lda, k, n, i0, i1, accumulate);
-}
-
-void gemm_panel_tn(const float* a, const float* b, float* c, std::size_t lda,
-                   std::size_t k, std::size_t n, std::size_t i0, std::size_t i1,
-                   bool accumulate) {
-#if SUBFED_X86_DISPATCH
-  if (cpu_has_avx2_fma()) {
-    gemm_panel_tn_avx2(a, b, c, lda, k, n, i0, i1, accumulate);
-    return;
-  }
-#endif
-  gemm_panel<true>(a, b, c, lda, k, n, i0, i1, accumulate);
-}
-
-void gemm_panel_nt(const float* a, const float* b, float* c, std::size_t k, std::size_t n,
-                   std::size_t i0, std::size_t i1, bool accumulate) {
-#if SUBFED_X86_DISPATCH
-  if (cpu_has_avx2_fma()) {
-    gemm_panel_nt_avx2(a, b, c, k, n, i0, i1, accumulate);
-    return;
-  }
-#endif
-  gemm_panel_nt_body(a, b, c, k, n, i0, i1, accumulate);
-}
+// Thin dispatch over the register-tiled panels in tensor/kernels.cpp; row
+// panels are distributed over the global thread pool for large problems.
 
 class BlockedBackend final : public MathBackend {
  public:
@@ -391,171 +89,33 @@ class BlockedBackend final : public MathBackend {
   void gemm_nn(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
                std::size_t n, bool accumulate) const override {
     if (handle_trivial(c, m, k, n, accumulate)) return;
-    for_row_chunks(m, 2 * m * k * n, [&](std::size_t i0, std::size_t i1) {
-      gemm_panel_nn(a, b, c, /*lda=*/k, k, n, i0, i1, accumulate);
+    kern::for_row_chunks(m, 2 * m * k * n, [&](std::size_t i0, std::size_t i1) {
+      kern::gemm_panel_nn(a, b, c, /*lda=*/k, k, n, i0, i1, accumulate);
     });
   }
 
   void gemm_tn(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
                std::size_t n, bool accumulate) const override {
     if (handle_trivial(c, m, k, n, accumulate)) return;
-    for_row_chunks(m, 2 * m * k * n, [&](std::size_t i0, std::size_t i1) {
-      gemm_panel_tn(a, b, c, /*lda=*/m, k, n, i0, i1, accumulate);
+    kern::for_row_chunks(m, 2 * m * k * n, [&](std::size_t i0, std::size_t i1) {
+      kern::gemm_panel_tn(a, b, c, /*lda=*/m, k, n, i0, i1, accumulate);
     });
   }
 
   void gemm_nt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
                std::size_t n, bool accumulate) const override {
     if (handle_trivial(c, m, k, n, accumulate)) return;
-    for_row_chunks(m, 2 * m * k * n, [&](std::size_t i0, std::size_t i1) {
-      gemm_panel_nt(a, b, c, k, n, i0, i1, accumulate);
+    kern::for_row_chunks(m, 2 * m * k * n, [&](std::size_t i0, std::size_t i1) {
+      kern::gemm_panel_nt(a, b, c, k, n, i0, i1, accumulate);
     });
   }
 };
 
 // -- sparse backend ----------------------------------------------------------
-// Pruning masks zero weights exactly; when the weight-side operand's density
-// drops below the threshold it is packed into CSR (ascending k within each
-// row, matching the dense accumulation order) and the kernel only touches
-// nonzeros. Dense-ish operands fall back to the blocked kernels, so this
-// backend is always at least as correct and never much slower.
-
-double density(const float* data, std::size_t size) noexcept {
-  if (size == 0) return 1.0;
-  std::size_t nonzero = 0;
-  for (std::size_t i = 0; i < size; ++i) nonzero += data[i] != 0.0f ? 1 : 0;
-  return static_cast<double>(nonzero) / static_cast<double>(size);
-}
-
-/// CSR of a row-major [rows×cols] matrix; entries keep ascending column order.
-struct Csr {
-  std::vector<std::uint32_t> row_begin;  // rows+1 offsets
-  std::vector<std::uint32_t> col;
-  std::vector<float> val;
-
-  static Csr pack(const float* data, std::size_t rows, std::size_t cols) {
-    Csr csr;
-    csr.row_begin.resize(rows + 1, 0);
-    std::size_t nnz = 0;
-    for (std::size_t i = 0; i < rows * cols; ++i) nnz += data[i] != 0.0f ? 1 : 0;
-    csr.col.reserve(nnz);
-    csr.val.reserve(nnz);
-    for (std::size_t r = 0; r < rows; ++r) {
-      const float* row = data + r * cols;
-      for (std::size_t c = 0; c < cols; ++c) {
-        if (row[c] != 0.0f) {
-          csr.col.push_back(static_cast<std::uint32_t>(c));
-          csr.val.push_back(row[c]);
-        }
-      }
-      csr.row_begin[r + 1] = static_cast<std::uint32_t>(csr.col.size());
-    }
-    return csr;
-  }
-
-  /// CSR of the TRANSPOSE of a row-major [rows×cols] matrix (i.e. CSC):
-  /// entry lists per column, ascending row order.
-  static Csr pack_transposed(const float* data, std::size_t rows, std::size_t cols) {
-    Csr csr;
-    csr.row_begin.assign(cols + 1, 0);
-    for (std::size_t i = 0; i < rows * cols; ++i) {
-      if (data[i] != 0.0f) ++csr.row_begin[i % cols + 1];
-    }
-    for (std::size_t c = 0; c < cols; ++c) csr.row_begin[c + 1] += csr.row_begin[c];
-    csr.col.resize(csr.row_begin[cols]);
-    csr.val.resize(csr.row_begin[cols]);
-    std::vector<std::uint32_t> cursor(csr.row_begin.begin(), csr.row_begin.end() - 1);
-    for (std::size_t r = 0; r < rows; ++r) {
-      const float* row = data + r * cols;
-      for (std::size_t c = 0; c < cols; ++c) {
-        if (row[c] != 0.0f) {
-          const std::uint32_t slot = cursor[c]++;
-          csr.col[slot] = static_cast<std::uint32_t>(r);
-          csr.val[slot] = row[c];
-        }
-      }
-    }
-    return csr;
-  }
-};
-
-/// c[i,:] (+)= Σ_nonzeros(i) val · b[col,:] for rows [i0, i1) — the shared
-/// nn/tn inner loop once the sparse operand is in "per output row" CSR form.
-SUBFED_ALWAYS_INLINE void sparse_axpy_body(const std::uint32_t* row_begin,
-                                           const std::uint32_t* col, const float* val,
-                                           const float* b, float* c, std::size_t n,
-                                           std::size_t i0, std::size_t i1,
-                                           bool accumulate) {
-  for (std::size_t i = i0; i < i1; ++i) {
-    float* crow = c + i * n;
-    if (!accumulate) std::memset(crow, 0, n * sizeof(float));
-    for (std::uint32_t e = row_begin[i]; e < row_begin[i + 1]; ++e) {
-      const float av = val[e];
-      const float* brow = b + col[e] * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-/// c[i,j] (+)= sparse dot of dense A row i with CSR row j of B (stored [n×k]).
-SUBFED_ALWAYS_INLINE void sparse_dot_body(const std::uint32_t* row_begin,
-                                          const std::uint32_t* col, const float* val,
-                                          const float* a, float* c, std::size_t k,
-                                          std::size_t n, std::size_t i0, std::size_t i1,
-                                          bool accumulate) {
-  for (std::size_t i = i0; i < i1; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      for (std::uint32_t e = row_begin[j]; e < row_begin[j + 1]; ++e) {
-        acc += arow[col[e]] * val[e];
-      }
-      crow[j] = accumulate ? crow[j] + acc : acc;
-    }
-  }
-}
-
-#if SUBFED_X86_DISPATCH
-SUBFED_AVX2_TARGET void sparse_axpy_panel_avx2(const std::uint32_t* row_begin,
-                                               const std::uint32_t* col, const float* val,
-                                               const float* b, float* c, std::size_t n,
-                                               std::size_t i0, std::size_t i1,
-                                               bool accumulate) {
-  sparse_axpy_body(row_begin, col, val, b, c, n, i0, i1, accumulate);
-}
-SUBFED_AVX2_TARGET void sparse_dot_panel_avx2(const std::uint32_t* row_begin,
-                                              const std::uint32_t* col, const float* val,
-                                              const float* a, float* c, std::size_t k,
-                                              std::size_t n, std::size_t i0,
-                                              std::size_t i1, bool accumulate) {
-  sparse_dot_body(row_begin, col, val, a, c, k, n, i0, i1, accumulate);
-}
-#endif
-
-void sparse_axpy_panel(const std::uint32_t* row_begin, const std::uint32_t* col,
-                       const float* val, const float* b, float* c, std::size_t n,
-                       std::size_t i0, std::size_t i1, bool accumulate) {
-#if SUBFED_X86_DISPATCH
-  if (cpu_has_avx2_fma()) {
-    sparse_axpy_panel_avx2(row_begin, col, val, b, c, n, i0, i1, accumulate);
-    return;
-  }
-#endif
-  sparse_axpy_body(row_begin, col, val, b, c, n, i0, i1, accumulate);
-}
-
-void sparse_dot_panel(const std::uint32_t* row_begin, const std::uint32_t* col,
-                      const float* val, const float* a, float* c, std::size_t k,
-                      std::size_t n, std::size_t i0, std::size_t i1, bool accumulate) {
-#if SUBFED_X86_DISPATCH
-  if (cpu_has_avx2_fma()) {
-    sparse_dot_panel_avx2(row_begin, col, val, a, c, k, n, i0, i1, accumulate);
-    return;
-  }
-#endif
-  sparse_dot_body(row_begin, col, val, a, c, k, n, i0, i1, accumulate);
-}
+// Per-call density inspection of the weight-side operand; the Device plan
+// cache (tensor/device.h) layers cached decisions keyed by parameter identity
+// and mask epoch on top of these same kernels, so this class stays the
+// stateless reference behaviour.
 
 class SparseBackend final : public MathBackend {
  public:
@@ -573,8 +133,8 @@ class SparseBackend final : public MathBackend {
   void gemm_nn(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
                std::size_t n, bool accumulate) const override {
     if (handle_trivial(c, m, k, n, accumulate)) return;
-    if (density(a, m * k) <= sparse_density_threshold()) {
-      const Csr csr = Csr::pack(a, m, k);
+    if (kern::density(a, m * k) <= sparse_density_threshold()) {
+      const kern::Csr csr = kern::Csr::pack(a, m, k);
       row_axpy(csr, b, c, m, k, n, accumulate);
       return;
     }
@@ -583,11 +143,12 @@ class SparseBackend final : public MathBackend {
     // Gated on weight-matrix-sized operands: im2col activation matrices run
     // to megabytes, and scanning (let alone packing) those per call would
     // cost a measurable fraction of the GEMM itself.
-    if (k * n <= kMaxWeightOperand && density(b, k * n) <= sparse_density_threshold()) {
-      const Csr csr = Csr::pack_transposed(b, k, n);
-      for_row_chunks(m, 2 * m * k * n, [&](std::size_t i0, std::size_t i1) {
-        sparse_dot_panel(csr.row_begin.data(), csr.col.data(), csr.val.data(), a, c, k, n,
-                         i0, i1, accumulate);
+    if (k * n <= kMaxWeightOperand &&
+        kern::density(b, k * n) <= sparse_density_threshold()) {
+      const kern::Csr csr = kern::Csr::pack_transposed(b, k, n);
+      kern::for_row_chunks(m, 2 * m * k * n, [&](std::size_t i0, std::size_t i1) {
+        kern::sparse_dot_panel(csr.row_begin.data(), csr.col.data(), csr.val.data(), a, c,
+                               k, n, i0, i1, accumulate);
       });
       return;
     }
@@ -597,12 +158,12 @@ class SparseBackend final : public MathBackend {
   void gemm_tn(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
                std::size_t n, bool accumulate) const override {
     if (handle_trivial(c, m, k, n, accumulate)) return;
-    if (density(a, k * m) > sparse_density_threshold()) {
+    if (kern::density(a, k * m) > sparse_density_threshold()) {
       dense_.gemm_tn(a, b, c, m, k, n, accumulate);
       return;
     }
     // A stored [k×m]; output row i consumes column i of A.
-    const Csr csr = Csr::pack_transposed(a, k, m);
+    const kern::Csr csr = kern::Csr::pack_transposed(a, k, m);
     row_axpy(csr, b, c, m, k, n, accumulate);
   }
 
@@ -612,23 +173,24 @@ class SparseBackend final : public MathBackend {
     // Same weight-operand size gate as gemm_nn: conv backward's dW puts the
     // im2col activation matrix on the B side, which must not be scanned or
     // packed per call.
-    if (n * k > kMaxWeightOperand || density(b, n * k) > sparse_density_threshold()) {
+    if (n * k > kMaxWeightOperand ||
+        kern::density(b, n * k) > sparse_density_threshold()) {
       dense_.gemm_nt(a, b, c, m, k, n, accumulate);
       return;
     }
-    const Csr csr = Csr::pack(b, n, k);
-    for_row_chunks(m, 2 * m * k * n, [&](std::size_t i0, std::size_t i1) {
-      sparse_dot_panel(csr.row_begin.data(), csr.col.data(), csr.val.data(), a, c, k, n,
-                       i0, i1, accumulate);
+    const kern::Csr csr = kern::Csr::pack(b, n, k);
+    kern::for_row_chunks(m, 2 * m * k * n, [&](std::size_t i0, std::size_t i1) {
+      kern::sparse_dot_panel(csr.row_begin.data(), csr.col.data(), csr.val.data(), a, c,
+                             k, n, i0, i1, accumulate);
     });
   }
 
  private:
-  static void row_axpy(const Csr& csr, const float* b, float* c, std::size_t m,
+  static void row_axpy(const kern::Csr& csr, const float* b, float* c, std::size_t m,
                        std::size_t k, std::size_t n, bool accumulate) {
-    for_row_chunks(m, 2 * m * k * n, [&](std::size_t i0, std::size_t i1) {
-      sparse_axpy_panel(csr.row_begin.data(), csr.col.data(), csr.val.data(), b, c, n, i0,
-                        i1, accumulate);
+    kern::for_row_chunks(m, 2 * m * k * n, [&](std::size_t i0, std::size_t i1) {
+      kern::sparse_axpy_panel(csr.row_begin.data(), csr.col.data(), csr.val.data(), b, c,
+                              n, i0, i1, accumulate);
     });
   }
 
@@ -672,19 +234,6 @@ std::vector<std::string> list_math_backends() {
 const MathBackend& default_math_backend() {
   static const MathBackend& backend = math_backend(env_string("SUBFEDAVG_BACKEND", "blocked"));
   return backend;
-}
-
-void set_math_threads(std::size_t n) noexcept {
-  g_math_threads.store(n, std::memory_order_relaxed);
-}
-
-std::size_t math_threads() noexcept {
-  return g_math_threads.load(std::memory_order_relaxed);
-}
-
-double sparse_density_threshold() noexcept {
-  static const double threshold = env_double("SUBFEDAVG_SPARSE_DENSITY", 0.25);
-  return threshold;
 }
 
 }  // namespace subfed

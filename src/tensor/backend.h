@@ -1,5 +1,9 @@
-// Pluggable math backend: every GEMM/im2col/col2im in the hot path goes
-// through a MathBackend so kernels can be swapped at runtime.
+// Pluggable math backend: the stateless kernel sets every GEMM/im2col/col2im
+// in the hot path used to go through directly. Since the Device redesign
+// (tensor/device.h) these remain as (a) the raw kernel dispatch each Device
+// executes through, and (b) the backward-compatible `math_backend()` lookup —
+// layers now route through a storage-owning Device that adds an execution-plan
+// cache, workspace leases, fused epilogues, and an fp16 compute mode on top.
 //
 // Three backends ship with the library:
 //  * "naive"   — the original ikj triple loops (tensor/gemm.h), kept as the
@@ -59,6 +63,8 @@ class MathBackend {
 /// Looks up a backend by name ("naive" | "blocked" | "sparse"). The returned
 /// reference is a process-lifetime singleton. Throws CheckError (listing the
 /// known names) on an unknown name.
+/// Deprecated: new code should resolve a Device via get_device() in
+/// tensor/device.h — backend names alias onto the Device registry there.
 const MathBackend& math_backend(const std::string& name);
 
 /// True when `name` resolves to a registered backend.

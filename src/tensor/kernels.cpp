@@ -1,0 +1,523 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/backend.h"
+#include "util/env.h"
+
+namespace subfed {
+
+// --- process-wide kernel knobs (declared in kernels.h) -----------------------
+
+namespace {
+std::atomic<std::size_t> g_math_threads{static_cast<std::size_t>(
+    std::max<std::int64_t>(0, env_int("SUBFEDAVG_MATH_THREADS", 0)))};
+}  // namespace
+
+void set_math_threads(std::size_t n) noexcept {
+  g_math_threads.store(n, std::memory_order_relaxed);
+}
+
+std::size_t math_threads() noexcept {
+  return g_math_threads.load(std::memory_order_relaxed);
+}
+
+double sparse_density_threshold() noexcept {
+  static const double threshold = env_double("SUBFEDAVG_SPARSE_DENSITY", 0.25);
+  return threshold;
+}
+
+namespace kern {
+
+bool handle_trivial(float* c, std::size_t m, std::size_t k, std::size_t n,
+                    bool accumulate) noexcept {
+  if (m == 0 || n == 0) return true;
+  if (k == 0) {
+    if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+    return true;
+  }
+  return false;
+}
+
+std::size_t plan_chunks(std::size_t m, std::size_t flops) noexcept {
+  if (flops < kMinParallelFlops) return 1;
+  std::size_t threads = g_math_threads.load(std::memory_order_relaxed);
+  const std::size_t pool = ThreadPool::global().size();
+  if (threads == 0 || threads > pool) threads = pool;
+  const std::size_t panels = (m + kMr - 1) / kMr;
+  return std::max<std::size_t>(1, std::min(threads, panels));
+}
+
+// --- blocked kernels ---------------------------------------------------------
+// Register-tiled kMr×kNr micro-kernel: the C tile lives in registers across
+// the whole k loop (the naive kernel re-streams the C row from cache for
+// every k step), and the j dimension vectorizes over unit-stride B rows.
+//
+// The baseline x86-64 ISA (SSE2) has too few/too narrow registers for the
+// tile, so every panel entry point is compiled twice — a portable build and
+// an AVX2+FMA build — and dispatched once per call on a cached cpuid check.
+// The hot loops must live inside those entry points (marked always-inline),
+// not behind a std::function boundary, so each build vectorizes end to end.
+//
+// Determinism: each output element is accumulated in ascending-k order no
+// matter how panels are split, so any math_threads value produces
+// bit-identical results.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SUBFED_ALWAYS_INLINE inline __attribute__((always_inline))
+#define SUBFED_NOINLINE __attribute__((noinline))
+#else
+#define SUBFED_ALWAYS_INLINE inline
+#define SUBFED_NOINLINE
+#endif
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SUBFED_X86_DISPATCH 1
+#define SUBFED_AVX2_TARGET __attribute__((target("avx2,fma")))
+namespace {
+bool cpu_has_avx2_fma() noexcept {
+  static const bool has =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return has;
+}
+}  // namespace
+#else
+#define SUBFED_AVX2_TARGET
+#endif
+
+namespace {
+
+/// The one compiled instance of the epilogue arithmetic. Deliberately
+/// noinline and outside any target-attributed region: FMA contraction inside
+/// the AVX2 clones would otherwise change the epilogue's rounding relative to
+/// the unfused BatchNorm2d/ReLU passes (plain SSE2 code), breaking the
+/// fused ≡ unfused bit-identity contract. One pinned instance makes the
+/// fused store-back, the sparse/naive post-pass, and the unfused layer chain
+/// all round identically.
+///
+/// Applies the epilogue to `count` elements of output row `row`:
+///   y = accumulate ? dst[j] + src[j] : src[j]; then bias/bn/relu (see
+///   GemmEpilogue). src may alias dst (in-place post-pass).
+SUBFED_NOINLINE void epilogue_store(const float* src, float* dst, std::size_t count,
+                                    std::size_t row, const GemmEpilogue& ep,
+                                    bool accumulate) noexcept {
+  float bias = 0.0f;
+  if (ep.bias != nullptr) bias = ep.bias[row];
+  const bool has_bn = ep.mean != nullptr;
+  // Same expression (and float ops) as BatchNorm2d's eval forward.
+  const float inv_std = has_bn ? 1.0f / std::sqrt(ep.var[row] + ep.eps) : 0.0f;
+  const float g = has_bn ? ep.gamma[row] : 0.0f;
+  const float b = has_bn ? ep.beta[row] : 0.0f;
+  const float m = has_bn ? ep.mean[row] : 0.0f;
+  for (std::size_t j = 0; j < count; ++j) {
+    float y = accumulate ? dst[j] + src[j] : src[j];
+    // Conv2d adds its bias only when nonzero (the zero case is a memcpy), so
+    // the fused path must skip the add too: y + 0.0f would turn -0.0 into
+    // +0.0 and break bit-identity.
+    if (bias != 0.0f) y += bias;
+    if (has_bn) y = g * (y - m) * inv_std + b;
+    if (ep.relu && !(y > 0.0f)) y = 0.0f;
+    dst[j] = y;
+  }
+}
+
+// GCC/Clang generic vector extensions: the autovectorizer does not keep the
+// register tile live across the k loop on its own, so the accumulators are
+// explicit 8-wide vectors. The default clone lowers them to SSE pairs; other
+// compilers get the scalar tile (correct, slower).
+#if defined(__GNUC__) || defined(__clang__)
+#define SUBFED_VECTOR_TILE 1
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"  // load8/store8 are always inlined
+typedef float v8sf __attribute__((vector_size(32)));
+SUBFED_ALWAYS_INLINE v8sf load8(const float* p) noexcept {
+  v8sf v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+SUBFED_ALWAYS_INLINE void store8(float* p, v8sf v) noexcept {
+  std::memcpy(p, &v, sizeof(v));
+}
+#endif
+
+/// One MR×kNr register tile: rows i..i+MR of A against a kNr-wide B panel
+/// (`bpanel`, row stride ldb — either b + j inside the full matrix, or a
+/// packed zero-padded [k×kNr] buffer). Writes back the first `nr` columns to
+/// cpanel (= c + j). Every output element accumulates in ascending-k order.
+/// With kFused the accumulators route through epilogue_store instead of the
+/// raw store, so the epilogue reads them straight out of registers without a
+/// second pass over the output tensor.
+template <std::size_t MR, bool kTransposedA, bool kFused>
+SUBFED_ALWAYS_INLINE void micro_tile(const float* a, std::size_t i, std::size_t lda,
+                                     const float* bpanel, std::size_t ldb, float* cpanel,
+                                     std::size_t ldc, std::size_t k, std::size_t nr,
+                                     bool accumulate, const GemmEpilogue* ep) noexcept {
+#if SUBFED_VECTOR_TILE
+  static_assert(kNr == 16, "tile uses two 8-wide vectors per row");
+  v8sf acc0[MR] = {}, acc1[MR] = {};
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* brow = bpanel + p * ldb;
+    const v8sf b0 = load8(brow), b1 = load8(brow + 8);
+    for (std::size_t r = 0; r < MR; ++r) {
+      // A stored [k×m] keeps the panel's row values contiguous.
+      const float value = kTransposedA ? a[p * lda + i + r] : a[(i + r) * lda + p];
+      const v8sf av = v8sf{} + value;  // broadcast
+      acc0[r] += av * b0;
+      acc1[r] += av * b1;
+    }
+  }
+  for (std::size_t r = 0; r < MR; ++r) {
+    float* crow = cpanel + (i + r) * ldc;
+    if constexpr (kFused) {
+      float tile[kNr];
+      store8(tile, acc0[r]);
+      store8(tile + 8, acc1[r]);
+      epilogue_store(tile, crow, nr, i + r, *ep, accumulate);
+    } else if (nr == kNr) {
+      if (accumulate) {
+        store8(crow, load8(crow) + acc0[r]);
+        store8(crow + 8, load8(crow + 8) + acc1[r]);
+      } else {
+        store8(crow, acc0[r]);
+        store8(crow + 8, acc1[r]);
+      }
+    } else {
+      float tile[kNr];
+      store8(tile, acc0[r]);
+      store8(tile + 8, acc1[r]);
+      for (std::size_t jj = 0; jj < nr; ++jj) {
+        crow[jj] = accumulate ? crow[jj] + tile[jj] : tile[jj];
+      }
+    }
+  }
+#else
+  float acc[MR][kNr] = {};
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* brow = bpanel + p * ldb;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const float av = kTransposedA ? a[p * lda + i + r] : a[(i + r) * lda + p];
+      for (std::size_t jj = 0; jj < kNr; ++jj) acc[r][jj] += av * brow[jj];
+    }
+  }
+  for (std::size_t r = 0; r < MR; ++r) {
+    float* crow = cpanel + (i + r) * ldc;
+    if constexpr (kFused) {
+      epilogue_store(acc[r], crow, nr, i + r, *ep, accumulate);
+    } else {
+      for (std::size_t jj = 0; jj < nr; ++jj) {
+        crow[jj] = accumulate ? crow[jj] + acc[r][jj] : acc[r][jj];
+      }
+    }
+  }
+#endif
+}
+
+#if SUBFED_VECTOR_TILE
+#pragma GCC diagnostic pop
+#endif
+
+/// Per-thread packing scratch for partial/transposed B panels, grown on
+/// demand and reused across calls so the tail path does no steady-state
+/// allocation (matching the conv workspace's no-per-call-allocation goal).
+std::vector<float>& packing_scratch(std::size_t size) {
+  thread_local std::vector<float> scratch;
+  if (scratch.size() < size) scratch.resize(size);
+  return scratch;
+}
+
+/// Rows [i0, i1) of C against one B panel: full kMr tiles plus single-row
+/// tiles for the tail. Which rows take the tail path depends only on i1
+/// (always the matrix edge or a kMr-aligned chunk boundary), and both tile
+/// widths accumulate identically, so threading cannot change results.
+template <bool kTransposedA, bool kFused>
+SUBFED_ALWAYS_INLINE void tile_rows(const float* a, std::size_t lda, const float* bpanel,
+                                    std::size_t ldb, float* cpanel, std::size_t ldc,
+                                    std::size_t i0, std::size_t i1, std::size_t k,
+                                    std::size_t nr, bool accumulate,
+                                    const GemmEpilogue* ep) noexcept {
+  std::size_t i = i0;
+  for (; i + kMr <= i1; i += kMr) {
+    micro_tile<kMr, kTransposedA, kFused>(a, i, lda, bpanel, ldb, cpanel, ldc, k, nr,
+                                          accumulate, ep);
+  }
+  for (; i < i1; ++i) {
+    micro_tile<1, kTransposedA, kFused>(a, i, lda, bpanel, ldb, cpanel, ldc, k, nr,
+                                        accumulate, ep);
+  }
+}
+
+/// nn/tn panel body: B is row-major [k×n]; full kNr column panels run
+/// against B in place, the column tail is packed zero-padded so the same
+/// micro-tile applies. Always-inline so the multiversioned wrappers below
+/// compile the whole loop nest per ISA (target_clones cannot attach to
+/// templates directly).
+template <bool kTransposedA, bool kFused>
+SUBFED_ALWAYS_INLINE void gemm_panel(const float* a, const float* b, float* c,
+                                     std::size_t lda, std::size_t k, std::size_t n,
+                                     std::size_t i0, std::size_t i1, bool accumulate,
+                                     const GemmEpilogue* ep) {
+  const std::size_t tail = n % kNr;
+  const std::size_t j_end = n - tail;
+  for (std::size_t j = 0; j < j_end; j += kNr) {
+    tile_rows<kTransposedA, kFused>(a, lda, b + j, n, c + j, n, i0, i1, k, kNr,
+                                    accumulate, ep);
+  }
+  if (tail != 0) {
+    std::vector<float>& packed = packing_scratch(k * kNr);
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t jj = 0; jj < tail; ++jj) {
+        packed[p * kNr + jj] = b[p * n + j_end + jj];
+      }
+      for (std::size_t jj = tail; jj < kNr; ++jj) packed[p * kNr + jj] = 0.0f;
+    }
+    tile_rows<kTransposedA, kFused>(a, lda, packed.data(), kNr, c + j_end, n, i0, i1, k,
+                                    tail, accumulate, ep);
+  }
+}
+
+/// nt panel body: B is stored [n×k], so every kNr-column panel is packed
+/// transposed (zero-padded) into [k×kNr]; packing costs k·n per chunk and
+/// amortizes over the chunk's rows.
+SUBFED_ALWAYS_INLINE void gemm_panel_nt_body(const float* a, const float* b, float* c,
+                                             std::size_t k, std::size_t n, std::size_t i0,
+                                             std::size_t i1, bool accumulate) {
+  std::vector<float>& packed = packing_scratch(k * kNr);
+  for (std::size_t j = 0; j < n; j += kNr) {
+    const std::size_t nr = std::min(kNr, n - j);
+    if (nr < kNr) std::fill_n(packed.begin(), k * kNr, 0.0f);
+    for (std::size_t jj = 0; jj < nr; ++jj) {
+      const float* brow = b + (j + jj) * k;
+      for (std::size_t p = 0; p < k; ++p) packed[p * kNr + jj] = brow[p];
+    }
+    tile_rows<false, false>(a, k, packed.data(), kNr, c + j, n, i0, i1, k, nr, accumulate,
+                            nullptr);
+  }
+}
+
+// Dispatched entry points: the AVX2+FMA variants recompile the same inlined
+// loop nests with wider registers and fused multiply-adds; the plain variants
+// are the portable fallback (and the only build on non-x86 targets).
+#if SUBFED_X86_DISPATCH
+SUBFED_AVX2_TARGET void gemm_panel_nn_avx2(const float* a, const float* b, float* c,
+                                           std::size_t lda, std::size_t k, std::size_t n,
+                                           std::size_t i0, std::size_t i1,
+                                           bool accumulate) {
+  gemm_panel<false, false>(a, b, c, lda, k, n, i0, i1, accumulate, nullptr);
+}
+SUBFED_AVX2_TARGET void gemm_panel_tn_avx2(const float* a, const float* b, float* c,
+                                           std::size_t lda, std::size_t k, std::size_t n,
+                                           std::size_t i0, std::size_t i1,
+                                           bool accumulate) {
+  gemm_panel<true, false>(a, b, c, lda, k, n, i0, i1, accumulate, nullptr);
+}
+SUBFED_AVX2_TARGET void gemm_panel_nt_avx2(const float* a, const float* b, float* c,
+                                           std::size_t k, std::size_t n, std::size_t i0,
+                                           std::size_t i1, bool accumulate) {
+  gemm_panel_nt_body(a, b, c, k, n, i0, i1, accumulate);
+}
+SUBFED_AVX2_TARGET void gemm_panel_nn_fused_avx2(const float* a, const float* b, float* c,
+                                                 std::size_t lda, std::size_t k,
+                                                 std::size_t n, std::size_t i0,
+                                                 std::size_t i1, bool accumulate,
+                                                 const GemmEpilogue& ep) {
+  gemm_panel<false, true>(a, b, c, lda, k, n, i0, i1, accumulate, &ep);
+}
+#endif
+
+}  // namespace
+
+void gemm_panel_nn(const float* a, const float* b, float* c, std::size_t lda,
+                   std::size_t k, std::size_t n, std::size_t i0, std::size_t i1,
+                   bool accumulate) {
+#if SUBFED_X86_DISPATCH
+  if (cpu_has_avx2_fma()) {
+    gemm_panel_nn_avx2(a, b, c, lda, k, n, i0, i1, accumulate);
+    return;
+  }
+#endif
+  gemm_panel<false, false>(a, b, c, lda, k, n, i0, i1, accumulate, nullptr);
+}
+
+void gemm_panel_tn(const float* a, const float* b, float* c, std::size_t lda,
+                   std::size_t k, std::size_t n, std::size_t i0, std::size_t i1,
+                   bool accumulate) {
+#if SUBFED_X86_DISPATCH
+  if (cpu_has_avx2_fma()) {
+    gemm_panel_tn_avx2(a, b, c, lda, k, n, i0, i1, accumulate);
+    return;
+  }
+#endif
+  gemm_panel<true, false>(a, b, c, lda, k, n, i0, i1, accumulate, nullptr);
+}
+
+void gemm_panel_nt(const float* a, const float* b, float* c, std::size_t k, std::size_t n,
+                   std::size_t i0, std::size_t i1, bool accumulate) {
+#if SUBFED_X86_DISPATCH
+  if (cpu_has_avx2_fma()) {
+    gemm_panel_nt_avx2(a, b, c, k, n, i0, i1, accumulate);
+    return;
+  }
+#endif
+  gemm_panel_nt_body(a, b, c, k, n, i0, i1, accumulate);
+}
+
+void gemm_panel_nn_fused(const float* a, const float* b, float* c, std::size_t lda,
+                         std::size_t k, std::size_t n, std::size_t i0, std::size_t i1,
+                         bool accumulate, const GemmEpilogue& ep) {
+#if SUBFED_X86_DISPATCH
+  if (cpu_has_avx2_fma()) {
+    gemm_panel_nn_fused_avx2(a, b, c, lda, k, n, i0, i1, accumulate, ep);
+    return;
+  }
+#endif
+  gemm_panel<false, true>(a, b, c, lda, k, n, i0, i1, accumulate, &ep);
+}
+
+void apply_epilogue_rows(float* c, std::size_t n, std::size_t i0, std::size_t i1,
+                         const GemmEpilogue& ep) noexcept {
+  for (std::size_t i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    epilogue_store(crow, crow, n, i, ep, /*accumulate=*/false);
+  }
+}
+
+// --- sparse kernels ----------------------------------------------------------
+// Pruning masks zero weights exactly; when the weight-side operand's density
+// drops below the threshold it is packed into CSR (ascending k within each
+// row, matching the dense accumulation order) and the kernel only touches
+// nonzeros.
+
+double density(const float* data, std::size_t size) noexcept {
+  if (size == 0) return 1.0;
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < size; ++i) nonzero += data[i] != 0.0f ? 1 : 0;
+  return static_cast<double>(nonzero) / static_cast<double>(size);
+}
+
+Csr Csr::pack(const float* data, std::size_t rows, std::size_t cols) {
+  Csr csr;
+  csr.row_begin.resize(rows + 1, 0);
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < rows * cols; ++i) nnz += data[i] != 0.0f ? 1 : 0;
+  csr.col.reserve(nnz);
+  csr.val.reserve(nnz);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = data + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (row[c] != 0.0f) {
+        csr.col.push_back(static_cast<std::uint32_t>(c));
+        csr.val.push_back(row[c]);
+      }
+    }
+    csr.row_begin[r + 1] = static_cast<std::uint32_t>(csr.col.size());
+  }
+  return csr;
+}
+
+Csr Csr::pack_transposed(const float* data, std::size_t rows, std::size_t cols) {
+  Csr csr;
+  csr.row_begin.assign(cols + 1, 0);
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    if (data[i] != 0.0f) ++csr.row_begin[i % cols + 1];
+  }
+  for (std::size_t c = 0; c < cols; ++c) csr.row_begin[c + 1] += csr.row_begin[c];
+  csr.col.resize(csr.row_begin[cols]);
+  csr.val.resize(csr.row_begin[cols]);
+  std::vector<std::uint32_t> cursor(csr.row_begin.begin(), csr.row_begin.end() - 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = data + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (row[c] != 0.0f) {
+        const std::uint32_t slot = cursor[c]++;
+        csr.col[slot] = static_cast<std::uint32_t>(r);
+        csr.val[slot] = row[c];
+      }
+    }
+  }
+  return csr;
+}
+
+namespace {
+
+SUBFED_ALWAYS_INLINE void sparse_axpy_body(const std::uint32_t* row_begin,
+                                           const std::uint32_t* col, const float* val,
+                                           const float* b, float* c, std::size_t n,
+                                           std::size_t i0, std::size_t i1,
+                                           bool accumulate) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    if (!accumulate) std::memset(crow, 0, n * sizeof(float));
+    for (std::uint32_t e = row_begin[i]; e < row_begin[i + 1]; ++e) {
+      const float av = val[e];
+      const float* brow = b + col[e] * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+SUBFED_ALWAYS_INLINE void sparse_dot_body(const std::uint32_t* row_begin,
+                                          const std::uint32_t* col, const float* val,
+                                          const float* a, float* c, std::size_t k,
+                                          std::size_t n, std::size_t i0, std::size_t i1,
+                                          bool accumulate) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::uint32_t e = row_begin[j]; e < row_begin[j + 1]; ++e) {
+        acc += arow[col[e]] * val[e];
+      }
+      crow[j] = accumulate ? crow[j] + acc : acc;
+    }
+  }
+}
+
+#if SUBFED_X86_DISPATCH
+SUBFED_AVX2_TARGET void sparse_axpy_panel_avx2(const std::uint32_t* row_begin,
+                                               const std::uint32_t* col, const float* val,
+                                               const float* b, float* c, std::size_t n,
+                                               std::size_t i0, std::size_t i1,
+                                               bool accumulate) {
+  sparse_axpy_body(row_begin, col, val, b, c, n, i0, i1, accumulate);
+}
+SUBFED_AVX2_TARGET void sparse_dot_panel_avx2(const std::uint32_t* row_begin,
+                                              const std::uint32_t* col, const float* val,
+                                              const float* a, float* c, std::size_t k,
+                                              std::size_t n, std::size_t i0,
+                                              std::size_t i1, bool accumulate) {
+  sparse_dot_body(row_begin, col, val, a, c, k, n, i0, i1, accumulate);
+}
+#endif
+
+}  // namespace
+
+void sparse_axpy_panel(const std::uint32_t* row_begin, const std::uint32_t* col,
+                       const float* val, const float* b, float* c, std::size_t n,
+                       std::size_t i0, std::size_t i1, bool accumulate) {
+#if SUBFED_X86_DISPATCH
+  if (cpu_has_avx2_fma()) {
+    sparse_axpy_panel_avx2(row_begin, col, val, b, c, n, i0, i1, accumulate);
+    return;
+  }
+#endif
+  sparse_axpy_body(row_begin, col, val, b, c, n, i0, i1, accumulate);
+}
+
+void sparse_dot_panel(const std::uint32_t* row_begin, const std::uint32_t* col,
+                      const float* val, const float* a, float* c, std::size_t k,
+                      std::size_t n, std::size_t i0, std::size_t i1, bool accumulate) {
+#if SUBFED_X86_DISPATCH
+  if (cpu_has_avx2_fma()) {
+    sparse_dot_panel_avx2(row_begin, col, val, a, c, k, n, i0, i1, accumulate);
+    return;
+  }
+#endif
+  sparse_dot_body(row_begin, col, val, a, c, k, n, i0, i1, accumulate);
+}
+
+}  // namespace kern
+}  // namespace subfed

@@ -1,0 +1,152 @@
+// Internal kernel layer shared by the MathBackend singletons (backend.cpp)
+// and the Device execution engine (device.cpp).
+//
+// Everything here used to live in backend.cpp's anonymous namespace; the
+// Device redesign splits the stack into three layers:
+//
+//   tensor/kernels.h  — raw panel/sparse kernels + the row-chunk runner
+//                       (this header; no state beyond the math-thread cap)
+//   tensor/backend.h  — the stateless MathBackend kernel sets (kept as the
+//                       oracle/dispatch seam and for backward compatibility)
+//   tensor/device.h   — storage-owning devices: plan cache, workspace pool,
+//                       compute dtype, fused epilogues
+//
+// Determinism contract (inherited by every caller): each output element is
+// accumulated in ascending-k order regardless of how row panels are chunked,
+// so results are bit-identical for any math_threads value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "util/thread_pool.h"
+
+namespace subfed {
+
+/// Fused post-GEMM epilogue, applied to each output element C[row, j] in the
+/// register tile right before store-back (blocked kernels) or as a row-wise
+/// post-pass (naive/sparse kernels — same scalar expressions, same bits):
+///
+///   y = C[row, j]
+///   if bias   && bias[row] != 0:  y += bias[row]
+///   if mean:                      y = gamma[row]·(y − mean[row])·rsqrt + beta[row]
+///                                 with rsqrt = 1/sqrt(var[row] + eps)
+///   if relu   && !(y > 0):        y = 0
+///
+/// These are exactly the scalar operations (and order) the unfused
+/// Conv2d → BatchNorm2d(eval) → ReLU chain performs, so fused and unfused
+/// eval forwards are bit-identical — tests/test_device.cpp pins this.
+struct GemmEpilogue {
+  const float* bias = nullptr;   ///< [m] conv bias, or nullptr
+  const float* mean = nullptr;   ///< [m] bn running mean (all four or none)
+  const float* var = nullptr;    ///< [m] bn running variance
+  const float* gamma = nullptr;  ///< [m] bn scale
+  const float* beta = nullptr;   ///< [m] bn shift
+  float eps = 0.0f;
+  bool relu = false;
+};
+
+namespace kern {
+
+// Register-tile geometry of the blocked kernels (see kernels.cpp).
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 16;
+/// Below this many FLOPs (2·m·k·n) a GEMM runs on the calling thread; pool
+/// dispatch would cost more than it saves on LeNet-scale tiles.
+constexpr std::size_t kMinParallelFlops = std::size_t{1} << 21;
+
+/// Degenerate shapes every kernel handles up front: an empty output needs no
+/// work; k == 0 means C is zeroed (or untouched when accumulating).
+bool handle_trivial(float* c, std::size_t m, std::size_t k, std::size_t n,
+                    bool accumulate) noexcept;
+
+/// Row panels a GEMM of `flops` total work over `m` rows may fan out to,
+/// given the current math-thread cap and pool size. Pure with respect to the
+/// call site (no calling-thread inspection), so Device plans may cache it;
+/// run_row_chunks re-checks the in-pool condition at execution time.
+std::size_t plan_chunks(std::size_t m, std::size_t flops) noexcept;
+
+/// Runs fn(i_begin, i_end) over [0, m) split into `chunks` kMr-aligned
+/// chunks. The alignment keeps the micro-kernel/edge-kernel boundary
+/// independent of the chunk layout (see determinism note above). Inside a
+/// pool task (client training fans over the same global pool) the pool is
+/// saturated: queued panels would only be drained by this thread anyway, so
+/// the fan-out collapses to sequential regardless of `chunks`.
+template <typename Fn>
+void run_row_chunks(std::size_t m, std::size_t chunks, const Fn& fn) {
+  if (chunks <= 1 || ThreadPool::current_thread_in_pool()) {
+    fn(0, m);
+    return;
+  }
+  const std::size_t panels = (m + kMr - 1) / kMr;
+  const std::size_t panels_per_chunk = (panels + chunks - 1) / chunks;
+  ThreadPool::global().parallel_for(chunks, [&](std::size_t chunk) {
+    const std::size_t i0 = chunk * panels_per_chunk * kMr;
+    const std::size_t i1 = std::min(m, i0 + panels_per_chunk * kMr);
+    if (i0 < m) fn(i0, i1);
+  });
+}
+
+/// plan_chunks + run_row_chunks in one step, for callers with no plan cache.
+template <typename Fn>
+void for_row_chunks(std::size_t m, std::size_t flops, const Fn& fn) {
+  run_row_chunks(m, plan_chunks(m, flops), fn);
+}
+
+// --- dense panels (AVX2+FMA dispatched internally) --------------------------
+// Rows [i0, i1) of C. nn/tn read B row-major [k×n]; nt reads B stored [n×k].
+// A is row-major [m×k] for nn/nt and stored [k×m] for tn (lda = row stride).
+
+void gemm_panel_nn(const float* a, const float* b, float* c, std::size_t lda,
+                   std::size_t k, std::size_t n, std::size_t i0, std::size_t i1,
+                   bool accumulate);
+void gemm_panel_tn(const float* a, const float* b, float* c, std::size_t lda,
+                   std::size_t k, std::size_t n, std::size_t i0, std::size_t i1,
+                   bool accumulate);
+void gemm_panel_nt(const float* a, const float* b, float* c, std::size_t k, std::size_t n,
+                   std::size_t i0, std::size_t i1, bool accumulate);
+
+/// gemm_panel_nn with the epilogue applied inside the register tiles at
+/// store-back — the fused conv→bn→activation path.
+void gemm_panel_nn_fused(const float* a, const float* b, float* c, std::size_t lda,
+                         std::size_t k, std::size_t n, std::size_t i0, std::size_t i1,
+                         bool accumulate, const GemmEpilogue& ep);
+
+/// Elementwise epilogue post-pass over rows [i0, i1) of C [m×n] — the same
+/// per-element expressions as the fused store-back, for kernels that cannot
+/// fuse (naive, sparse). Bit-identical to the fused path.
+void apply_epilogue_rows(float* c, std::size_t n, std::size_t i0, std::size_t i1,
+                         const GemmEpilogue& ep) noexcept;
+
+// --- sparse kernels ----------------------------------------------------------
+
+/// Fraction of nonzero entries in `data` (1.0 for empty inputs).
+double density(const float* data, std::size_t size) noexcept;
+
+/// CSR of a row-major [rows×cols] matrix; entries keep ascending column order.
+struct Csr {
+  std::vector<std::uint32_t> row_begin;  // rows+1 offsets
+  std::vector<std::uint32_t> col;
+  std::vector<float> val;
+
+  static Csr pack(const float* data, std::size_t rows, std::size_t cols);
+  /// CSR of the TRANSPOSE of a row-major [rows×cols] matrix (i.e. CSC):
+  /// entry lists per column, ascending row order.
+  static Csr pack_transposed(const float* data, std::size_t rows, std::size_t cols);
+};
+
+/// c[i,:] (+)= Σ_nonzeros(i) val · b[col,:] for rows [i0, i1) — the shared
+/// nn/tn inner loop once the sparse operand is in "per output row" CSR form.
+void sparse_axpy_panel(const std::uint32_t* row_begin, const std::uint32_t* col,
+                       const float* val, const float* b, float* c, std::size_t n,
+                       std::size_t i0, std::size_t i1, bool accumulate);
+
+/// c[i,j] (+)= sparse dot of dense A row i with CSR row j of B (stored [n×k]).
+void sparse_dot_panel(const std::uint32_t* row_begin, const std::uint32_t* col,
+                      const float* val, const float* a, float* c, std::size_t k,
+                      std::size_t n, std::size_t i0, std::size_t i1, bool accumulate);
+
+}  // namespace kern
+}  // namespace subfed

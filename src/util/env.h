@@ -1,22 +1,45 @@
 // Environment-variable configuration knobs.
 //
+// Every `SUBFEDAVG_*` variable the library or its benches read is declared in
+// the registered-knob table in env.cpp. The typed accessors below refuse
+// unregistered names (so a new knob cannot be added without registering it),
+// and list_env_knobs() exposes the table so the README "Environment knobs"
+// section is asserted against it in tests instead of drifting.
+//
 // Benches default to scaled-down configs that finish in CI time; the
 // SUBFEDAVG_* env vars restore paper scale without recompiling.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace subfed {
 
+/// One registered environment knob. `fallback` is the human-readable default
+/// exactly as the README renders it ("blocked", "hardware", "none", …).
+/// `documented` is false only for test-only knobs kept out of the README.
+struct EnvKnob {
+  const char* name;
+  const char* type;  ///< "int" | "double" | "string"
+  const char* fallback;
+  const char* doc;
+  bool documented = true;
+};
+
+/// The full registered-knob table, in registration order.
+const std::vector<EnvKnob>& list_env_knobs();
+
 /// Integer env var with default; accepts decimal. Returns `fallback` when
-/// unset or unparsable.
-std::int64_t env_int(const char* name, std::int64_t fallback) noexcept;
+/// unset or unparsable. Throws CheckError when `name` is not registered.
+std::int64_t env_int(const char* name, std::int64_t fallback);
 
-/// Floating env var with default.
-double env_double(const char* name, double fallback) noexcept;
+/// Floating env var with default. Throws CheckError when `name` is not
+/// registered.
+double env_double(const char* name, double fallback);
 
-/// String env var with default.
+/// String env var with default. Throws CheckError when `name` is not
+/// registered.
 std::string env_string(const char* name, const std::string& fallback);
 
 }  // namespace subfed
